@@ -1,0 +1,91 @@
+"""Fig 6: time-varying spatial distribution of taxi events.
+
+The paper shows heatmaps for (a) a weekday morning, (b) a weekday
+evening, and (c) a holiday evening, arguing that hotspots move between
+(a) and (b) and cover much larger areas in (c) — hence no static
+partitioning can stay balanced.  We regenerate the three regimes from
+the synthetic trace and quantify both properties.
+"""
+
+import statistics
+
+from repro.bench.reporting import print_table
+from repro.workloads.taxi import TaxiTrace, TaxiTraceConfig
+from repro.workloads.zorder import z_decode
+
+
+def grid_histogram(trace, step, side_buckets=8):
+    """Coarse spatial histogram of one timestep."""
+    counts = [[0] * side_buckets for _ in range(side_buckets)]
+    bits = trace.config.grid_bits
+    cells = trace.encoder.cells_per_side
+    for zkey, _event in trace.events_for_step_partition(step, 0, 1):
+        x, y = z_decode(zkey, bits)
+        counts[min(side_buckets - 1, x * side_buckets // cells)][
+            min(side_buckets - 1, y * side_buckets // cells)] += 1
+    return counts
+
+
+def regime_stats(counts):
+    flat = sorted((c for row in counts for c in row), reverse=True)
+    total = sum(flat) or 1
+    top1 = flat[0] / total
+    # "Hotspot area": buckets needed to cover half the mass.
+    acc, buckets = 0, 0
+    for c in flat:
+        acc += c
+        buckets += 1
+        if acc >= total / 2:
+            break
+    return top1, buckets, flat[0]
+
+
+def run_fig06():
+    weekday = TaxiTrace(TaxiTraceConfig(
+        base_events_per_step=8_000, steps_per_day=24, holiday=False,
+    ))
+    holiday = TaxiTrace(TaxiTraceConfig(
+        base_events_per_step=8_000, steps_per_day=24, holiday=True,
+    ))
+    regimes = {
+        "(a) weekday morning": (weekday, 8),
+        "(b) weekday evening": (weekday, 20),
+        "(c) holiday evening": (holiday, 20),
+    }
+    rows = []
+    histograms = {}
+    for label, (trace, step) in regimes.items():
+        counts = grid_histogram(trace, step)
+        histograms[label] = counts
+        top1, half_mass_buckets, _peak = regime_stats(counts)
+        rows.append([label, top1, half_mass_buckets])
+    return rows, histograms
+
+
+def test_fig06_hotspot_regimes(run_once):
+    rows, histograms = run_once(run_fig06)
+    print_table(
+        "Fig 6: spatial regimes (64-bucket grid)",
+        ["regime", "top-bucket mass", "buckets for 50% mass"],
+        rows,
+    )
+    by = {label: (top1, buckets) for label, top1, buckets in rows}
+    morning = by["(a) weekday morning"]
+    evening = by["(b) weekday evening"]
+    holiday = by["(c) holiday evening"]
+    # All regimes are skewed: the top bucket holds well above the
+    # uniform share (1/64).
+    for top1, _ in by.values():
+        assert top1 > 2.5 / 64
+    # The hotspot location moves between morning and evening: the peak
+    # buckets differ.
+    def argmax(counts):
+        return max(
+            ((i, j) for i in range(8) for j in range(8)),
+            key=lambda ij: counts[ij[0]][ij[1]],
+        )
+
+    assert argmax(histograms["(a) weekday morning"]) != \
+        argmax(histograms["(b) weekday evening"])
+    # The holiday evening spreads hotspots over a much larger area.
+    assert holiday[1] > evening[1]

@@ -1,0 +1,26 @@
+"""Fig 7: partition-count trade-off.
+
+Paper: delay falls as partitions add parallelism, then scheduling and
+monitoring overhead dwarfs the benefit — the curve turns back up well
+before 10^4 partitions.
+"""
+
+from repro.bench.harness import run_fig07
+from repro.bench.reporting import print_table
+
+
+def test_fig07_partition_tradeoff(run_once):
+    counts = (1, 4, 16, 64, 256, 1024, 4096)
+    points = run_once(run_fig07, partition_counts=counts)
+    print_table(
+        "Fig 7: delay vs number of partitions",
+        ["partitions", "delay (s)"],
+        points,
+    )
+    delays = dict(points)
+    best = min(delays, key=delays.get)
+    # U shape: the best point is strictly inside the sweep; both ends are
+    # substantially worse than the minimum.
+    assert 1 < best < 4096
+    assert delays[1] > 2 * delays[best]
+    assert delays[4096] > 2 * delays[best]

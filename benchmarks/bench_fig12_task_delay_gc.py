@@ -1,0 +1,44 @@
+"""Fig 12: task-level delay with the GC fraction.
+
+Paper: tasks sorted by delay for 2/4/6-RDD cogroups; at 6 RDDs the heap
+is under pressure and GC (the white bar portion) blows up, eating the
+co-locality gain.
+"""
+
+from repro.bench.harness import run_colocality
+from repro.bench.reporting import print_table
+
+
+def test_fig12_task_delay_and_gc(run_once):
+    results = run_once(
+        run_colocality,
+        configs=("Stark-H", "Spark-H"),
+        rdd_counts=(2, 4, 6),
+        queries_per_point=2,
+    )
+    rows = []
+    gc_fraction = {}
+    for r in results:
+        tasks = sorted(
+            zip(r.task_delays, r.task_gc), key=lambda t: t[0], reverse=True
+        )
+        total = sum(d for d, _ in tasks)
+        gc = sum(g for _, g in tasks)
+        gc_fraction[(r.config, r.num_rdds)] = gc / total if total else 0.0
+        for rank, (delay, gc_time) in enumerate(tasks, start=1):
+            rows.append([r.config, r.num_rdds, rank, delay, gc_time])
+    print_table(
+        "Fig 12: tasks sorted by delay (per config x cogroup width)",
+        ["config", "rdds", "task rank", "delay (s)", "gc (s)"],
+        rows,
+    )
+    print_table(
+        "Fig 12 summary: GC fraction of task time",
+        ["config", "rdds", "gc fraction"],
+        [[c, n, f] for (c, n), f in sorted(gc_fraction.items())],
+    )
+    # Shape: GC fraction grows with the number of cogrouped RDDs and is
+    # substantial at 6 (the paper's "performance gain drops due to GC").
+    for config in ("Stark-H", "Spark-H"):
+        assert gc_fraction[(config, 6)] > gc_fraction[(config, 2)]
+    assert gc_fraction[("Spark-H", 6)] > 0.2

@@ -1,0 +1,42 @@
+"""Fig 14: job delay under skewed distributions (1st vs 2nd job).
+
+Paper: Spark-R > 10 s always (shuffles every job); Stark-S finishes in
+~4 s but suffers on skewed collections; Stark-E pays reconstruction on
+the first job after splits, then beats Stark-S on skewed data.
+"""
+
+from repro.bench.harness import run_skew
+from repro.bench.reporting import print_table
+
+
+def test_fig14_job_delay_under_skew(run_once):
+    results = run_once(run_skew)
+    rows = []
+    by = {}
+    for r in results:
+        by[(r.config, r.collection)] = r
+        rows.append([r.config, str(r.collection),
+                     r.first_job_delay, r.second_job_delay])
+    print_table(
+        "Fig 14: job delay, first vs second job (s)",
+        ["config", "collection", "1st job", "2nd job"],
+        rows,
+    )
+    skewed = (3, 4, 5)
+    uniform = (0, 1, 2)
+    # Spark-R shuffles every job: 1st ~= 2nd, and both slower than
+    # Stark's steady state.
+    spark_r = by[("Spark-R", skewed)]
+    assert spark_r.second_job_delay > 0.6 * spark_r.first_job_delay
+    assert spark_r.second_job_delay > by[("Stark-S", uniform)].second_job_delay
+    # Stark-S: static layout -> 1st == 2nd; skew hurts it.
+    stark_s_u = by[("Stark-S", uniform)]
+    stark_s_s = by[("Stark-S", skewed)]
+    assert abs(stark_s_s.first_job_delay - stark_s_s.second_job_delay) < \
+        0.5 * stark_s_s.first_job_delay
+    assert stark_s_s.second_job_delay > stark_s_u.second_job_delay
+    # Stark-E: first job after group dynamics pays reconstruction, the
+    # second is fast — and beats Stark-S under skew.
+    stark_e_s = by[("Stark-E", skewed)]
+    assert stark_e_s.first_job_delay > stark_e_s.second_job_delay
+    assert stark_e_s.second_job_delay < stark_s_s.second_job_delay

@@ -1,0 +1,44 @@
+"""Fig 15: task-level delay under skew (min/mid/max, shuffle fraction).
+
+Paper: Spark-R's bars carry a large shuffle-overhead portion; Stark-S's
+max task towers over its median on skewed collections (imbalanced
+completion times); Stark-E flattens the spread.
+"""
+
+import statistics
+
+from repro.bench.harness import run_skew
+from repro.bench.reporting import print_table
+
+
+def test_fig15_task_delay_under_skew(run_once):
+    results = run_once(run_skew)
+    rows = []
+    stats = {}
+    for r in results:
+        delays = sorted(r.task_delays)
+        entry = {
+            "min": delays[0],
+            "mid": statistics.median(delays),
+            "max": delays[-1],
+            "shuffle": sum(r.task_shuffle_times),
+        }
+        stats[(r.config, r.collection)] = entry
+        rows.append([r.config, str(r.collection), entry["min"],
+                     entry["mid"], entry["max"], entry["shuffle"]])
+    print_table(
+        "Fig 15: task delay min/mid/max + total shuffle time (s)",
+        ["config", "collection", "min", "mid", "max", "shuffle"],
+        rows,
+    )
+    skewed = (3, 4, 5)
+    # Spark-R: shuffle overhead is a real component of its tasks.
+    assert stats[("Spark-R", skewed)]["shuffle"] > 0
+    # Stark-S: skew shows as max >> mid.
+    s = stats[("Stark-S", skewed)]
+    assert s["max"] > 2 * s["mid"]
+    # Stark-E: spread strictly tighter than Stark-S on skewed data.
+    e = stats[("Stark-E", skewed)]
+    assert e["max"] / max(e["mid"], 1e-9) < s["max"] / max(s["mid"], 1e-9)
+    # Stark configurations avoid shuffling entirely (co-partitioned).
+    assert stats[("Stark-S", skewed)]["shuffle"] == 0

@@ -1,0 +1,34 @@
+"""Fig 17: estimating checkpoint sizes from cached RDD sizes.
+
+Paper: for every named RDD of the trending application, the cached
+(in-memory) size and the checkpoint (serialized) size differ by a
+constant factor — which is why cached sizes can stand in for checkpoint
+costs in the optimizer, whatever the serializer.
+"""
+
+import pytest
+
+from repro.bench.harness import run_fig17
+from repro.bench.reporting import print_table
+
+
+def test_fig17_checkpoint_size_estimation(run_once):
+    rows = run_once(run_fig17, num_steps=4, records_per_step=2_000)
+    printable = [
+        [name, cached / 1e6, written / 1e6,
+         (cached / written) if written else float("nan")]
+        for name, cached, written in rows
+    ]
+    print_table(
+        "Fig 17: cached RDD size vs checkpoint size (MB)",
+        ["rdd", "cached", "checkpoint", "ratio"],
+        printable,
+    )
+    ratios = [cached / written for _, cached, written in rows if written > 0]
+    # Constant relationship across all RDDs of the app.
+    assert max(ratios) == pytest.approx(min(ratios), rel=1e-6)
+    # Sizes themselves vary over orders of magnitude (kv/cctt/jall are
+    # content-heavy; cnt/ccnt/acnt/dec are tiny counts).
+    sizes = {name: written for name, _, written in rows}
+    assert sizes["kv"] > 10 * sizes["acnt"]
+    assert sizes["jall"] > sizes["acnt"]

@@ -1,0 +1,33 @@
+"""Fig 18: total checkpointed data over steps, per policy.
+
+Paper: the optimizer (Stark-1 exact, Stark-3 relaxed with f=3) writes
+much less data than Tachyon's Edge algorithm, which persists every leaf —
+including the huge ``jall``/``res`` — whenever a path violates the bound.
+Stark-1 wins in the first steps; Stark-3's relaxed cuts leave shorter
+uncheckpointed tails and catch up as the lineage grows.
+"""
+
+from repro.bench.harness import run_fig18
+from repro.bench.reporting import print_table
+
+
+def test_fig18_total_checkpoint_size(run_once):
+    series = run_once(run_fig18, num_steps=10, records_per_step=2_000)
+    by = {s.policy: s.cumulative_bytes for s in series}
+    steps = range(1, len(next(iter(by.values()))) + 1)
+    print_table(
+        "Fig 18: cumulative checkpointed data (MB) over steps",
+        ["step"] + list(by),
+        [[step] + [by[p][step - 1] / 1e6 for p in by] for step in steps],
+    )
+    # Shape: both optimizer variants write a small fraction of Edge.
+    assert by["Stark-1"][-1] < 0.5 * by["Tachyon"][-1]
+    assert by["Stark-3"][-1] < 0.5 * by["Tachyon"][-1]
+    # Everyone checkpoints something once paths violate.
+    assert by["Stark-1"][-1] > 0
+    # Tachyon keeps re-triggering as the frontier lineage regrows
+    # (checkpointing the leaves resets it completely each time).
+    tachyon_increments = [
+        b - a for a, b in zip(by["Tachyon"], by["Tachyon"][1:])
+    ]
+    assert sum(1 for inc in tachyon_increments if inc > 0) >= 2

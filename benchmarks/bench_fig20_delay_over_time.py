@@ -1,0 +1,45 @@
+"""Fig 20: job delay over a replayed day (diurnal volume).
+
+Paper: replaying the trace at real speed, Spark-H's response time
+surpasses 800 ms as per-second data volume peaks; Stark-H stays below
+200 ms; Stark-E pays more under light static load but scales out
+(groups split across more executors) and overtakes Spark-H as volume
+grows.
+"""
+
+import statistics
+
+from repro.bench.harness import run_fig20
+from repro.bench.reporting import print_table
+
+
+def test_fig20_delay_over_time(run_once):
+    points = run_once(
+        run_fig20,
+        hours=24, steps_per_hour=1, jobs_per_step=5,
+        base_events_per_step=800,
+    )
+    by = {}
+    for p in points:
+        by.setdefault(p.config, {})[p.hour] = p.mean_delay
+    hours = sorted(next(iter(by.values())))
+    print_table(
+        "Fig 20: mean job delay (ms) over the day",
+        ["hour"] + list(by),
+        [[h] + [by[c][h] * 1000 for c in by] for h in hours],
+    )
+    peak_hours = [h for h in hours if 16 <= h <= 21]
+    light_hours = [h for h in hours if h <= 6]
+
+    def mean_over(config, hour_set):
+        return statistics.fmean(by[config][h] for h in hour_set)
+
+    # Spark-H degrades substantially from nadir to peak.
+    assert mean_over("Spark-H", peak_hours) > \
+        2 * mean_over("Spark-H", light_hours)
+    # Stark-H stays flat and low all day (paper: < 200 ms).
+    assert max(by["Stark-H"].values()) < \
+        0.6 * max(by["Spark-H"].values())
+    # Stark-E: worse than Spark-H under light load, better at the peak —
+    # the elastically-scaling-out crossover the paper describes.
+    assert mean_over("Stark-E", peak_hours) < mean_over("Spark-H", peak_hours)

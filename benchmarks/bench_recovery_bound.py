@@ -1,0 +1,88 @@
+"""Extension: does the CheckpointOptimizer actually bound recovery delay?
+
+The paper evaluates checkpointing by data written (Fig 18); this bench
+closes the loop on the *guarantee*: after N steps of the trending app we
+lose every cached block and all shuffle outputs (full cluster cache
+wipe), re-run the frontier, and compare the recovery delay with and
+without the optimizer.  Without checkpoints, recovery re-executes the
+whole chained lineage and grows with N; with the optimizer, recovery is
+bounded regardless of N.
+"""
+
+from repro.apps.trending import TrendingApp
+from repro.bench.harness import _trending_raw
+from repro.bench.reporting import print_table
+from repro.core.checkpoint_optimizer import CheckpointOptimizer
+from repro.engine.context import StarkContext
+
+
+def wipe_cluster(sc):
+    """Lose every cached block.  Shuffle outputs and checkpoints live on
+    persistent storage (§II-A: "shuffle maps always commit outputs into
+    persistent storage") and survive — recovery re-executes the narrow
+    lineage from those cuts."""
+    for wid in sc.cluster.worker_ids:
+        sc.block_manager_master.lose_worker(wid)
+
+
+def run_recovery(num_steps: int, use_optimizer: bool,
+                 records_per_step: int = 1_500) -> float:
+    sc = StarkContext(num_workers=8, cores_per_worker=2)
+    app = TrendingApp(sc, _trending_raw(records_per_step),
+                      num_partitions=8, popular_threshold=20)
+    optimizer = None
+    if use_optimizer:
+        probe_sc = StarkContext(num_workers=8, cores_per_worker=2)
+        probe = TrendingApp(probe_sc, _trending_raw(records_per_step),
+                            num_partitions=8, popular_threshold=20)
+        opt = CheckpointOptimizer(probe_sc, recovery_bound=1e9)
+        lengths = []
+        for step in range(3):
+            probe.run_step(step)
+            nodes = opt.build_lineage(probe.frontier_rdds())
+            lengths.append(max(
+                opt.longest_uncheckpointed_delay(nodes, r.rdd_id)
+                for r in probe.frontier_rdds()
+            ))
+        bound = lengths[1] + 2.5 * max(lengths[2] - lengths[1], 1e-9)
+        optimizer = CheckpointOptimizer(sc, recovery_bound=bound,
+                                        relax_factor=3.0)
+
+    def on_step(step, rdds):
+        if optimizer is not None:
+            optimizer.optimize(app.frontier_rdds())
+
+    app.run(num_steps, on_step=on_step)
+    wipe_cluster(sc)
+    frontier = app.frontier_rdds()
+    for rdd in frontier:
+        rdd.count()
+    return sc.metrics.jobs[-len(frontier)].makespan + \
+        sc.metrics.jobs[-1].makespan
+
+
+def run_sweep(step_counts=(4, 8, 12)):
+    rows = []
+    for n in step_counts:
+        plain = run_recovery(n, use_optimizer=False)
+        bounded = run_recovery(n, use_optimizer=True)
+        rows.append([n, plain, bounded])
+    return rows
+
+
+def test_recovery_bound_holds(run_once):
+    rows = run_once(run_sweep)
+    print_table(
+        "Recovery after full cache wipe (simulated s)",
+        ["steps", "no checkpoints", "with optimizer"],
+        rows,
+    )
+    plain = {n: p for n, p, _ in rows}
+    bounded = {n: b for n, _, b in rows}
+    # Unbounded lineage: recovery grows with the number of steps.
+    assert plain[12] > 1.5 * plain[4]
+    # With the optimizer, recovery is *bounded*: at 12 steps it costs at
+    # most what the short 4-step history costs, and under half of the
+    # unbounded recovery.
+    assert bounded[12] <= bounded[4] * 1.25
+    assert bounded[12] < 0.5 * plain[12]

@@ -1,0 +1,22 @@
+"""Benchmark-suite conventions.
+
+Every benchmark regenerates one table/figure of the paper: it runs the
+corresponding experiment driver exactly once under pytest-benchmark
+(``rounds=1`` — the interesting measurements are *simulated* seconds
+inside the run, not wall time), prints the paper-style rows, and asserts
+the qualitative shape the paper reports.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment once under the benchmark timer and return its
+    result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,6 @@
+"""Setup shim for legacy editable installs (offline environments lacking
+the ``wheel`` package; the real metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

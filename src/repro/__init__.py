@@ -1,0 +1,82 @@
+"""repro — reproduction of Stark (ICDCS 2017).
+
+Stark optimizes in-memory computing for *dynamic dataset collections*:
+applications that continuously load and evict related datasets and run
+transformations (cogroup/join) spanning many of them.  This package
+rebuilds both the Spark-like substrate (as a discrete-event simulated
+engine executing real data) and Stark's three contributions:
+
+* **co-locality** — ``RDD.locality_partition_by`` + ``LocalityManager``
+  pin collection partitions to stable executor sets (§III-B);
+* **elasticity** — ``ExtendablePartitioner`` + ``GroupManager`` split and
+  merge partition groups without re-partitioning (§III-C);
+* **bounded recovery** — ``CheckpointOptimizer`` picks the minimum-cost
+  checkpoint set via min-cut (§III-D).
+
+Quickstart::
+
+    from repro import StarkContext, StarkConfig, HashPartitioner
+
+    sc = StarkContext(num_workers=8)
+    part = HashPartitioner(8)
+    hours = [
+        sc.parallelize([(k, 1) for k in range(1000)], 8)
+          .locality_partition_by(part, namespace="logs")
+          .cache()
+        for _ in range(3)
+    ]
+    for rdd in hours:
+        rdd.count()                       # materialize + cache co-located
+    merged = hours[0].cogroup(*hours[1:]) # narrow, fully local
+    print(merged.count())
+"""
+
+from .cluster import Cluster, CostModel, EventQueue, RecordSizer, SimClock, Worker
+from .core import (
+    CheckpointOptimizer,
+    EdgeCheckpointer,
+    ExtendablePartitioner,
+    FlowNetwork,
+    GroupManager,
+    GroupTree,
+    LocalityManager,
+    MinimumContentionFirstPolicy,
+    ReplicationManager,
+)
+from .engine import (
+    FailureInjector,
+    HashPartitioner,
+    RDD,
+    RangePartitioner,
+    StarkConfig,
+    StarkContext,
+    StaticRangePartitioner,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckpointOptimizer",
+    "Cluster",
+    "CostModel",
+    "EdgeCheckpointer",
+    "EventQueue",
+    "ExtendablePartitioner",
+    "FailureInjector",
+    "FlowNetwork",
+    "GroupManager",
+    "GroupTree",
+    "HashPartitioner",
+    "LocalityManager",
+    "MinimumContentionFirstPolicy",
+    "RDD",
+    "RangePartitioner",
+    "RecordSizer",
+    "ReplicationManager",
+    "SimClock",
+    "StarkConfig",
+    "StarkContext",
+    "StaticRangePartitioner",
+    "Worker",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Example applications built on the public API (the paper's workloads)."""
+
+from .log_mining import LogMiningApp, LogMiningResult
+from .taxi_ads import AdQueryResult, Campaign, TaxiAdsApp
+from .trending import TrendingApp, TrendingStepRDDs
+
+__all__ = [
+    "AdQueryResult",
+    "Campaign",
+    "LogMiningApp",
+    "LogMiningResult",
+    "TaxiAdsApp",
+    "TrendingApp",
+    "TrendingStepRDDs",
+]

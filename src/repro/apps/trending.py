@@ -1,0 +1,177 @@
+"""The Fig 16 application: tracking popular keys and contents over steps.
+
+The paper evaluates checkpointing with an application that "tracks
+popular keys and corresponding contents in a similar way as Twitter
+trends".  Each step receives a raw key-value RDD and builds this exact
+lineage (names follow the figure):
+
+* ``kv``   = raw.partitionBy
+* ``cnt``  = kv.reduceByKey(count)         ``ctt`` = kv.reduceByKey(content)
+* ``ccnt`` = cnt cogroup dec(ayed count of last step), summed by key
+* ``acnt`` = ccnt.filter(popular keys only)
+* ``cctt`` = ctt cogroup res(ult of last step)
+* ``jall`` = cctt join acnt
+* ``res``  = jall.map(clean)              ``dec`` = ccnt.map(decay)
+
+``dec`` and ``res`` feed the next step, chaining steps into an
+ever-growing lineage — the structure that makes proactive, cost-aware
+checkpointing matter (§IV-D, Figs 17/18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..engine.partitioner import HashPartitioner, Partitioner
+from ..engine.rdd import RDD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.context import StarkContext
+
+
+@dataclass
+class TrendingStepRDDs:
+    """All named RDDs produced by one step (Fig 16's node names)."""
+
+    kv: RDD
+    cnt: RDD
+    ctt: RDD
+    ccnt: RDD
+    acnt: RDD
+    cctt: RDD
+    jall: RDD
+    res: RDD
+    dec: RDD
+
+    def named(self) -> Dict[str, RDD]:
+        return {
+            "kv": self.kv, "cnt": self.cnt, "ctt": self.ctt,
+            "ccnt": self.ccnt, "acnt": self.acnt, "cctt": self.cctt,
+            "jall": self.jall, "res": self.res, "dec": self.dec,
+        }
+
+
+class TrendingApp:
+    """Runs the Fig 16 pipeline step by step.
+
+    ``raw_for_step(step, num_partitions)`` must return a partition
+    generator of ``(key, content)`` pairs (the Wikipedia trace's keyed
+    generator fits directly).
+    """
+
+    def __init__(
+        self,
+        context: "StarkContext",
+        raw_for_step: Callable[[int, int], Callable[[int], list]],
+        num_partitions: int = 8,
+        partitioner: Optional[Partitioner] = None,
+        popular_threshold: int = 3,
+        decay: float = 0.5,
+    ) -> None:
+        self.context = context
+        self.raw_for_step = raw_for_step
+        self.num_partitions = num_partitions
+        self.partitioner = partitioner or HashPartitioner(num_partitions)
+        self.popular_threshold = popular_threshold
+        self.decay = decay
+        self.steps: List[TrendingStepRDDs] = []
+        self._prev_dec: Optional[RDD] = None
+        self._prev_res: Optional[RDD] = None
+
+    # ---- one step of Fig 16 ------------------------------------------------------
+
+    def run_step(self, step: int) -> TrendingStepRDDs:
+        sc = self.context
+        part = self.partitioner
+        raw = sc.generated(
+            self.raw_for_step(step, self.num_partitions),
+            self.num_partitions, read_cost="network", name=f"raw[{step}]",
+        )
+        kv = raw.partition_by(part, name=f"kv[{step}]").cache()
+        cnt = kv.map_values(lambda _content: 1).reduce_by_key(
+            lambda a, b: a + b, part, name=f"cnt[{step}]"
+        ).cache()
+        ctt = kv.reduce_by_key(
+            lambda a, b: a if len(str(a)) >= len(str(b)) else b, part,
+            name=f"ctt[{step}]",
+        ).cache()
+
+        if self._prev_dec is None:
+            ccnt = cnt.map_values(float, name=f"ccnt[{step}]").cache()
+        else:
+            def sum_cogroup(kv_pair):
+                key, (new_counts, decayed) = kv_pair
+                return (key, sum(new_counts) + sum(decayed))
+
+            ccnt = cnt.cogroup(self._prev_dec, partitioner=part).map(
+                sum_cogroup, name=f"ccnt[{step}]",
+                preserves_partitioning=True,
+            ).cache()
+
+        threshold = self.popular_threshold
+        acnt = ccnt.filter(
+            lambda kv_pair: kv_pair[1] >= threshold, name=f"acnt[{step}]"
+        ).cache()
+
+        if self._prev_res is None:
+            cctt = ctt.map_values(
+                lambda content: (content,), name=f"cctt[{step}]"
+            ).cache()
+        else:
+            def merge_content(kv_pair):
+                key, (new_content, old_results) = kv_pair
+                merged = tuple(new_content) + tuple(
+                    c for result in old_results for c in result
+                )
+                return (key, merged[:4])
+
+            cctt = ctt.cogroup(self._prev_res, partitioner=part).map(
+                merge_content, name=f"cctt[{step}]",
+                preserves_partitioning=True,
+            ).cache()
+
+        jall = cctt.join(acnt, partitioner=part, name=f"jall[{step}]").cache()
+        res = jall.map(
+            lambda kv_pair: (kv_pair[0], kv_pair[1][0]), name=f"res[{step}]",
+            preserves_partitioning=True,
+        ).cache()
+        decay = self.decay
+        dec = ccnt.map_values(
+            lambda count: count * decay, name=f"dec[{step}]"
+        ).cache()
+
+        # Materialize the step's results (the per-step action).
+        res.count()
+        dec.count()
+
+        rdds = TrendingStepRDDs(kv, cnt, ctt, ccnt, acnt, cctt, jall, res, dec)
+        self.steps.append(rdds)
+        self._prev_dec = dec
+        self._prev_res = res
+        return rdds
+
+    def run(self, num_steps: int, on_step=None) -> List[TrendingStepRDDs]:
+        """Run ``num_steps`` steps; ``on_step(step, rdds)`` fires after
+        each (checkpoint policies hook in here)."""
+        for step in range(num_steps):
+            rdds = self.run_step(step)
+            if on_step is not None:
+                on_step(step, rdds)
+        return self.steps
+
+    # ---- results -----------------------------------------------------------------------
+
+    def trending(self) -> List[Tuple[str, float]]:
+        """Current popular keys with scores, most popular first."""
+        if not self.steps:
+            return []
+        acnt = self.steps[-1].acnt
+        return sorted(acnt.collect(), key=lambda kv: kv[1], reverse=True)
+
+    def frontier_rdds(self) -> List[RDD]:
+        """The RDDs whose lineage recovery matters next step (res, dec)."""
+        if not self.steps:
+            return []
+        last = self.steps[-1]
+        return [last.res, last.dec]

@@ -1,0 +1,76 @@
+"""Paper-style table/series printing for the benchmark harness.
+
+Every benchmark prints the rows/series its figure reports, in a uniform
+plain-text format that survives pytest capture:
+
+    == Fig 11: co-locality job delay ==
+    cogroup_rdds | Spark-H (s) | Stark-H (s) | speedup
+               1 |        9.21 |        8.95 |    1.0x
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned plain-text table with a figure title banner."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    str_rows: List[List[str]] = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[object]],
+                floatfmt: str = "{:.3f}") -> None:
+    print()
+    print(format_table(title, headers, rows, floatfmt))
+
+
+def format_series(title: str, xlabel: str, ylabel: str,
+                  points: Sequence[tuple]) -> str:
+    """Render an (x, y, ...) series as rows (one per point)."""
+    headers = [xlabel, ylabel]
+    extra = len(points[0]) - 2 if points else 0
+    headers += [f"col{i}" for i in range(extra)]
+    return format_table(title, headers, points)
+
+
+def print_comparison(
+    title: str,
+    baseline_name: str,
+    baseline: float,
+    candidate_name: str,
+    candidate: float,
+    higher_is_better: bool = False,
+) -> float:
+    """Print a one-line paper-vs-measured comparison; returns the ratio."""
+    if higher_is_better:
+        ratio = candidate / baseline if baseline > 0 else float("inf")
+        verdict = f"{candidate_name} is {ratio:.2f}x of {baseline_name}"
+    else:
+        ratio = baseline / candidate if candidate > 0 else float("inf")
+        verdict = f"{candidate_name} is {ratio:.2f}x faster than {baseline_name}"
+    print(f"-- {title}: {baseline_name}={baseline:.4f}, "
+          f"{candidate_name}={candidate:.4f} -> {verdict}")
+    return ratio

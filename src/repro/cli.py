@@ -1,0 +1,220 @@
+"""Command-line interface: regenerate any figure of the paper.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig11 --rdd-counts 1 2 3 4 5 6
+    python -m repro fig19 --rates 2 5 10 20 40
+    python -m repro all          # everything (several minutes)
+
+Each command prints the paper-style rows the corresponding figure
+reports; delays are simulated seconds (see README for calibration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .bench import harness
+from .bench.reporting import print_comparison, print_table
+
+
+def _cmd_fig01(args: argparse.Namespace) -> None:
+    result = harness.run_fig01(file_bytes=args.file_mb * 1e6)
+    print_table(
+        "Fig 1(b): data locality benefits (simulated s)",
+        ["bar", "delay (s)"],
+        [["C (first count)", result.c_count_delay],
+         ["D (cached)", result.d_cached_delay],
+         ["D- (no locality)", result.d_nolocality_delay]],
+    )
+
+
+def _cmd_fig07(args: argparse.Namespace) -> None:
+    points = harness.run_fig07(partition_counts=tuple(args.partitions))
+    print_table("Fig 7: delay vs number of partitions",
+                ["partitions", "delay (s)"], points)
+
+
+def _cmd_fig11(args: argparse.Namespace) -> None:
+    results = harness.run_colocality(rdd_counts=tuple(args.rdd_counts))
+    by: Dict[int, Dict[str, harness.CoLocalityResult]] = {}
+    for r in results:
+        by.setdefault(r.num_rdds, {})[r.config] = r
+    rows = []
+    for n in sorted(by):
+        spark = by[n]["Spark-H"].job_delay
+        stark = by[n]["Stark-H"].job_delay
+        rows.append([n, spark, stark, spark / stark])
+    print_table("Fig 11: co-locality job delay",
+                ["rdds", "Spark-H (s)", "Stark-H (s)", "speedup"], rows)
+
+
+def _cmd_fig12(args: argparse.Namespace) -> None:
+    results = harness.run_colocality(rdd_counts=tuple(args.rdd_counts),
+                                     queries_per_point=2)
+    rows = []
+    for r in results:
+        total = sum(r.task_delays)
+        gc = sum(r.task_gc)
+        rows.append([r.config, r.num_rdds, max(r.task_delays),
+                     gc / total if total else 0.0])
+    print_table("Fig 12: task delay and GC fraction",
+                ["config", "rdds", "max task (s)", "gc fraction"], rows)
+
+
+def _cmd_skew(args: argparse.Namespace) -> None:
+    results = harness.run_skew()
+    rows13, rows14, rows15 = [], [], []
+    for r in results:
+        sizes = r.task_input_sizes
+        mean = statistics.fmean(sizes) if sizes else 0.0
+        cv = statistics.pstdev(sizes) / mean if mean else 0.0
+        rows13.append([r.config, str(r.collection), len(sizes),
+                       max(sizes) / 1e6 if sizes else 0.0, cv])
+        rows14.append([r.config, str(r.collection),
+                       r.first_job_delay, r.second_job_delay])
+        delays = sorted(r.task_delays)
+        rows15.append([r.config, str(r.collection), delays[0],
+                       statistics.median(delays), delays[-1],
+                       sum(r.task_shuffle_times)])
+    print_table("Fig 13: task input sizes",
+                ["config", "collection", "tasks", "max (MB)", "cv"], rows13)
+    print_table("Fig 14: job delay (1st vs 2nd)",
+                ["config", "collection", "1st (s)", "2nd (s)"], rows14)
+    print_table("Fig 15: task delay min/mid/max + shuffle",
+                ["config", "collection", "min", "mid", "max", "shuffle"],
+                rows15)
+
+
+def _cmd_fig17(args: argparse.Namespace) -> None:
+    rows = harness.run_fig17(num_steps=args.steps)
+    print_table(
+        "Fig 17: cached vs checkpoint size (MB)",
+        ["rdd", "cached", "checkpoint", "ratio"],
+        [[name, c / 1e6, w / 1e6, c / w if w else float("nan")]
+         for name, c, w in rows],
+    )
+
+
+def _cmd_fig18(args: argparse.Namespace) -> None:
+    series = harness.run_fig18(num_steps=args.steps)
+    by = {s.policy: s.cumulative_bytes for s in series}
+    steps = range(1, args.steps + 1)
+    print_table(
+        "Fig 18: cumulative checkpointed data (MB)",
+        ["step"] + list(by),
+        [[s] + [by[p][s - 1] / 1e6 for p in by] for s in steps],
+    )
+
+
+def _cmd_fig19(args: argparse.Namespace) -> None:
+    points, throughput = harness.run_fig19(rates=tuple(args.rates))
+    print_table("Fig 19: mean delay (ms) vs rate (jobs/s)",
+                ["config", "rate", "delay (ms)"],
+                [[p.config, p.rate, p.mean_delay * 1000] for p in points])
+    print_table("Fig 19: throughput at the 800 ms cap",
+                ["config", "jobs/s"], sorted(throughput.items()))
+    if throughput.get("Spark-H"):
+        print_comparison("throughput gain", "Spark-H",
+                         throughput["Spark-H"], "Stark-H",
+                         throughput["Stark-H"], higher_is_better=True)
+
+
+def _cmd_fig20(args: argparse.Namespace) -> None:
+    from .ascii_charts import sparkline
+
+    points = harness.run_fig20(hours=args.hours, steps_per_hour=1,
+                               jobs_per_step=args.jobs_per_step)
+    by: Dict[str, Dict[float, float]] = {}
+    for p in points:
+        by.setdefault(p.config, {})[p.hour] = p.mean_delay
+    hours = sorted(next(iter(by.values())))
+    print_table("Fig 20: mean delay (ms) over the day",
+                ["hour"] + list(by),
+                [[h] + [by[c][h] * 1000 for c in by] for h in hours])
+    print()
+    for config, per_hour in by.items():
+        series = [per_hour[h] for h in hours]
+        print(f"{config:>8s}  {sparkline(series)}  "
+              f"(max {max(series) * 1000:.0f} ms)")
+
+
+COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "fig01": _cmd_fig01,
+    "fig07": _cmd_fig07,
+    "fig11": _cmd_fig11,
+    "fig12": _cmd_fig12,
+    "skew": _cmd_skew,       # Figs 13 + 14 + 15 share one run
+    "fig17": _cmd_fig17,
+    "fig18": _cmd_fig18,
+    "fig19": _cmd_fig19,
+    "fig20": _cmd_fig20,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the Stark paper's evaluation figures.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("all", help="run every experiment (several minutes)")
+
+    p = sub.add_parser("fig01", help="Fig 1(b): locality benefit")
+    p.add_argument("--file-mb", type=float, default=700.0)
+
+    p = sub.add_parser("fig07", help="Fig 7: partition count trade-off")
+    p.add_argument("--partitions", type=int, nargs="+",
+                   default=[1, 4, 16, 64, 256, 1024, 4096])
+
+    for name, help_text in (("fig11", "Fig 11: co-locality job delay"),
+                            ("fig12", "Fig 12: task delay + GC")):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--rdd-counts", type=int, nargs="+",
+                       default=[1, 2, 3, 4, 5, 6])
+
+    sub.add_parser("skew", help="Figs 13/14/15: skewed distributions")
+
+    p = sub.add_parser("fig17", help="Fig 17: checkpoint size estimation")
+    p.add_argument("--steps", type=int, default=4)
+    p = sub.add_parser("fig18", help="Fig 18: checkpoint totals per policy")
+    p.add_argument("--steps", type=int, default=10)
+
+    p = sub.add_parser("fig19", help="Fig 19: throughput and delay")
+    p.add_argument("--rates", type=float, nargs="+",
+                   default=[2, 5, 10, 20, 40, 80, 160, 240])
+
+    p = sub.add_parser("fig20", help="Fig 20: delay over a replayed day")
+    p.add_argument("--hours", type=int, default=24)
+    p.add_argument("--jobs-per-step", type=int, default=5)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("available experiments:")
+        for name in COMMANDS:
+            print(f"  {name}")
+        print("  all")
+        return 0
+    if args.command == "all":
+        defaults = build_parser()
+        for name in COMMANDS:
+            print(f"\n### {name} ###")
+            sub_args = defaults.parse_args([name])
+            COMMANDS[name](sub_args)
+        return 0
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

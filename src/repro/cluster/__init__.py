@@ -1,0 +1,16 @@
+"""Simulated cluster substrate: workers, clock, cost model, queueing."""
+
+from .cluster import Cluster
+from .cost_model import CostModel, RecordSizer
+from .events import EventHandle, EventQueue, SimClock
+from .worker import Worker
+
+__all__ = [
+    "Cluster",
+    "CostModel",
+    "RecordSizer",
+    "EventHandle",
+    "EventQueue",
+    "SimClock",
+    "Worker",
+]

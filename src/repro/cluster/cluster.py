@@ -1,0 +1,89 @@
+"""The simulated cluster: a set of workers plus shared infrastructure."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .cost_model import CostModel, RecordSizer
+from .events import EventQueue, SimClock
+from .worker import Worker
+
+
+class Cluster:
+    """A set of :class:`Worker` executors sharing a clock and cost model.
+
+    The paper's testbed runs 40 Spark workers; the default here matches
+    that, scaled down in cores/RAM so that laptop-scale workloads exercise
+    the same memory-pressure regimes.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 8,
+        cores_per_worker: int = 4,
+        memory_per_worker: float = 12e9,
+        cost_model: Optional[CostModel] = None,
+        sizer: Optional[RecordSizer] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError(f"cluster needs at least one worker: {num_workers}")
+        self.clock = SimClock()
+        self.events = EventQueue(self.clock)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.sizer = sizer if sizer is not None else RecordSizer()
+        self.rng = random.Random(seed)
+        self.workers: Dict[int, Worker] = {
+            wid: Worker(wid, cores=cores_per_worker, memory_bytes=memory_per_worker)
+            for wid in range(num_workers)
+        }
+
+    # ---- views -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    @property
+    def worker_ids(self) -> List[int]:
+        return sorted(self.workers)
+
+    def alive_workers(self) -> List[Worker]:
+        return [w for w in self.workers.values() if w.alive]
+
+    def alive_worker_ids(self) -> List[int]:
+        return [w.worker_id for w in self.alive_workers()]
+
+    def get_worker(self, worker_id: int) -> Worker:
+        try:
+            return self.workers[worker_id]
+        except KeyError:
+            raise KeyError(f"unknown worker id {worker_id}") from None
+
+    def total_cores(self) -> int:
+        return sum(w.cores for w in self.alive_workers())
+
+    def earliest_free_worker(self, candidates: Optional[Sequence[int]] = None) -> int:
+        """Worker (among ``candidates`` or all alive) whose next slot frees
+        soonest; ties broken by id for determinism."""
+        ids = list(candidates) if candidates is not None else self.alive_worker_ids()
+        ids = [i for i in ids if self.workers[i].alive]
+        if not ids:
+            raise RuntimeError("no alive workers available")
+        return min(ids, key=lambda i: (self.workers[i].earliest_free_time(), i))
+
+    # ---- failure injection --------------------------------------------------
+
+    def kill_worker(self, worker_id: int) -> None:
+        self.get_worker(worker_id).kill(self.clock.now)
+
+    def restart_worker(self, worker_id: int) -> None:
+        self.get_worker(worker_id).restart(self.clock.now)
+
+    # ---- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Reset clock and all workers (between experiments)."""
+        self.clock.reset()
+        for w in self.workers.values():
+            w.reset()

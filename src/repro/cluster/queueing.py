@@ -1,0 +1,141 @@
+"""Open-loop job arrival driver for throughput experiments (§IV-E).
+
+Figures 19 and 20 measure *response time under load*: jobs arrive at a
+controlled rate (fixed rate for Fig 19, trace-replay diurnal rate for
+Fig 20) and the measured delay includes queueing behind earlier jobs.
+Because the engine tracks per-slot free times in simulated seconds,
+queueing arises naturally: a job submitted at arrival time ``t`` can only
+use slots after the work already queued on them.
+
+``JobDriver`` therefore just spaces out ``submit_time`` values, invokes a
+caller-supplied job thunk for each arrival, and aggregates response-time
+statistics, including the capacity search used to report "queries per
+second the system could handle when keeping the delay below 800 ms".
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
+
+from .events import SimClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.context import StarkContext
+
+#: Signature of a job thunk: (arrival_time, job_index) -> finish_time.
+JobFn = Callable[[float, int], float]
+
+
+@dataclass
+class ArrivalResult:
+    """Response-time record of one job."""
+
+    arrival: float
+    finish: float
+
+    @property
+    def delay(self) -> float:
+        return self.finish - self.arrival
+
+
+@dataclass
+class LoadResult:
+    """Aggregate of one constant-rate run."""
+
+    rate_jobs_per_sec: float
+    results: List[ArrivalResult] = field(default_factory=list)
+
+    @property
+    def mean_delay(self) -> float:
+        if not self.results:
+            return 0.0
+        return statistics.fmean(r.delay for r in self.results)
+
+    @property
+    def p95_delay(self) -> float:
+        if not self.results:
+            return 0.0
+        delays = sorted(r.delay for r in self.results)
+        return delays[min(len(delays) - 1, int(len(delays) * 0.95))]
+
+    @property
+    def max_delay(self) -> float:
+        return max((r.delay for r in self.results), default=0.0)
+
+
+class JobDriver:
+    """Submits jobs open-loop and records response times."""
+
+    def __init__(self, context: "StarkContext", seed: int = 0) -> None:
+        self.context = context
+        self.rng = random.Random(seed)
+
+    def run_constant_rate(
+        self,
+        job: JobFn,
+        rate_jobs_per_sec: float,
+        num_jobs: int,
+        start_time: Optional[float] = None,
+        poisson: bool = True,
+    ) -> LoadResult:
+        """Submit ``num_jobs`` jobs at ``rate_jobs_per_sec``.
+
+        Arrivals are Poisson by default (deterministic spacing with
+        ``poisson=False``).  Each job's delay is ``finish - arrival``,
+        so saturation shows up as unbounded queueing delay.
+        """
+        if rate_jobs_per_sec <= 0:
+            raise ValueError(f"rate must be positive: {rate_jobs_per_sec}")
+        clock = self.context.cluster.clock
+        t = start_time if start_time is not None else clock.now
+        out = LoadResult(rate_jobs_per_sec)
+        for i in range(num_jobs):
+            gap = (
+                self.rng.expovariate(rate_jobs_per_sec)
+                if poisson else 1.0 / rate_jobs_per_sec
+            )
+            t += gap
+            clock.advance_to(max(clock.now, t))
+            finish = job(t, i)
+            out.results.append(ArrivalResult(arrival=t, finish=finish))
+        return out
+
+    def run_arrivals(self, job: JobFn, arrivals: Sequence[float]) -> LoadResult:
+        """Submit one job per explicit arrival timestamp (trace replay)."""
+        clock = self.context.cluster.clock
+        out = LoadResult(rate_jobs_per_sec=0.0)
+        for i, t in enumerate(sorted(arrivals)):
+            clock.advance_to(max(clock.now, t))
+            finish = job(t, i)
+            out.results.append(ArrivalResult(arrival=t, finish=finish))
+        return out
+
+
+def find_max_throughput(
+    run_at_rate: Callable[[float], LoadResult],
+    delay_cap: float = 0.8,
+    lo: float = 1.0,
+    hi: float = 512.0,
+    tolerance: float = 0.15,
+) -> float:
+    """Largest rate whose mean delay stays under ``delay_cap``.
+
+    Binary search over the rate axis; ``run_at_rate`` must build a fresh
+    system per probe (warm-cache state must not leak between rates).
+    """
+    if not run_at_rate(lo).mean_delay < delay_cap:
+        return 0.0
+    while run_at_rate(hi).mean_delay < delay_cap:
+        hi *= 2
+        if hi > 1e5:
+            return hi
+    while (hi - lo) / hi > tolerance:
+        mid = (lo + hi) / 2
+        if run_at_rate(mid).mean_delay < delay_cap:
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,97 @@
+"""Workers (executors) of the simulated cluster.
+
+A :class:`Worker` models one executor JVM: a fixed number of task slots
+(cores), a RAM budget shared by the block cache and task working sets, and
+a local disk holding shuffle map outputs.  Slot occupancy is tracked as
+per-slot *free times* in simulated seconds — the scheduler assigns a task
+to a slot by picking the earliest-free slot and pushing its free time
+forward by the task duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Worker:
+    """One executor: ``cores`` task slots and ``memory_bytes`` of RAM."""
+
+    worker_id: int
+    cores: int = 4
+    memory_bytes: float = 12e9
+    hostname: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"worker needs at least one core: {self.cores}")
+        if self.memory_bytes <= 0:
+            raise ValueError(f"worker needs positive memory: {self.memory_bytes}")
+        if not self.hostname:
+            self.hostname = f"worker-{self.worker_id}"
+        # Absolute simulated time at which each slot becomes idle.
+        self.slot_free_times: List[float] = [0.0] * self.cores
+        self.alive: bool = True
+        # Shuffle map outputs persisted on this worker's local disk:
+        # (shuffle_id, map_partition, reduce_partition) -> size_bytes.
+        self.shuffle_disk: Dict[Tuple[int, int, int], float] = {}
+
+    # ---- slot management --------------------------------------------------
+
+    def earliest_free_slot(self) -> Tuple[int, float]:
+        """Return ``(slot_index, free_time)`` of the earliest-free slot."""
+        slot = min(range(self.cores), key=lambda i: self.slot_free_times[i])
+        return slot, self.slot_free_times[slot]
+
+    def earliest_free_time(self) -> float:
+        return min(self.slot_free_times)
+
+    def occupy_slot(self, slot: int, start: float, duration: float) -> float:
+        """Run a task of ``duration`` on ``slot`` starting no earlier than
+        ``start``; return the finish time."""
+        if not self.alive:
+            raise RuntimeError(f"worker {self.worker_id} is dead")
+        if duration < 0:
+            raise ValueError(f"task duration must be non-negative: {duration}")
+        begin = max(start, self.slot_free_times[slot])
+        finish = begin + duration
+        self.slot_free_times[slot] = finish
+        return finish
+
+    def run_task(self, not_before: float, duration: float) -> Tuple[float, float]:
+        """Convenience: run on the earliest-free slot.
+
+        Returns ``(start_time, finish_time)``.
+        """
+        slot, free = self.earliest_free_slot()
+        begin = max(not_before, free)
+        finish = self.occupy_slot(slot, begin, duration)
+        return begin, finish
+
+    def pending_work_until(self, now: float) -> float:
+        """Total queued seconds of slot occupancy beyond ``now``."""
+        return sum(max(0.0, t - now) for t in self.slot_free_times)
+
+    def idle_slots(self, now: float) -> int:
+        """Number of slots free at simulated time ``now``."""
+        return sum(1 for t in self.slot_free_times if t <= now + 1e-12)
+
+    # ---- failure ----------------------------------------------------------
+
+    def kill(self, now: float) -> None:
+        """Fail this worker: running tasks are lost, disk state survives a
+        restart but cached blocks do not (the block manager tracks those)."""
+        self.alive = False
+        self.slot_free_times = [float("inf")] * self.cores
+
+    def restart(self, now: float) -> None:
+        """Bring the worker back with cold caches."""
+        self.alive = True
+        self.slot_free_times = [now] * self.cores
+
+    def reset(self) -> None:
+        """Return to pristine state (between experiments)."""
+        self.alive = True
+        self.slot_free_times = [0.0] * self.cores
+        self.shuffle_disk.clear()

@@ -1,0 +1,47 @@
+"""Edge checkpointing baseline (Tachyon's algorithm, compared in §IV-D).
+
+Tachyon's Edge algorithm checkpoints the entire most-recent level of the
+DAG — all *leaf* RDDs — whenever it decides to persist.  The paper's
+variant (and ours) triggers proactively: whenever any uncheckpointed path
+exceeds the recovery bound ``r``, every current leaf is checkpointed.
+
+This guarantees bounded recovery delay but ignores costs: a huge leaf
+(``jall`` in the Fig 16 application) is persisted even when a small
+upstream RDD (``acnt``) would break the same violating paths — which is
+exactly why Fig 18 shows Edge writing several times more data than the
+optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, TYPE_CHECKING
+
+from .checkpoint_optimizer import CheckpointDecision, CheckpointOptimizer, LineageNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.context import StarkContext
+    from ..engine.rdd import RDD
+
+
+class EdgeCheckpointer(CheckpointOptimizer):
+    """Checkpoint all leaves of the violating sub-DAG when triggered."""
+
+    def select_checkpoint_set(
+        self, nodes: Dict[int, LineageNode], violating_targets: Sequence[int]
+    ) -> List[int]:
+        """Checkpoint every leaf of the *whole* uncheckpointed DAG.
+
+        Edge does no cost analysis: once triggered, the entire most
+        recent level is persisted, regardless of whether a leaf lies on a
+        violating path or how large it is — the very behaviour the
+        optimizer improves on.
+        """
+        has_child = set()
+        for rdd_id, node in nodes.items():
+            for parent in node.parents:
+                has_child.add(parent)
+        leaves = [
+            rdd_id for rdd_id, node in nodes.items()
+            if rdd_id not in has_child and not node.barrier
+        ]
+        return sorted(leaves)

@@ -1,0 +1,76 @@
+"""Extendable partitioner: elasticity without re-partitioning (§III-C2).
+
+The key insight of the paper: resizing via ``get_partition`` would change
+the key→partition mapping and force a full shuffle.  The extendable
+partitioner therefore *wraps* an ordinary partitioner over ``g * e`` fine
+partitions and keeps ``get_partition`` completely intact; elasticity
+lives one level up, in the partition→group mapping owned by the
+:class:`~repro.core.group_tree.GroupTree`.
+
+Two extendable partitioners are equal when their base partitioners are
+equal — group layouts deliberately do not participate in equality,
+because splitting or merging groups must NOT make RDDs look
+un-co-partitioned (that would reintroduce shuffles, defeating the point).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..engine.partitioner import Partitioner, StaticRangePartitioner
+
+
+class ExtendablePartitioner(Partitioner):
+    """Wraps a base partitioner over ``g * e`` fine partitions."""
+
+    def __init__(self, base: Partitioner, num_groups: int,
+                 partitions_per_group: int) -> None:
+        expected = num_groups * partitions_per_group
+        if base.num_partitions != expected:
+            raise ValueError(
+                f"base partitioner must cover g*e = {expected} partitions, "
+                f"got {base.num_partitions}"
+            )
+        super().__init__(expected)
+        self.base = base
+        self.num_groups = num_groups
+        self.partitions_per_group = partitions_per_group
+
+    @classmethod
+    def over_key_range(
+        cls, lo: int, hi: int, num_groups: int = 4, partitions_per_group: int = 4
+    ) -> "ExtendablePartitioner":
+        """Extendable range partitioning of the integer key domain
+        ``[lo, hi)`` — the natural choice for Z-encoded spatial keys."""
+        base = StaticRangePartitioner.uniform(
+            lo, hi, num_groups * partitions_per_group
+        )
+        if base.num_partitions != num_groups * partitions_per_group:
+            raise ValueError(
+                f"key domain [{lo}, {hi}) too small for "
+                f"{num_groups * partitions_per_group} partitions"
+            )
+        return cls(base, num_groups, partitions_per_group)
+
+    def get_partition(self, key: Any) -> int:
+        """Unchanged from the base partitioner — the whole point."""
+        return self.base.get_partition(key)
+
+    def initial_group_of(self, key: Any) -> int:
+        """Initial group index of ``key`` (before any splits/merges)."""
+        return self.get_partition(key) // self.partitions_per_group
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ExtendablePartitioner)
+            and other.base == self.base
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ExtendablePartitioner", self.base))
+
+    def __repr__(self) -> str:
+        return (
+            f"ExtendablePartitioner(g={self.num_groups}, "
+            f"e={self.partitions_per_group}, base={self.base!r})"
+        )

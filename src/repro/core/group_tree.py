@@ -1,0 +1,212 @@
+"""Group Tree: the binary tree behind extendable partition groups (§III-C2).
+
+Stark first divides data into ``g * e`` small, immutable partitions and
+then organizes the partitions into non-overlapping *groups* — the leaves
+of a full binary tree built over the partition index range.  A group is
+the minimum scheduling unit: all partitions of one group are packed into
+a single task.  Because groups are sets of consecutive partitions, a
+group may *split* into two halves, or *merge* with its sibling, without
+moving a single record — only the partition→group mapping changes, and
+the key→partition mapping (``get_partition``) is never touched, so no
+shuffle is ever triggered by elasticity.
+
+Invariants maintained (and property-tested):
+
+* the leaves always partition ``[0, g*e)`` into contiguous, ordered runs;
+* a leaf with one partition cannot split;
+* only two sibling leaves under one parent can merge;
+* split and merge are exact inverses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional
+
+
+class GroupTreeError(ValueError):
+    """Raised on illegal split/merge operations."""
+
+
+class GroupNode:
+    """A node of the group tree covering partitions ``[start, end)``."""
+
+    _ids = itertools.count()
+
+    def __init__(self, start: int, end: int,
+                 parent: Optional["GroupNode"] = None) -> None:
+        if end <= start:
+            raise GroupTreeError(f"empty partition range [{start}, {end})")
+        self.node_id = next(GroupNode._ids)
+        self.start = start
+        self.end = end
+        self.parent = parent
+        self.left: Optional["GroupNode"] = None
+        self.right: Optional["GroupNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    @property
+    def num_partitions(self) -> int:
+        return self.end - self.start
+
+    @property
+    def partitions(self) -> List[int]:
+        return list(range(self.start, self.end))
+
+    @property
+    def group_id(self) -> int:
+        return self.node_id
+
+    def sibling(self) -> Optional["GroupNode"]:
+        if self.parent is None:
+            return None
+        return self.parent.right if self.parent.left is self else self.parent.left
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "node"
+        return f"GroupNode({kind}, [{self.start}, {self.end}))"
+
+
+class GroupTree:
+    """The full binary tree of partition groups for one namespace.
+
+    ``num_groups`` (g) and ``partitions_per_group`` (e) configure the
+    initial layout: g leaf groups of e consecutive partitions each.  Both
+    should be powers of two for a perfectly full tree; other values are
+    accepted and produce the smallest complete binary tree with exactly
+    g leaves (the relaxation the paper mentions).
+    """
+
+    def __init__(self, num_groups: int = 4, partitions_per_group: int = 4) -> None:
+        if num_groups <= 0 or partitions_per_group <= 0:
+            raise GroupTreeError(
+                f"need positive group counts: g={num_groups}, e={partitions_per_group}"
+            )
+        self.num_groups_initial = num_groups
+        self.partitions_per_group = partitions_per_group
+        self.num_partitions = num_groups * partitions_per_group
+        self.root = self._build(0, self.num_partitions, num_groups, None)
+
+    def _build(self, start: int, end: int, leaves: int,
+               parent: Optional[GroupNode]) -> GroupNode:
+        node = GroupNode(start, end, parent)
+        if leaves <= 1:
+            return node
+        left_leaves = leaves // 2 + leaves % 2
+        right_leaves = leaves // 2
+        mid = start + left_leaves * ((end - start) // leaves)
+        node.left = self._build(start, mid, left_leaves, node)
+        node.right = self._build(mid, end, right_leaves, node)
+        return node
+
+    # ---- queries ------------------------------------------------------------
+
+    def leaves(self) -> List[GroupNode]:
+        """Active groups, in partition order."""
+        out: List[GroupNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node)
+            else:
+                # Push right first so left pops first (in-order for this
+                # shape of tree).
+                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.left)  # type: ignore[arg-type]
+        return out
+
+    def num_groups(self) -> int:
+        return len(self.leaves())
+
+    def group_of_partition(self, pid: int) -> GroupNode:
+        if not 0 <= pid < self.num_partitions:
+            raise GroupTreeError(
+                f"partition {pid} outside [0, {self.num_partitions})"
+            )
+        node = self.root
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            node = node.left if pid < node.left.end else node.right
+        return node
+
+    def find_leaf(self, group_id: int) -> Optional[GroupNode]:
+        for leaf in self.leaves():
+            if leaf.group_id == group_id:
+                return leaf
+        return None
+
+    def partition_to_group_map(self) -> Dict[int, int]:
+        mapping: Dict[int, int] = {}
+        for leaf in self.leaves():
+            for pid in leaf.partitions:
+                mapping[pid] = leaf.group_id
+        return mapping
+
+    # ---- operations --------------------------------------------------------------
+
+    def split(self, leaf: GroupNode) -> tuple:
+        """Split ``leaf`` into two sub-groups; returns ``(left, right)``.
+
+        O(1): only the partition→group mapping changes; data stays put
+        (materialization is deferred to the next action, §III-C2).
+        """
+        if not leaf.is_leaf:
+            raise GroupTreeError(f"can only split a leaf: {leaf!r}")
+        if leaf.num_partitions < 2:
+            raise GroupTreeError(
+                f"group {leaf!r} has a single partition and cannot split"
+            )
+        mid = leaf.start + leaf.num_partitions // 2
+        leaf.left = GroupNode(leaf.start, mid, leaf)
+        leaf.right = GroupNode(mid, leaf.end, leaf)
+        return leaf.left, leaf.right
+
+    def merge(self, left: GroupNode, right: GroupNode) -> GroupNode:
+        """Merge two sibling leaves back into their parent.
+
+        Only siblings under the same parent may merge (the paper's rule —
+        it keeps groups aligned to the tree structure so later splits
+        reproduce the same boundaries).
+        """
+        if not (left.is_leaf and right.is_leaf):
+            raise GroupTreeError("both merge operands must be leaves")
+        parent = left.parent
+        if parent is None or right.parent is not parent:
+            raise GroupTreeError(
+                f"{left!r} and {right!r} are not siblings; only sibling "
+                "groups under one parent can merge"
+            )
+        parent.left = None
+        parent.right = None
+        return parent
+
+    def merge_by_parent(self, parent: GroupNode) -> GroupNode:
+        if parent.is_leaf:
+            raise GroupTreeError(f"{parent!r} is already a leaf")
+        assert parent.left is not None and parent.right is not None
+        return self.merge(parent.left, parent.right)
+
+    # ---- validation -------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise if the leaves do not exactly tile ``[0, num_partitions)``."""
+        leaves = self.leaves()
+        expected = 0
+        for leaf in leaves:
+            if leaf.start != expected:
+                raise AssertionError(
+                    f"gap/overlap at partition {expected}: leaf starts at {leaf.start}"
+                )
+            expected = leaf.end
+        if expected != self.num_partitions:
+            raise AssertionError(
+                f"leaves cover [0, {expected}) but tree has {self.num_partitions}"
+            )
+
+    def __repr__(self) -> str:
+        ranges = ", ".join(f"[{l.start},{l.end})" for l in self.leaves())
+        return f"GroupTree(partitions={self.num_partitions}, groups={ranges})"

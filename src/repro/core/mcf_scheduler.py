@@ -1,0 +1,43 @@
+"""Minimum-Contention-First remote scheduling (§III-C3, Algorithm 1).
+
+Delay scheduling treats all remote workers as equal — reasonable for
+MapReduce, but wrong for in-memory computing: launching a task remotely
+materializes its whole narrow lineage on that worker, converting it to
+NODE_LOCAL for subsequent tasks of the same collection partition, while
+crowding the worker's cache may flip *other* partitions back to REMOTE.
+
+MCF therefore changes only what happens once the locality level rises to
+ANY: offers are ordered ascending by the number of *unique collection
+partitions* already cached on each worker, so replicas pile onto the
+least-contended executors instead of churning everyone's cache.  The sort
+is the dominant cost — O(|R| log |R|), exactly as the paper analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.context import StarkContext
+    from ..engine.task import Task
+
+
+class MinimumContentionFirstPolicy:
+    """Remote policy: pick the offered worker caching the fewest unique
+    collection partitions (ties: earliest free slot, then id)."""
+
+    def choose_worker(
+        self, context: "StarkContext", task: "Task", offers: Sequence[int],
+        now: float,
+    ) -> int:
+        manager = context.locality_manager
+        cluster = context.cluster
+
+        def key(worker_id: int):
+            return (
+                manager.unique_collection_partitions_cached(worker_id),
+                cluster.get_worker(worker_id).earliest_free_time(),
+                worker_id,
+            )
+
+        return min(offers, key=key)

@@ -1,0 +1,210 @@
+"""Block managers: per-executor in-memory caches with LRU eviction.
+
+Every worker owns a :class:`BlockStore` holding deserialized cached RDD
+partitions, bounded by a fraction of the worker's RAM (Spark's
+``storage.memoryFraction``).  The driver-side
+:class:`BlockManagerMaster` tracks, for every block, the set of workers
+caching it — the cluster view the schedulers consult for locality.
+
+Crucially, the engine follows Spark-1.3 semantics that the paper builds
+on: a task never *fetches* a remote cached block.  If the block is not in
+the local store, the partition is recomputed from the beginning of the
+stage (shuffle outputs / source data).  The block master is therefore only
+used for *placement* decisions, not for data transfer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+BlockId = Tuple[int, int]  # (rdd_id, partition_index)
+
+
+@dataclass
+class Block:
+    """A cached partition: the records plus their accounted byte size."""
+
+    block_id: BlockId
+    records: list
+    size_bytes: float
+
+
+class BlockStore:
+    """LRU memory store of one executor.
+
+    ``capacity_bytes`` bounds the sum of cached block sizes; inserting
+    beyond it evicts least-recently-used blocks.  A block larger than the
+    whole store is refused (Spark drops such blocks too).
+    """
+
+    def __init__(self, worker_id: int, capacity_bytes: float) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive: {capacity_bytes}")
+        self.worker_id = worker_id
+        self.capacity_bytes = capacity_bytes
+        self._blocks: "OrderedDict[BlockId, Block]" = OrderedDict()
+        self.used_bytes: float = 0.0
+        self.eviction_count: int = 0
+
+    def __contains__(self, block_id: BlockId) -> bool:
+        return block_id in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def block_ids(self) -> List[BlockId]:
+        return list(self._blocks)
+
+    def get(self, block_id: BlockId) -> Optional[Block]:
+        """Return the block and mark it most-recently-used."""
+        block = self._blocks.get(block_id)
+        if block is not None:
+            self._blocks.move_to_end(block_id)
+        return block
+
+    def peek(self, block_id: BlockId) -> Optional[Block]:
+        """Return the block without touching LRU order."""
+        return self._blocks.get(block_id)
+
+    def put(self, block: Block) -> List[Block]:
+        """Insert ``block``, evicting LRU blocks as needed.
+
+        Returns the list of evicted blocks (possibly including a
+        previously cached version of the same block id, which is replaced,
+        not double-counted).  If the block cannot fit even in an empty
+        store it is rejected and returned as the sole "evicted" element.
+        """
+        if block.size_bytes > self.capacity_bytes:
+            return [block]
+        evicted: List[Block] = []
+        old = self._blocks.pop(block.block_id, None)
+        if old is not None:
+            self.used_bytes -= old.size_bytes
+        while self.used_bytes + block.size_bytes > self.capacity_bytes and self._blocks:
+            _, victim = self._blocks.popitem(last=False)
+            self.used_bytes -= victim.size_bytes
+            self.eviction_count += 1
+            evicted.append(victim)
+        self._blocks[block.block_id] = block
+        self.used_bytes += block.size_bytes
+        return evicted
+
+    def remove(self, block_id: BlockId) -> Optional[Block]:
+        block = self._blocks.pop(block_id, None)
+        if block is not None:
+            self.used_bytes -= block.size_bytes
+        return block
+
+    def clear(self) -> List[Block]:
+        """Drop everything (worker failure); returns the lost blocks."""
+        lost = list(self._blocks.values())
+        self._blocks.clear()
+        self.used_bytes = 0.0
+        return lost
+
+    def utilisation(self) -> float:
+        return self.used_bytes / self.capacity_bytes
+
+
+EvictionListener = Callable[[int, BlockId], None]
+
+
+class BlockManagerMaster:
+    """Driver-side registry of block locations across all executors."""
+
+    def __init__(
+        self,
+        worker_ids: Sequence[int],
+        capacity_for: Callable[[int], float],
+    ) -> None:
+        self.stores: Dict[int, BlockStore] = {
+            wid: BlockStore(wid, capacity_for(wid)) for wid in worker_ids
+        }
+        self._locations: Dict[BlockId, Set[int]] = {}
+        self._eviction_listeners: List[EvictionListener] = []
+
+    # ---- listeners --------------------------------------------------------
+
+    def add_eviction_listener(self, listener: EvictionListener) -> None:
+        """Register a callback fired as ``listener(worker_id, block_id)``
+        whenever a block is evicted or lost."""
+        self._eviction_listeners.append(listener)
+
+    def _notify_evicted(self, worker_id: int, block_id: BlockId) -> None:
+        for listener in self._eviction_listeners:
+            listener(worker_id, block_id)
+
+    # ---- data path ---------------------------------------------------------
+
+    def get_local(self, worker_id: int, block_id: BlockId) -> Optional[Block]:
+        return self.stores[worker_id].get(block_id)
+
+    def put(self, worker_id: int, block: Block) -> List[Block]:
+        """Cache ``block`` on ``worker_id``; maintain the location index."""
+        evicted = self.stores[worker_id].put(block)
+        if evicted and evicted[0] is block and block.block_id not in self.stores[worker_id]:
+            # Rejected: too large for the store.
+            return evicted
+        self._locations.setdefault(block.block_id, set()).add(worker_id)
+        for victim in evicted:
+            self._drop_location(victim.block_id, worker_id)
+            self._notify_evicted(worker_id, victim.block_id)
+        return evicted
+
+    # ---- cluster view -------------------------------------------------------
+
+    def locations(self, block_id: BlockId) -> Set[int]:
+        return set(self._locations.get(block_id, ()))
+
+    def is_cached_anywhere(self, block_id: BlockId) -> bool:
+        return bool(self._locations.get(block_id))
+
+    def is_cached_on(self, worker_id: int, block_id: BlockId) -> bool:
+        return block_id in self.stores[worker_id]
+
+    def cached_partitions_of(self, rdd_id: int) -> Set[int]:
+        return {pid for (rid, pid) in self._locations if rid == rdd_id and self._locations[(rid, pid)]}
+
+    def memory_utilisation(self, worker_id: int) -> float:
+        return self.stores[worker_id].utilisation()
+
+    def used_bytes(self, worker_id: int) -> float:
+        return self.stores[worker_id].used_bytes
+
+    def total_cached_bytes(self) -> float:
+        return sum(store.used_bytes for store in self.stores.values())
+
+    # ---- invalidation ---------------------------------------------------------
+
+    def remove_block(self, block_id: BlockId, worker_id: Optional[int] = None) -> None:
+        """Uncache a block from one worker, or everywhere if unspecified."""
+        targets = [worker_id] if worker_id is not None else list(self.locations(block_id))
+        for wid in targets:
+            if self.stores[wid].remove(block_id) is not None:
+                self._drop_location(block_id, wid)
+                self._notify_evicted(wid, block_id)
+
+    def remove_rdd(self, rdd_id: int) -> None:
+        """Uncache every partition of an RDD (``RDD.unpersist``)."""
+        doomed = [bid for bid in self._locations if bid[0] == rdd_id]
+        for bid in doomed:
+            self.remove_block(bid)
+
+    def lose_worker(self, worker_id: int) -> List[BlockId]:
+        """Drop all blocks of a failed worker; return the lost block ids."""
+        lost = self.stores[worker_id].clear()
+        lost_ids = []
+        for block in lost:
+            self._drop_location(block.block_id, worker_id)
+            self._notify_evicted(worker_id, block.block_id)
+            lost_ids.append(block.block_id)
+        return lost_ids
+
+    def _drop_location(self, block_id: BlockId, worker_id: int) -> None:
+        locs = self._locations.get(block_id)
+        if locs is not None:
+            locs.discard(worker_id)
+            if not locs:
+                self._locations.pop(block_id, None)

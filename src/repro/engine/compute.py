@@ -1,0 +1,226 @@
+"""Partition evaluation: materializing RDD partitions on a worker.
+
+This module implements the locality semantics the whole paper revolves
+around (Spark-1.3 behaviour, §II-B):
+
+1. A partition cached in the *local* block store is read from RAM.
+2. A checkpointed partition is read from reliable storage.
+3. A shuffled partition is built by fetching every map output bucket —
+   local buckets from disk, remote buckets over the network.
+4. Otherwise the partition is **recomputed from the beginning of the
+   stage**: the engine never fetches a remote *cached* block.  Losing
+   locality therefore re-executes every narrow transformation from the
+   nearest shuffle/checkpoint/source — the red bold paths of Fig 2.
+
+Every branch charges simulated time into the active
+:class:`~repro.engine.metrics.TaskMetrics`, and per-RDD statistics
+(transformation delay, materialized size) are logged for the
+CheckpointOptimizer (§III-D1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+from .metrics import TaskMetrics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import StarkContext
+    from .dependency import ShuffleDependency
+    from .rdd import RDD
+
+
+@dataclass
+class RDDStats:
+    """Per-RDD measurements feeding the checkpoint optimizer.
+
+    ``max_partition_delay`` is the paper's transformation delay estimate:
+    the maximum, across tasks, of the time this RDD's own transformation
+    took (§III-D1).  ``size_bytes`` accumulates materialized partition
+    sizes (each partition counted once).
+    """
+
+    rdd_id: int
+    max_partition_delay: float = 0.0
+    size_bytes: float = 0.0
+    _sized_partitions: set = field(default_factory=set)
+
+    def record_delay(self, delay: float) -> None:
+        self.max_partition_delay = max(self.max_partition_delay, delay)
+
+    def record_size(self, pid: int, size: float) -> None:
+        if pid not in self._sized_partitions:
+            self._sized_partitions.add(pid)
+            self.size_bytes += size
+
+
+class EvalContext:
+    """One task's evaluation context on one worker.
+
+    Memoizes materialized partitions within the task (so diamond lineage
+    is computed once) and routes every cost into the task's metrics.
+    """
+
+    def __init__(self, context: "StarkContext", worker_id: int,
+                 metrics: TaskMetrics) -> None:
+        self.context = context
+        self.worker_id = worker_id
+        self.metrics = metrics
+        self._memo: Dict[Tuple[int, int], list] = {}
+
+    # ---- cost charging (called by RDD.compute implementations) ---------------
+
+    def charge_compute(self, rdd: "RDD", input_records: int) -> float:
+        """Charge CPU for one narrow transformation over ``input_records``."""
+        cost = self.context.cost_model.compute_cost(input_records)
+        self.metrics.compute_time += cost
+        self.metrics.input_records += input_records
+        self.context.rdd_stats(rdd.rdd_id).record_delay(cost)
+        return cost
+
+    def charge_driver_ship(self, rdd: "RDD", records: list) -> float:
+        size = self.context.sizer.size_of_partition(records)
+        cost = self.context.cost_model.serde_cost(size) + \
+            self.context.cost_model.network_cost(size)
+        self.metrics.source_read_time += cost
+        self.context.rdd_stats(rdd.rdd_id).record_delay(cost)
+        return cost
+
+    def charge_source_read(self, rdd: "RDD", records: list, read_cost: str) -> float:
+        size = self.context.sizer.size_of_partition(records)
+        model = self.context.cost_model
+        if read_cost == "disk":
+            cost = model.disk_read_cost(size) + model.serde_cost(size)
+        elif read_cost == "network":
+            cost = model.network_cost(size) + model.serde_cost(size)
+        else:
+            cost = model.memory_read_cost(size)
+        self.metrics.source_read_time += cost
+        self.metrics.input_bytes += size
+        self.context.rdd_stats(rdd.rdd_id).record_delay(cost)
+        return cost
+
+    # ---- materialization -------------------------------------------------------
+
+    def evaluate(self, rdd: "RDD", pid: int) -> list:
+        """Materialize partition ``pid`` of ``rdd`` on this worker."""
+        key = (rdd.rdd_id, pid)
+        if key in self._memo:
+            return self._memo[key]
+        ctx = self.context
+        model = ctx.cost_model
+
+        # 1. Local cache hit: read from RAM.
+        block = ctx.block_manager_master.get_local(self.worker_id, key)
+        if block is not None:
+            self.metrics.cache_read_time += model.memory_read_cost(block.size_bytes)
+            self.metrics.cache_hits += 1
+            self.metrics.input_bytes += block.size_bytes
+            self._memo[key] = block.records
+            return block.records
+
+        # 2. Checkpoint hit: read from reliable storage.
+        cp = ctx.checkpoint_store.read(rdd.rdd_id, pid)
+        if cp is not None:
+            size, records = cp
+            self.metrics.checkpoint_read_time += (
+                model.disk_read_cost(size) + model.serde_cost(size)
+            )
+            self._memo[key] = records
+            if rdd.cached:
+                self._cache_block(rdd, pid, records)
+            return records
+
+        # 3/4. Recompute (shuffle fetches happen inside rdd.compute).
+        if rdd.cached:
+            self.metrics.cache_misses += 1
+        self.metrics.recomputed_partitions += 1
+        records = rdd.compute(pid, self)
+        self._memo[key] = records
+
+        size = ctx.sizer.size_of_partition(records)
+        ctx.rdd_stats(rdd.rdd_id).record_size(pid, size)
+        if rdd.cached:
+            self._cache_block(rdd, pid, records)
+        return records
+
+    def fetch_shuffle(self, child: "RDD", dep: "ShuffleDependency", pid: int) -> list:
+        """Fetch all map-output buckets feeding reduce partition ``pid``.
+
+        Buckets on this worker's disk are read locally; others pay a
+        network transfer plus the remote disk read.
+        """
+        ctx = self.context
+        model = ctx.cost_model
+        outputs = ctx.map_output_tracker.outputs_for_reduce(dep.shuffle_id, pid)
+        records: list = []
+        for out in outputs:
+            disk = model.disk_read_cost(out.size_bytes)
+            if out.worker_id == self.worker_id:
+                self.metrics.shuffle_fetch_local_time += disk
+            else:
+                self.metrics.shuffle_fetch_remote_time += (
+                    disk + model.network_cost(out.size_bytes)
+                )
+            self.metrics.shuffle_bytes_fetched += out.size_bytes
+            records.extend(out.records)
+        reduce_cost = model.shuffle_reduce_cost(len(records))
+        self.metrics.compute_time += reduce_cost
+        ctx.rdd_stats(child.rdd_id).record_delay(reduce_cost)
+        return records
+
+    def write_shuffle_output(self, dep: "ShuffleDependency", map_pid: int) -> None:
+        """Run the map side of ``dep`` for ``map_pid`` on this worker:
+        materialize the parent partition, bucket it by the partitioner,
+        optionally combine map-side, and commit buckets to local disk."""
+        ctx = self.context
+        model = ctx.cost_model
+        records = self.evaluate(dep.rdd, map_pid)
+
+        part = dep.partitioner
+        buckets: Dict[int, list] = {}
+        for record in records:
+            buckets.setdefault(part.get_partition(record[0]), []).append(record)
+        self.metrics.compute_time += model.compute_cost(len(records))
+
+        if dep.map_side_combine:
+            agg = dep.aggregator
+            combined: Dict[int, list] = {}
+            for rpid, bucket in buckets.items():
+                acc: dict = {}
+                for k, v in bucket:
+                    acc[k] = agg(acc[k], v) if k in acc else v
+                combined[rpid] = list(acc.items())
+            self.metrics.compute_time += model.compute_cost(len(records))
+            buckets = combined
+
+        sized: Dict[int, Tuple[float, list]] = {}
+        total_bytes = 0.0
+        for rpid, bucket in buckets.items():
+            size = ctx.sizer.size_of_partition(bucket)
+            sized[rpid] = (size, bucket)
+            total_bytes += size
+        self.metrics.shuffle_write_time += (
+            model.serde_cost(total_bytes) + model.disk_write_cost(total_bytes)
+        )
+        self.metrics.shuffle_bytes_written += total_bytes
+        worker = ctx.cluster.get_worker(self.worker_id)
+        for rpid, (size, _) in sized.items():
+            worker.shuffle_disk[(dep.shuffle_id, map_pid, rpid)] = size
+        ctx.map_output_tracker.register_map_output(
+            dep.shuffle_id, map_pid, self.worker_id, sized
+        )
+
+    # ---- caching ------------------------------------------------------------------
+
+    def _cache_block(self, rdd: "RDD", pid: int, records: list) -> None:
+        from .block_manager import Block
+
+        ctx = self.context
+        # Cached blocks live deserialized on the heap: bigger than their
+        # serialized (disk/shuffle) form by the memory-overhead factor.
+        size = ctx.sizer.in_memory_size(records)
+        ctx.block_manager_master.put(
+            self.worker_id, Block((rdd.rdd_id, pid), records, size)
+        )

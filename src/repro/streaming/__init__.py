@@ -1,0 +1,5 @@
+"""Micro-batch streaming on top of the batch engine."""
+
+from .dstream import DStream, StatefulStream, StreamingContext
+
+__all__ = ["DStream", "StatefulStream", "StreamingContext"]

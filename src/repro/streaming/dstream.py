@@ -1,0 +1,293 @@
+"""DStreams: micro-batch streaming on top of the batch engine (§II-A).
+
+Spark Streaming batches each timestep's incoming data into an RDD and
+relies on the batch core for everything else; a DStream is just the
+series of those RDDs plus operators that map over the series.  This
+module reproduces that layering:
+
+* :class:`StreamingContext` advances timesteps and asks a *receiver*
+  (any ``step -> generator`` function, e.g. the workload traces) for the
+  step's RDD;
+* :class:`DStream` supports per-RDD transformations, ``slice``/``window``
+  over past steps, and ``update_state_by_key`` — the runningReduce
+  pattern whose ever-growing lineage motivates the CheckpointOptimizer;
+* eviction: RDDs older than the retention window are unpersisted, which
+  is precisely the "dynamically loaded and evicted datasets" setting of
+  the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from ..engine.partitioner import Partitioner
+from ..engine.rdd import RDD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.context import StarkContext
+
+ReceiverFn = Callable[[int, int], Callable[[int], list]]
+
+
+class DStream:
+    """A discretized stream: one RDD per completed timestep."""
+
+    def __init__(self, ssc: "StreamingContext", name: str = "dstream") -> None:
+        self.ssc = ssc
+        self.name = name
+        #: step index -> RDD of that step (only retained steps present).
+        self.rdds: Dict[int, RDD] = {}
+
+    # ---- series access ---------------------------------------------------------
+
+    def rdd_of_step(self, step: int) -> RDD:
+        try:
+            return self.rdds[step]
+        except KeyError:
+            raise KeyError(
+                f"step {step} not available in {self.name!r} "
+                f"(retained: {sorted(self.rdds)})"
+            ) from None
+
+    def slice(self, from_step: int, to_step: int) -> List[RDD]:
+        """RDDs of steps in ``[from_step, to_step]`` that are retained —
+        Spark Streaming's ``slice`` used for multi-timestep jobs."""
+        return [self.rdds[s] for s in sorted(self.rdds)
+                if from_step <= s <= to_step]
+
+    def window(self, window_steps: int) -> List[RDD]:
+        """RDDs of the last ``window_steps`` completed steps."""
+        if window_steps <= 0:
+            raise ValueError(f"window must be positive: {window_steps}")
+        current = self.ssc.current_step
+        return self.slice(current - window_steps, current - 1)
+
+    def latest(self) -> Optional[RDD]:
+        if not self.rdds:
+            return None
+        return self.rdds[max(self.rdds)]
+
+    # ---- windowed operations (the paper's multi-timestep jobs) ---------------
+
+    def window_cogroup(self, window_steps: int) -> Optional[RDD]:
+        """Cogroup the last ``window_steps`` steps into one RDD of
+        ``(key, (values_step_a, values_step_b, …))`` — narrow (and fully
+        local under Stark) when the steps share a partitioner."""
+        rdds = self.window(window_steps)
+        if not rdds:
+            return None
+        if len(rdds) == 1:
+            return rdds[0].map_values(lambda v: (v,),
+                                      name=f"{self.name}.window1")
+        return rdds[0].cogroup(*rdds[1:], name=f"{self.name}.window")
+
+    def window_reduce_by_key(
+        self, fn: Callable[[Any, Any], Any], window_steps: int
+    ) -> Optional[RDD]:
+        """Reduce values per key across the last ``window_steps`` steps
+        (Spark Streaming's ``reduceByKeyAndWindow`` over cached steps)."""
+        grouped = self.window_cogroup(window_steps)
+        if grouped is None:
+            return None
+
+        def fold(kv):
+            key, groups = kv
+            acc = None
+            for values in groups:
+                for value in values:
+                    acc = value if acc is None else fn(acc, value)
+            return (key, acc)
+
+        return grouped.map(fold, name=f"{self.name}.window_reduce",
+                           preserves_partitioning=True)
+
+    def window_count(self, window_steps: int) -> int:
+        """Total records over the last ``window_steps`` steps."""
+        rdds = self.window(window_steps)
+        return sum(rdd.count() for rdd in rdds)
+
+    # ---- per-step hooks --------------------------------------------------------------
+
+    def _record(self, step: int, rdd: RDD) -> None:
+        self.rdds[step] = rdd
+
+    def _evict_older_than(self, min_step: int) -> List[RDD]:
+        """Unpersist and forget steps below ``min_step``."""
+        evicted = []
+        for step in sorted(self.rdds):
+            if step < min_step:
+                rdd = self.rdds.pop(step)
+                rdd.unpersist()
+                evicted.append(rdd)
+        return evicted
+
+
+class StreamingContext:
+    """Drives timesteps: receive, transform, run registered jobs."""
+
+    def __init__(
+        self,
+        context: "StarkContext",
+        batch_seconds: float = 300.0,
+        retention_steps: int = 36,
+    ) -> None:
+        if batch_seconds <= 0:
+            raise ValueError(f"batch interval must be positive: {batch_seconds}")
+        if retention_steps <= 0:
+            raise ValueError(f"retention must be positive: {retention_steps}")
+        self.context = context
+        self.batch_seconds = batch_seconds
+        self.retention_steps = retention_steps
+        self.current_step = 0
+        self._streams: List[DStream] = []
+        self._receivers: List[tuple] = []  # (dstream, receiver, partitions, partitioner, namespace, cache)
+
+    # ---- building the pipeline -----------------------------------------------------
+
+    def receiver_stream(
+        self,
+        receiver: ReceiverFn,
+        num_partitions: int,
+        partitioner: Optional[Partitioner] = None,
+        namespace: Optional[str] = None,
+        cache: bool = True,
+        name: str = "input",
+    ) -> DStream:
+        """Create an input DStream.
+
+        ``receiver(step, num_partitions)`` must return a deterministic
+        partition generator for the step.  With a ``namespace`` (Stark
+        mode), each step's RDD is registered for co-locality via
+        ``locality_partition_by``; otherwise it is plain-partitioned when
+        a partitioner is given (Spark mode), or left as received.
+        """
+        stream = DStream(self, name=name)
+        self._streams.append(stream)
+        self._receivers.append(
+            (stream, receiver, num_partitions, partitioner, namespace, cache)
+        )
+        return stream
+
+    # ---- advancing time ----------------------------------------------------------------
+
+    def advance(self, steps: int = 1) -> None:
+        """Complete ``steps`` timesteps: ingest data, cache, evict old."""
+        for _ in range(steps):
+            step = self.current_step
+            for (stream, receiver, parts, partitioner, namespace, cache) \
+                    in self._receivers:
+                rdd = self._ingest(step, receiver, parts, partitioner,
+                                   namespace, cache, stream.name)
+                stream._record(step, rdd)
+            self.current_step += 1
+            min_step = self.current_step - self.retention_steps
+            for stream in self._streams:
+                stream._evict_older_than(min_step)
+
+    def _ingest(
+        self,
+        step: int,
+        receiver: ReceiverFn,
+        num_partitions: int,
+        partitioner: Optional[Partitioner],
+        namespace: Optional[str],
+        cache: bool,
+        name: str,
+    ) -> RDD:
+        generator = receiver(step, num_partitions)
+        if namespace is not None and partitioner is not None:
+            # Stark path: the receiver writes blocks straight into the
+            # partitioner's layout; register co-locality.
+            rdd = self.context.generated(
+                generator, partitioner.num_partitions, partitioner=partitioner,
+                read_cost="network", name=f"{name}[{step}]",
+            ).locality_partition_by(partitioner, namespace)
+        elif partitioner is not None:
+            # Spark Streaming path: a single node batches the data, then
+            # repartitions it across the cluster (§IV-E).
+            rdd = self.context.generated(
+                generator, num_partitions, read_cost="network",
+                name=f"{name}[{step}]",
+            ).partition_by(partitioner)
+        else:
+            rdd = self.context.generated(
+                generator, num_partitions, read_cost="network",
+                name=f"{name}[{step}]",
+            )
+        if cache:
+            rdd.cache()
+            if namespace is not None:
+                # Materialize eagerly so co-located caches exist before
+                # queries arrive, and let the GroupManager account sizes.
+                rdd.count()
+                self.context.group_manager.report_rdd(rdd)
+            else:
+                rdd.count()
+        return rdd
+
+    # ---- stateful processing -----------------------------------------------------------------
+
+    def update_state_by_key(
+        self,
+        stream: DStream,
+        update: Callable[[List[Any], Any], Any],
+        partitioner: Partitioner,
+        state_name: str = "state",
+    ) -> "StatefulStream":
+        return StatefulStream(self, stream, update, partitioner, state_name)
+
+
+class StatefulStream:
+    """runningReduce (``updateStateByKey``): state RDD chained per step.
+
+    Each step cogroups the new batch with the previous state RDD and
+    applies ``update(new_values, old_state)`` per key.  The state lineage
+    grows without bound — exactly the structure (Fig 16) that forces
+    proactive checkpointing.
+    """
+
+    def __init__(
+        self,
+        ssc: StreamingContext,
+        source: DStream,
+        update: Callable[[List[Any], Any], Any],
+        partitioner: Partitioner,
+        name: str,
+    ) -> None:
+        self.ssc = ssc
+        self.source = source
+        self.update = update
+        self.partitioner = partitioner
+        self.name = name
+        self.state_rdd: Optional[RDD] = None
+        self.state_history: List[RDD] = []
+
+    def step(self, step_index: Optional[int] = None) -> RDD:
+        """Fold the given (default: latest) step's batch into the state."""
+        batch = (
+            self.source.rdd_of_step(step_index)
+            if step_index is not None else self.source.latest()
+        )
+        if batch is None:
+            raise RuntimeError("no batch available; advance the stream first")
+        update = self.update
+        if self.state_rdd is None:
+            new_state = batch.group_by_key(self.partitioner).map_values(
+                lambda values: update(list(values), None),
+                name=f"{self.name}.init",
+            )
+        else:
+            def apply_update(kv):
+                key, (new_values, old_states) = kv
+                old = old_states[0] if old_states else None
+                return (key, update(list(new_values), old))
+
+            new_state = batch.cogroup(
+                self.state_rdd, partitioner=self.partitioner
+            ).map(apply_update, name=f"{self.name}.update",
+                  preserves_partitioning=True)
+        new_state.cache()
+        new_state.count()
+        self.state_rdd = new_state
+        self.state_history.append(new_state)
+        return new_state

@@ -1,0 +1,43 @@
+"""Synthetic workload generators standing in for the paper's traces."""
+
+from .distributions import (
+    Hotspot,
+    HotspotMixture,
+    ZipfSampler,
+    diurnal_factor,
+    poisson_arrivals,
+)
+from .taxi import (
+    EVENING_REGIME,
+    HOLIDAY_REGIME,
+    MORNING_REGIME,
+    TaxiEvent,
+    TaxiTrace,
+    TaxiTraceConfig,
+)
+from .twitter import MergedTaxiTwitterTrace, Tweet, TwitterConfig
+from .wikipedia import WikipediaTrace, WikipediaTraceConfig
+from .zorder import GridEncoder, z_decode, z_encode, z_key_space
+
+__all__ = [
+    "EVENING_REGIME",
+    "GridEncoder",
+    "HOLIDAY_REGIME",
+    "Hotspot",
+    "HotspotMixture",
+    "MORNING_REGIME",
+    "MergedTaxiTwitterTrace",
+    "TaxiEvent",
+    "TaxiTrace",
+    "TaxiTraceConfig",
+    "Tweet",
+    "TwitterConfig",
+    "WikipediaTrace",
+    "WikipediaTraceConfig",
+    "ZipfSampler",
+    "diurnal_factor",
+    "poisson_arrivals",
+    "z_decode",
+    "z_encode",
+    "z_key_space",
+]

@@ -1,0 +1,141 @@
+"""Statistical building blocks for the synthetic workload generators.
+
+Three shapes the paper's traces exhibit:
+
+* **Zipfian popularity** — Wikipedia request URLs (ref [25]/[27]);
+* **diurnal volume** — peak-hour logs carry about twice the data of
+  nadir hours (ref [27]), and arrival rates follow the same curve;
+* **spatial hotspot mixtures** — taxi events cluster in a handful of
+  moving hotspots over a uniform background (Fig 6).
+
+Everything is seeded and deterministic so lineage recovery and repeated
+benchmark runs regenerate identical data.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+def seeded_rng(*parts: object) -> random.Random:
+    """A deterministic RNG keyed by an arbitrary tuple of seed parts.
+
+    ``random.Random`` only accepts scalar seeds; joining the parts into a
+    string keeps (seed, step, partition) streams independent and
+    reproducible across runs — required for lineage recovery.
+    """
+    return random.Random("|".join(repr(p) for p in parts))
+
+
+class ZipfSampler:
+    """Zipf-distributed ranks over ``n`` items with exponent ``s``.
+
+    Uses inverse-CDF sampling over the precomputed harmonic weights,
+    which is exact and fast enough for the corpus sizes used here.
+    """
+
+    def __init__(self, n: int, s: float = 1.0) -> None:
+        if n <= 0:
+            raise ValueError(f"need a positive number of items: {n}")
+        if s < 0:
+            raise ValueError(f"exponent must be non-negative: {s}")
+        self.n = n
+        self.s = s
+        weights = [1.0 / (rank ** s) for rank in range(1, n + 1)]
+        total = sum(weights)
+        self._cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw a 0-based rank (0 is the most popular)."""
+        return bisect_left(self._cdf, rng.random())
+
+    def sample_many(self, rng: random.Random, count: int) -> List[int]:
+        return [self.sample(rng) for _ in range(count)]
+
+
+def diurnal_factor(hour_of_day: float, peak_hour: float = 20.0,
+                   peak_to_nadir: float = 2.0) -> float:
+    """Smooth diurnal multiplier in ``[1, peak_to_nadir]``.
+
+    A raised cosine peaking at ``peak_hour``; with the default ratio the
+    busiest hour carries twice the nadir volume, matching the Wikipedia
+    trace analysis the paper cites.
+    """
+    if peak_to_nadir < 1.0:
+        raise ValueError(f"peak/nadir ratio must be >= 1: {peak_to_nadir}")
+    phase = math.cos((hour_of_day - peak_hour) / 24.0 * 2.0 * math.pi)
+    lo, hi = 1.0, peak_to_nadir
+    return lo + (hi - lo) * (phase + 1.0) / 2.0
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """A 2-D Gaussian hotspot on the unit square."""
+
+    x: float
+    y: float
+    sigma: float
+    weight: float
+
+
+class HotspotMixture:
+    """Mixture of Gaussian hotspots over a uniform background.
+
+    ``background`` is the probability mass drawn uniformly; the rest is
+    split across hotspots by weight.  Regimes (morning / evening /
+    holiday) are just different hotspot lists — see
+    :mod:`repro.workloads.taxi`.
+    """
+
+    def __init__(self, hotspots: Sequence[Hotspot], background: float = 0.25) -> None:
+        if not 0.0 <= background <= 1.0:
+            raise ValueError(f"background mass must be in [0,1]: {background}")
+        if not hotspots and background < 1.0:
+            raise ValueError("need hotspots unless background covers all mass")
+        self.hotspots = list(hotspots)
+        self.background = background
+        total = sum(h.weight for h in self.hotspots)
+        self._cum: List[float] = []
+        acc = 0.0
+        for h in self.hotspots:
+            acc += h.weight / total if total > 0 else 0.0
+            self._cum.append(acc)
+
+    def sample(self, rng: random.Random) -> Tuple[float, float]:
+        """Draw an (x, y) point in the unit square."""
+        if rng.random() < self.background or not self.hotspots:
+            return rng.random(), rng.random()
+        pick = bisect_left(self._cum, rng.random())
+        hotspot = self.hotspots[min(pick, len(self.hotspots) - 1)]
+        x = min(1.0, max(0.0, rng.gauss(hotspot.x, hotspot.sigma)))
+        y = min(1.0, max(0.0, rng.gauss(hotspot.y, hotspot.sigma)))
+        return x, y
+
+    def sample_many(self, rng: random.Random, count: int) -> List[Tuple[float, float]]:
+        return [self.sample(rng) for _ in range(count)]
+
+
+def poisson_arrivals(rate_per_sec: float, duration_sec: float,
+                     rng: random.Random) -> List[float]:
+    """Arrival timestamps of a homogeneous Poisson process on
+    ``[0, duration_sec)``."""
+    if rate_per_sec < 0:
+        raise ValueError(f"rate must be non-negative: {rate_per_sec}")
+    arrivals: List[float] = []
+    t = 0.0
+    if rate_per_sec == 0:
+        return arrivals
+    while True:
+        t += rng.expovariate(rate_per_sec)
+        if t >= duration_sec:
+            return arrivals
+        arrivals.append(t)

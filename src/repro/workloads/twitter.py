@@ -1,0 +1,95 @@
+"""Synthetic tweet stream (substitute for the crawled Twitter dataset).
+
+For the throughput/delay experiments (§IV-E) the paper merges its Twitter
+dataset into the taxi trace, "appending a tweet after every taxi
+pick-up/drop-off event log, such that every tweet is associated with a
+geographic coordinate and a new timestamp".  This module reproduces that
+merge: tweets are generated with Zipfian topic keys and attached 1:1 to
+taxi events, inheriting the event's Z key and timestamp.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from .distributions import ZipfSampler, seeded_rng
+from .taxi import TaxiEvent, TaxiTrace
+
+
+@dataclass(frozen=True)
+class Tweet:
+    """One geo-tagged tweet record.
+
+    ``sim_size`` mirrors :class:`~repro.workloads.taxi.TaxiEvent`'s
+    scaling: the accounted serialized bytes of the record.
+    """
+
+    timestamp: int
+    zkey: int
+    topic: str
+    text: str
+    sim_size: int = 200
+
+
+@dataclass(frozen=True)
+class TwitterConfig:
+    """Knobs of the synthetic tweet generator."""
+
+    num_topics: int = 500
+    zipf_exponent: float = 1.1
+    text_bytes: int = 120
+    seed: int = 29
+
+
+class MergedTaxiTwitterTrace:
+    """The paper's merged stream: one tweet per taxi event.
+
+    Records are ``(zkey, payload)`` pairs where payload is either a
+    :class:`~repro.workloads.taxi.TaxiEvent` or a :class:`Tweet`; both
+    carry the same key so spatial queries cogroup them naturally.
+    """
+
+    def __init__(self, taxi: Optional[TaxiTrace] = None,
+                 config: Optional[TwitterConfig] = None) -> None:
+        self.taxi = taxi or TaxiTrace()
+        self.config = config or TwitterConfig()
+        self._zipf = ZipfSampler(self.config.num_topics, self.config.zipf_exponent)
+        self._topics = [f"topic_{i:04d}" for i in range(self.config.num_topics)]
+
+    def tweet_for_event(self, event: TaxiEvent, rng: random.Random) -> Tweet:
+        topic = self._topics[self._zipf.sample(rng)]
+        # Deterministic filler text sized like a real tweet.
+        text = (topic + " ") * (self.config.text_bytes // (len(topic) + 1) + 1)
+        return Tweet(
+            timestamp=event.timestamp + 1,
+            zkey=event.zkey,
+            topic=topic,
+            text=text[: self.config.text_bytes],
+            sim_size=max(self.config.text_bytes, event.sim_size),
+        )
+
+    def records_for_step_partition(
+        self, step: int, pid: int, num_partitions: int, partitioner=None
+    ) -> List[Tuple[int, object]]:
+        """Merged (zkey, payload) records of one partition of a step."""
+        events = self.taxi.events_for_step_partition(
+            step, pid, num_partitions, partitioner
+        )
+        rng = seeded_rng(self.config.seed, step, pid)
+        merged: List[Tuple[int, object]] = []
+        for zkey, event in events:
+            merged.append((zkey, event))
+            merged.append((zkey, self.tweet_for_event(event, rng)))
+        return merged
+
+    def step_generator(
+        self, step: int, num_partitions: int, partitioner=None
+    ) -> Callable[[int], List[Tuple[int, object]]]:
+        def generate(pid: int) -> List[Tuple[int, object]]:
+            return self.records_for_step_partition(
+                step, pid, num_partitions, partitioner
+            )
+
+        return generate

@@ -1,0 +1,94 @@
+"""Tests for the log-mining application."""
+
+import random
+
+import pytest
+
+from repro import StarkContext
+from repro.apps.log_mining import LogMiningApp
+from repro.engine.partitioner import HashPartitioner
+from repro.workloads.wikipedia import WikipediaTrace, WikipediaTraceConfig
+
+
+@pytest.fixture
+def trace():
+    return WikipediaTrace(WikipediaTraceConfig(
+        base_requests_per_hour=600, num_articles=50,
+    ))
+
+
+def reference_matches(trace, keyword, hours, num_partitions=4):
+    count = 0
+    for hour in hours:
+        for pid in range(num_partitions):
+            for line in trace.lines_for_hour_partition(hour, pid, num_partitions):
+                if keyword in line:
+                    count += 1
+    return count
+
+
+class TestLogMiningApp:
+    def test_invalid_mode_rejected(self, sc, trace):
+        with pytest.raises(ValueError):
+            LogMiningApp(sc, trace, 4, mode="bogus")
+
+    def test_single_hour_query_matches_reference(self, sc, trace):
+        app = LogMiningApp(sc, trace, 4, mode="stark")
+        app.load_hour(0)
+        keyword = "Article_00001"
+        result = app.query(keyword, [0])
+        assert result.matches == reference_matches(trace, keyword, [0])
+
+    def test_multi_hour_query_matches_reference(self, sc, trace):
+        app = LogMiningApp(sc, trace, 4, mode="stark")
+        app.load_hours(range(3))
+        keyword = "Article_00002"
+        result = app.query(keyword, [0, 1, 2])
+        assert result.matches == reference_matches(trace, keyword, [0, 1, 2])
+
+    def test_all_modes_agree(self, trace):
+        keyword = "Article_00000"
+        counts = {}
+        for mode in ("spark-r", "spark-h", "stark"):
+            sc = StarkContext(num_workers=4, cores_per_worker=2)
+            app = LogMiningApp(sc, trace, 4, mode=mode)
+            app.load_hours(range(2))
+            counts[mode] = app.query(keyword, [0, 1]).matches
+        assert len(set(counts.values())) == 1
+
+    def test_unloaded_hour_rejected(self, sc, trace):
+        app = LogMiningApp(sc, trace, 4)
+        app.load_hour(0)
+        with pytest.raises(KeyError, match="not loaded"):
+            app.query("x", [0, 1])
+
+    def test_evict_hour(self, sc, trace):
+        app = LogMiningApp(sc, trace, 4)
+        rdd = app.load_hour(0)
+        app.evict_hour(0)
+        assert 0 not in app.hours
+        assert not sc.block_manager_master.cached_partitions_of(rdd.rdd_id)
+
+    def test_random_query(self, sc, trace):
+        app = LogMiningApp(sc, trace, 4)
+        app.load_hours(range(3))
+        result = app.random_query(random.Random(1), window=2)
+        assert len(result.hours) <= 2
+        assert result.delay > 0
+
+    def test_stark_mode_uses_namespace(self, sc, trace):
+        app = LogMiningApp(sc, trace, 4, mode="stark", namespace="mine")
+        app.load_hour(0)
+        assert sc.locality_manager.has_namespace("mine")
+
+    def test_spark_r_mode_uses_fresh_range_partitioners(self, sc, trace):
+        app = LogMiningApp(sc, trace, 4, mode="spark-r")
+        a = app.load_hour(0)
+        b = app.load_hour(1)
+        assert a.partitioner != b.partitioner
+
+    def test_query_delay_recorded(self, sc, trace):
+        app = LogMiningApp(sc, trace, 4)
+        app.load_hours(range(2))
+        result = app.query("Article", [0, 1])
+        assert result.delay == sc.metrics.last_job().makespan

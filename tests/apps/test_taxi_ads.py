@@ -1,0 +1,104 @@
+"""Tests for the taxi-advertising application."""
+
+import random
+
+import pytest
+
+from repro import StarkContext
+from repro.apps.taxi_ads import Campaign, TaxiAdsApp
+from repro.core.extendable_partitioner import ExtendablePartitioner
+from repro.engine.partitioner import StaticRangePartitioner
+from repro.workloads.taxi import TaxiTrace, TaxiTraceConfig
+
+
+@pytest.fixture
+def trace():
+    return TaxiTrace(TaxiTraceConfig(base_events_per_step=300))
+
+
+def make_app(sc, trace, namespace="taxi", window=4):
+    part = StaticRangePartitioner.uniform(0, trace.encoder.key_space(), 8)
+    return TaxiAdsApp(sc, part, trace, namespace=namespace,
+                      window_steps=window)
+
+
+def reference_matches(trace, campaign, steps):
+    count = 0
+    for step in steps:
+        for zkey, _event in trace.events_for_step_partition(step, 0, 1):
+            if campaign.covers(zkey):
+                count += 1
+    return count
+
+
+class TestCampaign:
+    def test_covers_interval(self):
+        c = Campaign(1, 10, 20, "ad")
+        assert c.covers(10) and c.covers(20) and c.covers(15)
+        assert not c.covers(9) and not c.covers(21)
+
+
+class TestTaxiAdsApp:
+    def test_ingest_creates_cached_step(self, sc, trace):
+        app = make_app(sc, trace)
+        rdd = app.ingest_step(0)
+        assert sc.block_manager_master.cached_partitions_of(rdd.rdd_id)
+
+    def test_window_slides(self, sc, trace):
+        app = make_app(sc, trace, window=3)
+        for step in range(5):
+            app.ingest_step(step)
+        assert sorted(app.steps) == [2, 3, 4]
+
+    def test_eviction_unpersists(self, sc, trace):
+        app = make_app(sc, trace, window=2)
+        first = app.ingest_step(0)
+        app.ingest_step(1)
+        app.ingest_step(2)
+        assert not sc.block_manager_master.cached_partitions_of(first.rdd_id)
+
+    def test_match_campaign_single_step(self, sc, trace):
+        app = make_app(sc, trace)
+        app.ingest_step(0)
+        campaign = Campaign(1, 0, trace.encoder.key_space() - 1, "all")
+        result = app.match_campaign(campaign)
+        assert result.matched_events == trace.events_in_step(0)
+
+    def test_match_campaign_multi_step_matches_reference(self, sc, trace):
+        app = make_app(sc, trace)
+        for step in range(3):
+            app.ingest_step(step)
+        rng = random.Random(5)
+        lo, hi = trace.random_region_query(rng)
+        campaign = Campaign(2, lo, hi, "region")
+        result = app.match_campaign(campaign)
+        assert result.matched_events == reference_matches(
+            trace, campaign, [0, 1, 2]
+        )
+
+    def test_match_without_ingest_raises(self, sc, trace):
+        app = make_app(sc, trace)
+        with pytest.raises(RuntimeError):
+            app.match_campaign(Campaign(0, 0, 10, "x"))
+
+    def test_random_campaign_hotspot_biased(self, sc, trace):
+        app = make_app(sc, trace)
+        app.ingest_step(0)
+        campaign = app.random_campaign(random.Random(7))
+        assert 0 <= campaign.zkey_lo <= campaign.zkey_hi \
+            < trace.encoder.key_space()
+
+    def test_works_without_namespace(self, sc, trace):
+        app = make_app(sc, trace, namespace=None)
+        app.ingest_step(0)
+        campaign = Campaign(1, 0, trace.encoder.key_space() - 1, "all")
+        assert app.match_campaign(campaign).matched_events == \
+            trace.events_in_step(0)
+
+    def test_extendable_partitioner_enables_groups(self, sc, trace):
+        part = ExtendablePartitioner.over_key_range(
+            0, trace.encoder.key_space(), 4, 4
+        )
+        app = TaxiAdsApp(sc, part, trace, namespace="taxi-e")
+        app.ingest_step(0)
+        assert sc.group_manager.is_enabled("taxi-e")

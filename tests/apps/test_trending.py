@@ -1,0 +1,102 @@
+"""Tests for the Fig 16 trending application."""
+
+import pytest
+
+from repro import StarkContext
+from repro.apps.trending import TrendingApp
+from repro.workloads.distributions import seeded_rng
+
+
+def raw_batches(records_per_step=120, num_keys=10):
+    def raw_for_step(step, num_partitions):
+        def generate(pid):
+            rng = seeded_rng("trend", step, pid)
+            return [
+                (f"key{rng.randint(0, num_keys - 1)}", f"content-{step}-{i}")
+                for i in range(pid, records_per_step, num_partitions)
+            ]
+
+        return generate
+
+    return raw_for_step
+
+
+class TestTrendingApp:
+    def test_step_produces_all_named_rdds(self, sc):
+        app = TrendingApp(sc, raw_batches(), num_partitions=4)
+        rdds = app.run_step(0)
+        names = set(rdds.named())
+        assert names == {"kv", "cnt", "ctt", "ccnt", "acnt", "cctt",
+                         "jall", "res", "dec"}
+
+    def test_counts_sum_to_records(self, sc):
+        app = TrendingApp(sc, raw_batches(100), num_partitions=4,
+                          popular_threshold=0)
+        rdds = app.run_step(0)
+        counts = dict(rdds.cnt.collect())
+        assert sum(counts.values()) == 100
+
+    def test_decay_halves_counts(self, sc):
+        app = TrendingApp(sc, raw_batches(100), num_partitions=4, decay=0.5)
+        rdds = app.run_step(0)
+        ccnt = dict(rdds.ccnt.collect())
+        dec = dict(rdds.dec.collect())
+        for key, value in ccnt.items():
+            assert dec[key] == pytest.approx(value * 0.5)
+
+    def test_steps_chain_through_dec(self, sc):
+        """ccnt at step 1 = cnt(1) + decayed ccnt(0)."""
+        app = TrendingApp(sc, raw_batches(100), num_partitions=4, decay=0.5)
+        first = app.run_step(0)
+        second = app.run_step(1)
+        ccnt0 = dict(first.ccnt.collect())
+        cnt1 = dict(second.cnt.collect())
+        ccnt1 = dict(second.ccnt.collect())
+        for key, value in ccnt1.items():
+            expected = cnt1.get(key, 0) + 0.5 * ccnt0.get(key, 0.0)
+            assert value == pytest.approx(expected)
+
+    def test_acnt_filters_by_threshold(self, sc):
+        app = TrendingApp(sc, raw_batches(100, num_keys=5), num_partitions=4,
+                          popular_threshold=15)
+        rdds = app.run_step(0)
+        for key, count in rdds.acnt.collect():
+            assert count >= 15
+
+    def test_res_keys_subset_of_popular(self, sc):
+        app = TrendingApp(sc, raw_batches(100, num_keys=5), num_partitions=4,
+                          popular_threshold=10)
+        rdds = app.run_step(0)
+        popular = {k for k, _ in rdds.acnt.collect()}
+        res_keys = {k for k, _ in rdds.res.collect()}
+        assert res_keys <= popular
+
+    def test_trending_sorted_descending(self, sc):
+        app = TrendingApp(sc, raw_batches(200, num_keys=8), num_partitions=4,
+                          popular_threshold=1)
+        app.run(2)
+        scores = [score for _, score in app.trending()]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_frontier_is_res_and_dec(self, sc):
+        app = TrendingApp(sc, raw_batches(), num_partitions=4)
+        assert app.frontier_rdds() == []
+        rdds = app.run_step(0)
+        assert app.frontier_rdds() == [rdds.res, rdds.dec]
+
+    def test_on_step_callback(self, sc):
+        seen = []
+        app = TrendingApp(sc, raw_batches(), num_partitions=4)
+        app.run(3, on_step=lambda step, rdds: seen.append(step))
+        assert seen == [0, 1, 2]
+
+    def test_lineage_grows_across_steps(self, sc):
+        from repro.core.checkpoint_optimizer import CheckpointOptimizer
+
+        app = TrendingApp(sc, raw_batches(), num_partitions=4)
+        opt = CheckpointOptimizer(sc, recovery_bound=1e9)
+        app.run_step(0)
+        nodes0 = opt.build_lineage(app.frontier_rdds())
+        app.run_step(1)
+        nodes1 = opt.build_lineage(app.frontier_rdds())
+        assert len(nodes1) > len(nodes0)

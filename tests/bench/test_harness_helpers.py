@@ -1,0 +1,87 @@
+"""Unit tests for the harness's generators and helpers."""
+
+import pytest
+
+from repro.bench.harness import (
+    KEY_SPACE,
+    _lines_generator,
+    _trending_raw,
+    skewed_hour_generator,
+)
+from repro.engine.partitioner import StaticRangePartitioner
+
+
+class TestLinesGenerator:
+    def test_total_bytes_accounted(self):
+        gen = _lines_generator(1e6, line_bytes=10_000, num_partitions=2)
+        total = sum(line.sim_size for pid in range(2) for line in gen(pid))
+        assert total == pytest.approx(1e6, rel=0.05)
+
+    def test_deterministic(self):
+        gen = _lines_generator(1e5, 10_000, 2)
+        assert gen(0) == gen(0)
+
+    def test_partitions_disjoint_and_complete(self):
+        gen = _lines_generator(1e5, 10_000, 4)
+        ids = [line.split(" ", 1)[0] for pid in range(4) for line in gen(pid)]
+        assert len(ids) == len(set(ids))
+
+    def test_contains_error_lines(self):
+        gen = _lines_generator(1e6, 10_000, 2)
+        lines = gen(0) + gen(1)
+        errors = [line for line in lines if "ERROR" in line]
+        assert 0 < len(errors) < len(lines)
+
+
+class TestSkewedHourGenerator:
+    def test_uniform_hours_spread(self):
+        gen = skewed_hour_generator(0, 4, None, records_per_hour=2_000)
+        keys = [k for pid in range(4) for k, _ in gen(pid)]
+        # Uniform hour: no sixteenth of the key space dominates.
+        top = max(
+            sum(1 for k in keys if b * KEY_SPACE // 16 <= k <
+                (b + 1) * KEY_SPACE // 16)
+            for b in range(16)
+        )
+        assert top < len(keys) / 4
+
+    def test_skewed_hours_concentrate(self):
+        gen = skewed_hour_generator(5, 4, None, records_per_hour=2_000)
+        keys = [k for pid in range(4) for k, _ in gen(pid)]
+        top = max(
+            sum(1 for k in keys if b * KEY_SPACE // 16 <= k <
+                (b + 1) * KEY_SPACE // 16)
+            for b in range(16)
+        )
+        assert top > len(keys) / 4
+
+    def test_partitioner_routing(self):
+        part = StaticRangePartitioner.uniform(0, KEY_SPACE, 8)
+        gen = skewed_hour_generator(4, 8, part, records_per_hour=500)
+        for pid in (0, 3, 7):
+            for key, _payload in gen(pid):
+                assert part.get_partition(key) == pid
+
+    def test_payload_sim_size(self):
+        gen = skewed_hour_generator(0, 2, None, records_per_hour=10,
+                                    payload_bytes=9_999)
+        _, payload = gen(0)[0]
+        assert payload.sim_size == 9_999
+
+
+class TestTrendingRaw:
+    def test_zipf_head_dominates(self):
+        raw = _trending_raw(records_per_step=3_000, num_keys=100)
+        gen = raw(0, 4)
+        counts = {}
+        for pid in range(4):
+            for key, _ in gen(pid):
+                counts[key] = counts.get(key, 0) + 1
+        top = max(counts.values())
+        median = sorted(counts.values())[len(counts) // 2]
+        assert top > 5 * median
+
+    def test_deterministic_per_step(self):
+        raw = _trending_raw(100)
+        assert raw(2, 4)(1) == raw(2, 4)(1)
+        assert raw(2, 4)(1) != raw(3, 4)(1)

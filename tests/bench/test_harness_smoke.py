@@ -1,0 +1,108 @@
+"""Smoke tests for the experiment drivers at tiny scale.
+
+The full calibrated runs (with shape assertions against the paper) live
+in ``benchmarks/``; here we verify the drivers execute and their outputs
+are structurally sound, quickly.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    run_colocality,
+    run_fig01,
+    run_fig07,
+    run_fig17,
+    run_fig18,
+    run_fig20,
+    run_skew,
+)
+
+
+class TestFig01:
+    def test_shape(self):
+        result = run_fig01(file_bytes=40e6, line_bytes=10_000)
+        # Cached D is near-instant; D- pays the reduce phase; C pays the
+        # full load + shuffle.
+        assert result.d_cached_delay < result.d_nolocality_delay
+        assert result.d_nolocality_delay < result.c_count_delay
+
+
+class TestFig07:
+    def test_u_curve(self):
+        points = run_fig07(partition_counts=(1, 8, 64, 1024),
+                           file_bytes=50e6, line_bytes=100_000)
+        delays = dict(points)
+        assert delays[8] < delays[1]        # parallelism helps
+        assert delays[1024] > delays[64]    # overhead eventually hurts
+
+
+class TestColocality:
+    def test_stark_h_beats_spark_h(self):
+        results = run_colocality(
+            rdd_counts=(3,), hour_bytes=100e6, queries_per_point=2,
+        )
+        by = {r.config: r for r in results}
+        assert by["Stark-H"].job_delay < by["Spark-H"].job_delay
+
+    def test_task_details_recorded(self):
+        results = run_colocality(rdd_counts=(2,), hour_bytes=50e6,
+                                 queries_per_point=1)
+        for r in results:
+            assert r.task_delays
+            assert len(r.task_gc) == len(r.task_delays)
+
+
+class TestSkew:
+    def test_structure(self):
+        results = run_skew(records_per_hour=800)
+        configs = {r.config for r in results}
+        assert configs == {"Stark-E", "Stark-S", "Spark-R"}
+        for r in results:
+            assert len(r.task_input_sizes) == len(r.task_delays)
+            assert r.first_job_delay > 0
+
+    def test_spark_r_pays_shuffle_every_job(self):
+        results = run_skew(configs=("Spark-R",), records_per_hour=800)
+        for r in results:
+            # First and subsequent jobs both shuffle: similar delays.
+            assert r.second_job_delay > 0.5 * r.first_job_delay
+            assert sum(r.task_shuffle_times) > 0
+
+    def test_stark_e_second_job_fast(self):
+        results = run_skew(configs=("Stark-E",), records_per_hour=800)
+        skewed = [r for r in results if r.collection != (0, 1, 2)]
+        assert any(r.second_job_delay < r.first_job_delay for r in skewed)
+
+
+class TestCheckpointDrivers:
+    def test_fig17_constant_ratio(self):
+        rows = run_fig17(num_steps=2, records_per_step=400)
+        ratios = {cached / written for _, cached, written in rows if written}
+        assert len(ratios) == 1
+
+    def test_fig18_stark_below_edge(self):
+        series = run_fig18(num_steps=6, records_per_step=600)
+        totals = {s.policy: s.cumulative_bytes[-1] for s in series}
+        assert totals["Stark-1"] < totals["Tachyon"]
+        assert totals["Stark-3"] < totals["Tachyon"]
+
+    def test_fig18_cumulative_nondecreasing(self):
+        series = run_fig18(num_steps=5, records_per_step=400)
+        for s in series:
+            assert s.cumulative_bytes == sorted(s.cumulative_bytes)
+
+
+class TestFig20:
+    def test_diurnal_replay(self):
+        points = run_fig20(configs=("Spark-H", "Stark-H"), hours=6,
+                           steps_per_hour=1, jobs_per_step=2,
+                           base_events_per_step=300)
+        by = {}
+        for p in points:
+            by.setdefault(p.config, []).append(p.mean_delay)
+        assert len(by["Spark-H"]) == 6
+        # Stark-H mean over the day is below Spark-H's.
+        import statistics
+
+        assert statistics.fmean(by["Stark-H"]) < \
+            statistics.fmean(by["Spark-H"])

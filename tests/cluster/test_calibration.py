@@ -1,0 +1,64 @@
+"""Calibration tests: the cost model's absolute anchors.
+
+These pin the simulated-time calibration documented in
+``repro.cluster.cost_model`` so that accidental constant changes (which
+would silently re-scale every benchmark) fail loudly.
+"""
+
+import pytest
+
+from repro import StarkContext
+from repro.cluster.cost_model import CostModel, SimStr
+from repro.engine.partitioner import HashPartitioner
+
+
+class TestAbsoluteAnchors:
+    def setup_method(self):
+        self.model = CostModel()
+
+    def test_disk_bandwidth_spinning_disk_class(self):
+        # ~120 MB/s sequential.
+        assert 80e6 <= self.model.disk_bytes_per_sec <= 200e6
+
+    def test_network_bandwidth_gbe_class(self):
+        # ~1 GbE effective.
+        assert 50e6 <= self.model.network_bytes_per_sec <= 125e6
+
+    def test_task_launch_overhead_milliseconds(self):
+        assert 1e-3 <= self.model.task_launch_overhead <= 50e-3
+
+    def test_per_record_cpu_sub_microsecond(self):
+        assert self.model.cpu_per_record < 1e-6
+
+
+class TestEndToEndAnchors:
+    """Macro checks: whole-job times land in the paper's ballpark."""
+
+    def test_700mb_load_and_shuffle_is_tens_of_seconds(self):
+        from repro.bench.harness import run_fig01
+
+        result = run_fig01(file_bytes=700e6)
+        # Paper: ~17 s on their hardware; accept the same order.
+        assert 5.0 < result.c_count_delay < 60.0
+
+    def test_cached_count_is_subsecond(self):
+        sc = StarkContext(num_workers=4, cores_per_worker=2)
+        data = [(str(i), SimStr("x", sim_size=10_000)) for i in range(2_000)]
+        rdd = sc.parallelize(data, 8).partition_by(HashPartitioner(8)).cache()
+        rdd.count()
+        rdd.count()
+        assert sc.metrics.last_job().makespan < 1.0
+
+    def test_memory_scan_vs_disk_read_ratio(self):
+        # RAM ~ 60x faster than disk in this calibration: a cached read
+        # of X bytes must be dramatically cheaper than a disk read.
+        model = CostModel()
+        size = 500e6
+        assert model.disk_read_cost(size) / model.memory_read_cost(size) > 20
+
+    def test_gc_cap_is_about_half_of_busy_time(self):
+        # At full heap pressure the GC surcharge approaches ~52% of busy
+        # time with default constants — Fig 12's worst case.
+        model = CostModel()
+        fraction = model.gc_cost(1.0, 1.0)
+        assert 0.3 < fraction < 0.8

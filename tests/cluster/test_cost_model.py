@@ -1,0 +1,105 @@
+"""Tests for the cost model and record sizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.cost_model import CostModel, RecordSizer
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.model = CostModel()
+
+    def test_compute_cost_linear_in_records(self):
+        assert self.model.compute_cost(2000) == pytest.approx(
+            2 * self.model.compute_cost(1000)
+        )
+
+    def test_compute_cost_zero_records(self):
+        assert self.model.compute_cost(0) == 0.0
+
+    def test_disk_read_of_120mb_takes_about_a_second(self):
+        assert self.model.disk_read_cost(120e6) == pytest.approx(1.0)
+
+    def test_network_has_fixed_latency(self):
+        assert self.model.network_cost(0) == 0.0
+        small = self.model.network_cost(1)
+        assert small >= self.model.network_latency
+
+    def test_network_faster_than_disk_is_false_here(self):
+        # 1 GbE effective < spinning disk sequential in this calibration;
+        # the remote penalty = network + remote disk.
+        one_gb = 1e9
+        assert self.model.network_cost(one_gb) > self.model.disk_read_cost(one_gb)
+
+    def test_memory_read_much_faster_than_disk(self):
+        size = 100e6
+        assert self.model.memory_read_cost(size) < self.model.disk_read_cost(size) / 10
+
+    def test_shuffle_reduce_costs_more_than_narrow_compute(self):
+        assert self.model.shuffle_reduce_cost(1000) > self.model.compute_cost(1000)
+
+    def test_gc_baseline_fraction(self):
+        gc = self.model.gc_cost(10.0, 0.3)
+        assert gc == pytest.approx(10.0 * self.model.gc_base_fraction)
+
+    def test_gc_explodes_past_knee(self):
+        relaxed = self.model.gc_cost(10.0, 0.5)
+        pressured = self.model.gc_cost(10.0, 0.95)
+        assert pressured > 3 * relaxed
+
+    def test_gc_clamps_utilisation(self):
+        assert self.model.gc_cost(1.0, 1.5) == self.model.gc_cost(1.0, 1.0)
+        assert self.model.gc_cost(1.0, -0.5) == self.model.gc_cost(1.0, 0.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=100.0))
+    def test_gc_non_negative_and_monotone_in_compute(self, u, compute):
+        gc = self.model.gc_cost(compute, u)
+        assert gc >= 0.0
+        assert gc <= self.model.gc_cost(compute + 1.0, u)
+
+    @given(st.floats(min_value=0.0, max_value=0.99))
+    def test_gc_monotone_in_utilisation(self, u):
+        assert self.model.gc_cost(1.0, u) <= self.model.gc_cost(1.0, u + 0.01) + 1e-12
+
+
+class TestRecordSizer:
+    def setup_method(self):
+        self.sizer = RecordSizer()
+
+    def test_string_size_includes_length(self):
+        small = self.sizer.size_of("ab")
+        large = self.sizer.size_of("ab" * 100)
+        assert large - small == 198
+
+    def test_tuple_recurses(self):
+        assert self.sizer.size_of(("key", "value")) > self.sizer.size_of("key")
+
+    def test_int_and_float_have_fixed_payload(self):
+        assert self.sizer.size_of(5) == self.sizer.size_of(123456789)
+        assert self.sizer.size_of(1.5) == self.sizer.size_of(5)
+
+    def test_none_has_base_size(self):
+        assert self.sizer.size_of(None) == self.sizer.base + 8
+
+    def test_dict_sums_items(self):
+        d = {"a": 1, "b": 2}
+        assert self.sizer.size_of(d) > self.sizer.size_of({"a": 1})
+
+    def test_partition_size_is_sum(self):
+        records = [("k", "v")] * 10
+        assert self.sizer.size_of_partition(records) == pytest.approx(
+            10 * self.sizer.size_of(("k", "v"))
+        )
+
+    def test_opaque_object_has_default_size(self):
+        class Thing:
+            pass
+
+        assert self.sizer.size_of(Thing()) == self.sizer.base + 48
+
+    @given(st.lists(st.text(max_size=50), max_size=30))
+    def test_partition_size_non_negative_and_additive(self, values):
+        total = self.sizer.size_of_partition(values)
+        assert total == sum(self.sizer.size_of(v) for v in values)

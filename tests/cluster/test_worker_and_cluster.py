@@ -1,0 +1,120 @@
+"""Tests for worker slot accounting and the cluster container."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.worker import Worker
+
+
+class TestWorker:
+    def test_slots_start_free(self):
+        w = Worker(0, cores=2)
+        assert w.earliest_free_time() == 0.0
+        assert w.idle_slots(0.0) == 2
+
+    def test_run_task_occupies_slot(self):
+        w = Worker(0, cores=2)
+        start, finish = w.run_task(1.0, 3.0)
+        assert (start, finish) == (1.0, 4.0)
+        assert w.idle_slots(2.0) == 1
+
+    def test_tasks_fill_both_slots_before_queueing(self):
+        w = Worker(0, cores=2)
+        w.run_task(0.0, 5.0)
+        w.run_task(0.0, 5.0)
+        start, _ = w.run_task(0.0, 1.0)
+        assert start == 5.0
+
+    def test_earliest_free_slot_picks_minimum(self):
+        w = Worker(0, cores=3)
+        w.slot_free_times = [4.0, 1.0, 9.0]
+        slot, free = w.earliest_free_slot()
+        assert (slot, free) == (1, 1.0)
+
+    def test_negative_duration_rejected(self):
+        w = Worker(0)
+        with pytest.raises(ValueError):
+            w.run_task(0.0, -1.0)
+
+    def test_kill_blocks_new_tasks(self):
+        w = Worker(0)
+        w.kill(5.0)
+        assert not w.alive
+        with pytest.raises(RuntimeError):
+            w.occupy_slot(0, 6.0, 1.0)
+
+    def test_restart_frees_slots_at_now(self):
+        w = Worker(0, cores=2)
+        w.kill(5.0)
+        w.restart(8.0)
+        assert w.alive
+        assert w.earliest_free_time() == 8.0
+
+    def test_pending_work(self):
+        w = Worker(0, cores=2)
+        w.run_task(0.0, 4.0)
+        assert w.pending_work_until(1.0) == pytest.approx(3.0)
+
+    def test_reset(self):
+        w = Worker(0)
+        w.run_task(0.0, 10.0)
+        w.shuffle_disk[(0, 0, 0)] = 5.0
+        w.reset()
+        assert w.earliest_free_time() == 0.0
+        assert not w.shuffle_disk
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Worker(0, cores=0)
+        with pytest.raises(ValueError):
+            Worker(0, memory_bytes=0)
+
+
+class TestCluster:
+    def test_creates_workers(self):
+        cluster = Cluster(num_workers=5)
+        assert len(cluster) == 5
+        assert cluster.worker_ids == [0, 1, 2, 3, 4]
+
+    def test_total_cores(self):
+        cluster = Cluster(num_workers=3, cores_per_worker=4)
+        assert cluster.total_cores() == 12
+
+    def test_kill_removes_from_alive(self):
+        cluster = Cluster(num_workers=3)
+        cluster.kill_worker(1)
+        assert cluster.alive_worker_ids() == [0, 2]
+        assert cluster.total_cores() == 2 * cluster.get_worker(0).cores
+
+    def test_earliest_free_worker(self):
+        cluster = Cluster(num_workers=3, cores_per_worker=1)
+        cluster.get_worker(0).run_task(0.0, 5.0)
+        cluster.get_worker(1).run_task(0.0, 2.0)
+        assert cluster.earliest_free_worker() == 2
+
+    def test_earliest_free_worker_candidates(self):
+        cluster = Cluster(num_workers=3, cores_per_worker=1)
+        cluster.get_worker(1).run_task(0.0, 5.0)
+        assert cluster.earliest_free_worker([1, 2]) == 2
+
+    def test_earliest_free_all_dead_raises(self):
+        cluster = Cluster(num_workers=1)
+        cluster.kill_worker(0)
+        with pytest.raises(RuntimeError):
+            cluster.earliest_free_worker()
+
+    def test_unknown_worker_raises(self):
+        with pytest.raises(KeyError):
+            Cluster(num_workers=1).get_worker(9)
+
+    def test_reset(self):
+        cluster = Cluster(num_workers=2)
+        cluster.clock.advance_to(50.0)
+        cluster.kill_worker(0)
+        cluster.reset()
+        assert cluster.clock.now == 0.0
+        assert cluster.get_worker(0).alive
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Cluster(num_workers=0)

@@ -1,0 +1,31 @@
+"""Shared fixtures: small, fast contexts for unit/integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import StarkConfig, StarkContext
+
+
+@pytest.fixture
+def sc() -> StarkContext:
+    """Default small cluster with all Stark features enabled."""
+    return StarkContext(num_workers=4, cores_per_worker=2,
+                        memory_per_worker=1e9)
+
+
+@pytest.fixture
+def spark_sc() -> StarkContext:
+    """Baseline context with Stark features disabled (plain Spark)."""
+    return StarkContext(
+        num_workers=4, cores_per_worker=2, memory_per_worker=1e9,
+        config=StarkConfig(
+            locality_enabled=False, mcf_enabled=False,
+            replication_enabled=False,
+        ),
+    )
+
+
+def make_pairs(n: int, num_keys: int = 10) -> list:
+    """Simple deterministic (key, value) data used across tests."""
+    return [(f"k{i % num_keys}", i) for i in range(n)]

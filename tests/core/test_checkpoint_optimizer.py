@@ -1,0 +1,221 @@
+"""Tests for the CheckpointOptimizer and the Edge baseline."""
+
+import pytest
+
+from repro import StarkContext
+from repro.core.checkpoint_optimizer import CheckpointOptimizer, LineageNode
+from repro.core.edge_checkpoint import EdgeCheckpointer
+from repro.engine.partitioner import HashPartitioner
+
+from ..conftest import make_pairs
+
+
+def chain_rdds(sc, length, records=200):
+    """source -> partition_by -> map_values * length, all materialized."""
+    rdd = sc.parallelize(make_pairs(records), 4).partition_by(HashPartitioner(4))
+    chain = [rdd]
+    for i in range(length):
+        rdd = rdd.map_values(lambda v: v + 1, name=f"m{i}").cache()
+        chain.append(rdd)
+    rdd.count()
+    return chain
+
+
+class TestLineageExtraction:
+    def test_shuffled_rdd_is_barrier(self, sc):
+        chain = chain_rdds(sc, 3)
+        opt = CheckpointOptimizer(sc, recovery_bound=1.0)
+        nodes = opt.build_lineage([chain[-1]])
+        assert nodes[chain[0].rdd_id].barrier
+
+    def test_checkpointed_rdd_is_barrier_and_stops_walk(self, sc):
+        chain = chain_rdds(sc, 4)
+        chain[2].force_checkpoint()
+        opt = CheckpointOptimizer(sc, recovery_bound=1.0)
+        nodes = opt.build_lineage([chain[-1]])
+        assert nodes[chain[2].rdd_id].barrier
+        # The walk must not put chain[1] in the view (hidden by the ckpt).
+        assert chain[1].rdd_id not in nodes
+
+    def test_source_rdd_is_barrier(self, sc):
+        rdd = sc.parallelize(make_pairs(10), 2).map(lambda kv: kv)
+        rdd.count()
+        opt = CheckpointOptimizer(sc, recovery_bound=1.0)
+        nodes = opt.build_lineage([rdd])
+        source_id = rdd.parents()[0].rdd_id
+        assert nodes[source_id].barrier
+
+    def test_delays_and_costs_recorded(self, sc):
+        chain = chain_rdds(sc, 2)
+        opt = CheckpointOptimizer(sc, recovery_bound=1.0)
+        nodes = opt.build_lineage([chain[-1]])
+        mid = nodes[chain[1].rdd_id]
+        assert mid.delay > 0
+        assert mid.cost > 1.0  # real data was materialized
+
+
+class TestViolationDetection:
+    def test_short_chain_not_violating(self, sc):
+        chain = chain_rdds(sc, 2)
+        opt = CheckpointOptimizer(sc, recovery_bound=100.0)
+        decision = opt.optimize([chain[-1]])
+        assert not decision.triggered
+        assert decision.chosen_rdd_ids == []
+
+    def test_long_chain_violates_tight_bound(self, sc):
+        chain = chain_rdds(sc, 6, records=500)
+        opt = CheckpointOptimizer(sc, recovery_bound=1e-7)
+        nodes = opt.build_lineage([chain[-1]])
+        assert opt.find_violating_targets(nodes, [chain[-1].rdd_id])
+
+    def test_longest_path_accumulates_narrow_delays(self, sc):
+        chain = chain_rdds(sc, 5)
+        opt = CheckpointOptimizer(sc, recovery_bound=1.0)
+        nodes = opt.build_lineage([chain[-1]])
+        shallow = opt.longest_uncheckpointed_delay(nodes, chain[1].rdd_id)
+        deep = opt.longest_uncheckpointed_delay(nodes, chain[-1].rdd_id)
+        assert deep > shallow
+
+    def test_invalid_parameters_rejected(self, sc):
+        with pytest.raises(ValueError):
+            CheckpointOptimizer(sc, recovery_bound=0.0)
+        with pytest.raises(ValueError):
+            CheckpointOptimizer(sc, recovery_bound=1.0, relax_factor=0.9)
+
+
+class TestOptimization:
+    def test_optimize_breaks_violation(self, sc):
+        chain = chain_rdds(sc, 6, records=500)
+        nodes_probe = CheckpointOptimizer(sc, recovery_bound=1.0)
+        view = nodes_probe.build_lineage([chain[-1]])
+        full = nodes_probe.longest_uncheckpointed_delay(view, chain[-1].rdd_id)
+        opt = CheckpointOptimizer(sc, recovery_bound=full * 0.6)
+        decision = opt.optimize([chain[-1]])
+        assert decision.triggered
+        assert decision.chosen_rdd_ids
+        assert decision.residual_path_delay <= full * 0.6 + 1e-12
+
+    def test_picks_cheapest_cut(self, sc):
+        """A diamond where one branch is tiny: the optimizer must prefer
+        checkpointing the small RDD over the big one."""
+        part = HashPartitioner(4)
+        base = sc.parallelize(make_pairs(400), 4).partition_by(part)
+        big = base.map_values(lambda v: "x" * 50, name="big").cache()
+        # Chain below big, so cutting must happen at big or below.
+        big2 = big.map_values(lambda v: v, name="big2").cache()
+        small = big2.filter(lambda kv: kv[1] is None, name="small").cache()
+        tail = small.map_values(lambda v: v, name="tail").cache()
+        tail.count()
+
+        opt = CheckpointOptimizer(sc, recovery_bound=1e-9)
+        nodes = opt.build_lineage([tail])
+        chosen = opt.select_checkpoint_set(nodes, [tail.rdd_id])
+        assert chosen
+        total = sum(nodes[c].cost for c in chosen)
+        assert total <= nodes[big.rdd_id].cost
+
+    def test_non_violating_branch_not_cut(self, sc):
+        """Only violating paths are broken (Fig 10): a short side branch
+        into the same target must not force extra checkpoints."""
+        part = HashPartitioner(2)
+        base = sc.parallelize(make_pairs(600), 2).partition_by(part)
+        long_branch = base
+        for i in range(6):
+            long_branch = long_branch.map_values(
+                lambda v: v + 1, name=f"long{i}"
+            ).cache()
+        short_branch = base.map_values(lambda v: v, name="short").cache()
+        joined = long_branch.cogroup(short_branch, partitioner=part).map(
+            lambda kv: kv, name="joined", preserves_partitioning=True
+        ).cache()
+        joined.count()
+
+        opt_probe = CheckpointOptimizer(sc, recovery_bound=1.0)
+        view = opt_probe.build_lineage([joined])
+        long_len = opt_probe.longest_uncheckpointed_delay(
+            view, joined.rdd_id
+        )
+        short_len = view[short_branch.rdd_id].delay + view[base.rdd_id].delay
+        bound = (long_len + short_len) / 2  # between the two path lengths
+        opt = CheckpointOptimizer(sc, recovery_bound=bound)
+        chosen = opt.select_checkpoint_set(view, [joined.rdd_id])
+        assert short_branch.rdd_id not in chosen
+
+    def test_after_optimize_rdds_are_checkpointed(self, sc):
+        chain = chain_rdds(sc, 6, records=500)
+        opt = CheckpointOptimizer(sc, recovery_bound=1e-9)
+        decision = opt.optimize([chain[-1]])
+        for rdd_id in decision.chosen_rdd_ids:
+            assert sc.checkpoint_store.has_checkpoint(rdd_id)
+
+    def test_relaxed_cut_costs_at_most_f_times_optimal(self, sc):
+        chain = chain_rdds(sc, 8, records=400)
+        probe = CheckpointOptimizer(sc, recovery_bound=1.0)
+        view = probe.build_lineage([chain[-1]])
+        full = probe.longest_uncheckpointed_delay(view, chain[-1].rdd_id)
+        bound = full * 0.5
+
+        exact = CheckpointOptimizer(sc, recovery_bound=bound, relax_factor=1.0)
+        exact_set = exact.select_checkpoint_set(view, [chain[-1].rdd_id])
+        relaxed = CheckpointOptimizer(sc, recovery_bound=bound, relax_factor=3.0)
+        relaxed_set = relaxed.select_checkpoint_set(view, [chain[-1].rdd_id])
+        exact_cost = sum(view[c].cost for c in exact_set)
+        relaxed_cost = sum(view[c].cost for c in relaxed_set)
+        assert relaxed_cost <= 3.0 * exact_cost + 1e-9
+
+
+class TestEdgeBaseline:
+    def test_edge_checkpoints_leaves(self, sc):
+        chain = chain_rdds(sc, 6, records=500)
+        edge = EdgeCheckpointer(sc, recovery_bound=1e-9)
+        decision = edge.optimize([chain[-1]])
+        assert decision.triggered
+        assert decision.chosen_rdd_ids == [chain[-1].rdd_id]
+
+    def test_edge_ignores_cost(self, sc):
+        """Edge checkpoints the big leaf even when a tiny upstream RDD
+        would break the same paths."""
+        part = HashPartitioner(2)
+        base = sc.parallelize(make_pairs(600), 2).partition_by(part)
+        small = base.map_values(lambda v: 1, name="small").cache()
+        big = small.map_values(lambda v: "y" * 200, name="big").cache()
+        big.count()
+        edge = EdgeCheckpointer(sc, recovery_bound=1e-9)
+        nodes = edge.build_lineage([big])
+        chosen = edge.select_checkpoint_set(nodes, [big.rdd_id])
+        assert chosen == [big.rdd_id]
+
+
+class TestPathCounting:
+    def test_count_violating_paths_linear_chain(self, sc):
+        chain = chain_rdds(sc, 5, records=300)
+        opt = CheckpointOptimizer(sc, recovery_bound=1e-9)
+        nodes = opt.build_lineage([chain[-1]])
+        # A linear chain has exactly one root-to-target path.
+        assert opt.count_violating_paths(nodes, chain[-1].rdd_id) == 1
+
+    def test_count_violating_paths_diamond(self, sc):
+        part = HashPartitioner(2)
+        base = sc.parallelize(make_pairs(400), 2).partition_by(part)
+        left = base.map_values(lambda v: v, name="l").cache()
+        right = base.filter(lambda kv: True, name="r").cache()
+        joined = left.cogroup(right, partitioner=part).map(
+            lambda kv: kv, name="j", preserves_partitioning=True
+        ).cache()
+        joined.count()
+        opt = CheckpointOptimizer(sc, recovery_bound=1e-9)
+        nodes = opt.build_lineage([joined])
+        assert opt.count_violating_paths(nodes, joined.rdd_id) == 2
+
+    def test_no_paths_when_bound_large(self, sc):
+        chain = chain_rdds(sc, 3)
+        opt = CheckpointOptimizer(sc, recovery_bound=1e9)
+        nodes = opt.build_lineage([chain[-1]])
+        assert opt.count_violating_paths(nodes, chain[-1].rdd_id) == 0
+
+    def test_decision_reports_path_count(self, sc):
+        chain = chain_rdds(sc, 6, records=400)
+        opt = CheckpointOptimizer(sc, recovery_bound=1e-9)
+        decision = opt.optimize([chain[-1]])
+        assert decision.triggered
+        assert decision.violating_paths >= 1

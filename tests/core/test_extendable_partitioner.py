@@ -1,0 +1,85 @@
+"""Tests for the extendable partitioner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.extendable_partitioner import ExtendablePartitioner
+from repro.engine.partitioner import HashPartitioner, StaticRangePartitioner
+
+
+class TestConstruction:
+    def test_over_key_range(self):
+        p = ExtendablePartitioner.over_key_range(0, 1024, 4, 4)
+        assert p.num_partitions == 16
+        assert p.num_groups == 4
+        assert p.partitions_per_group == 4
+
+    def test_base_partition_count_must_match(self):
+        base = StaticRangePartitioner.uniform(0, 100, 8)
+        with pytest.raises(ValueError, match="g\\*e"):
+            ExtendablePartitioner(base, 4, 4)
+
+    def test_tiny_domain_rejected(self):
+        with pytest.raises(ValueError):
+            ExtendablePartitioner.over_key_range(0, 4, 4, 4)
+
+    def test_wraps_any_base(self):
+        base = HashPartitioner(8)
+        p = ExtendablePartitioner(base, 2, 4)
+        assert p.get_partition("k") == base.get_partition("k")
+
+
+class TestKeyMapping:
+    def test_get_partition_identical_to_base(self):
+        p = ExtendablePartitioner.over_key_range(0, 1024, 4, 4)
+        for key in range(0, 1024, 7):
+            assert p.get_partition(key) == p.base.get_partition(key)
+
+    def test_initial_group_of(self):
+        p = ExtendablePartitioner.over_key_range(0, 1024, 4, 4)
+        assert p.initial_group_of(0) == 0
+        assert p.initial_group_of(1023) == 3
+
+    @given(st.integers(min_value=0, max_value=1023))
+    def test_partition_in_range(self, key):
+        p = ExtendablePartitioner.over_key_range(0, 1024, 4, 4)
+        assert 0 <= p.get_partition(key) < 16
+
+    @given(st.integers(min_value=0, max_value=1022))
+    def test_monotone_over_ordered_keys(self, key):
+        p = ExtendablePartitioner.over_key_range(0, 1024, 4, 4)
+        assert p.get_partition(key) <= p.get_partition(key + 1)
+
+
+class TestEquality:
+    def test_equal_when_base_equal(self):
+        a = ExtendablePartitioner.over_key_range(0, 1024, 4, 4)
+        b = ExtendablePartitioner.over_key_range(0, 1024, 4, 4)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_on_different_domain(self):
+        a = ExtendablePartitioner.over_key_range(0, 1024, 4, 4)
+        b = ExtendablePartitioner.over_key_range(0, 2048, 4, 4)
+        assert a != b
+
+    def test_not_equal_to_bare_base(self):
+        a = ExtendablePartitioner.over_key_range(0, 1024, 4, 4)
+        assert a != a.base
+
+    def test_copartitioning_survives_group_dynamics(self, sc):
+        """Splitting groups must NOT make RDDs look un-co-partitioned —
+        that would reintroduce shuffles."""
+        part = ExtendablePartitioner.over_key_range(0, 1024, 4, 4)
+        a = sc.parallelize([(k, k) for k in range(0, 1024, 8)], 16,
+                           partitioner=part).locality_partition_by(part, "eq")
+        a.cache().count()
+        sc.group_manager.report_rdd(a)
+        state = sc.group_manager._state["eq"]
+        leaf = next(l for l in state.tree.leaves() if l.num_partitions >= 2)
+        state.tree.split(leaf)
+        b = sc.parallelize([(k, k) for k in range(0, 1024, 8)], 16,
+                           partitioner=part).locality_partition_by(part, "eq")
+        b.cache().count()
+        cg = a.cogroup(b)
+        assert not cg.shuffle_dependencies()

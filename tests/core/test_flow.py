@@ -1,0 +1,195 @@
+"""Tests for the Dinic max-flow / min-cut, with networkx as an oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.flow import INF, FlowNetwork
+
+networkx = pytest.importorskip("networkx")
+
+
+def nx_max_flow(edges, source, sink):
+    graph = networkx.DiGraph()
+    for src, dst, cap in edges:
+        cap = 1e15 if cap == INF else cap
+        if graph.has_edge(src, dst):
+            graph[src][dst]["capacity"] += cap
+        else:
+            graph.add_edge(src, dst, capacity=cap)
+    graph.add_node(source)
+    graph.add_node(sink)
+    if not networkx.has_path(graph, source, sink):
+        return 0.0
+    value, _ = networkx.maximum_flow(graph, source, sink)
+    return value
+
+
+class TestMaxFlowBasics:
+    def test_single_edge(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 5.0)
+        assert net.max_flow(0, 1) == 5.0
+
+    def test_series_takes_minimum(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 5.0)
+        net.add_edge(1, 2, 3.0)
+        assert net.max_flow(0, 2) == 3.0
+
+    def test_parallel_paths_sum(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 2.0)
+        net.add_edge(1, 3, 2.0)
+        net.add_edge(0, 2, 3.0)
+        net.add_edge(2, 3, 3.0)
+        assert net.max_flow(0, 3) == 5.0
+
+    def test_classic_augmenting_path_case(self):
+        # The textbook diamond with a cross edge.
+        net = FlowNetwork()
+        net.add_edge("s", "a", 10)
+        net.add_edge("s", "b", 10)
+        net.add_edge("a", "b", 1)
+        net.add_edge("a", "t", 10)
+        net.add_edge("b", "t", 10)
+        # String node ids are fine: the network hashes them.
+        assert net.max_flow("s", "t") == 20
+
+    def test_no_path_gives_zero(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 5.0)
+        net.add_edge(2, 3, 5.0)
+        assert net.max_flow(0, 3) == 0.0
+
+    def test_infinite_edges_pass_through(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, INF)
+        net.add_edge(1, 2, 7.0)
+        net.add_edge(2, 3, INF)
+        assert net.max_flow(0, 3) == 7.0
+
+    def test_source_equals_sink_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork().max_flow(0, 0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork().add_edge(0, 1, -1.0)
+
+
+class TestMinCut:
+    def test_cut_edges_sum_to_flow(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 4.0)
+        net.add_edge(0, 2, 2.0)
+        net.add_edge(1, 3, 3.0)
+        net.add_edge(2, 3, 5.0)
+        value = net.max_flow(0, 3)
+        cut = net.min_cut_edges(0)
+        assert sum(e.capacity for e in cut) == pytest.approx(value)
+
+    def test_cut_separates_source_from_sink(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(1, 2, 2.0)
+        net.max_flow(0, 2)
+        side = net.min_cut_source_side(0)
+        assert 0 in side
+        assert 2 not in side
+
+    def test_relaxed_cut_with_f1_is_saturated_edges(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 2.0)
+        net.add_edge(1, 2, 5.0)
+        net.max_flow(0, 2)
+        cut = net.relaxed_cut_edges(2, 1.0)
+        # Only the saturated 0->1 edge qualifies at f=1.
+        assert [(e.src, e.dst) for e in cut] == [(0, 1)]
+
+    def test_relaxed_cut_stops_nearer_sink(self):
+        # 0 -(2)-> 1 -(5)-> 2: edge 1->2 carries flow 2, residual 3,
+        # 3 <= f*2 for f=1.5 -- so the relaxed cut stops at 1->2.
+        net = FlowNetwork()
+        net.add_edge(0, 1, 2.0)
+        net.add_edge(1, 2, 5.0)
+        net.max_flow(0, 2)
+        cut = net.relaxed_cut_edges(2, 1.5)
+        assert [(e.src, e.dst) for e in cut] == [(1, 2)]
+
+    def test_relaxed_factor_below_one_rejected(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 1.0)
+        net.max_flow(0, 1)
+        with pytest.raises(ValueError):
+            net.relaxed_cut_edges(1, 0.5)
+
+    def test_relaxed_cut_breaks_all_flow_paths(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 3.0)
+        net.add_edge(0, 2, 4.0)
+        net.add_edge(1, 3, 5.0)
+        net.add_edge(2, 3, 2.0)
+        net.max_flow(0, 3)
+        for f in (1.0, 2.0, 3.0):
+            cut = net.relaxed_cut_edges(3, f)
+            assert cut, f"relaxed cut empty at f={f}"
+
+
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(min_value=3, max_value=10))
+    edges = []
+    for src in range(n - 1):
+        for dst in range(src + 1, n):
+            if draw(st.booleans()):
+                cap = draw(st.floats(min_value=0.5, max_value=20.0))
+                edges.append((src, dst, cap))
+    return n, edges
+
+
+class TestAgainstNetworkx:
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_max_flow_matches_networkx(self, params):
+        n, edges = params
+        net = FlowNetwork()
+        for src, dst, cap in edges:
+            net.add_edge(src, dst, cap)
+        net.add_node(0)
+        net.add_node(n - 1)
+        ours = net.max_flow(0, n - 1)
+        theirs = nx_max_flow(edges, 0, n - 1)
+        assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-9)
+
+    @given(random_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_flow_conservation(self, params):
+        n, edges = params
+        net = FlowNetwork()
+        for src, dst, cap in edges:
+            net.add_edge(src, dst, cap)
+        net.add_node(0)
+        net.add_node(n - 1)
+        total = net.max_flow(0, n - 1)
+        for node in net.nodes():
+            inflow = sum(e.flow for e in net.edges if e.dst == node)
+            outflow = sum(e.flow for e in net.edges if e.src == node)
+            if node == 0:
+                assert outflow - inflow == pytest.approx(total, abs=1e-9)
+            elif node == n - 1:
+                assert inflow - outflow == pytest.approx(total, abs=1e-9)
+            else:
+                assert inflow == pytest.approx(outflow, abs=1e-9)
+
+    @given(random_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_min_cut_value_equals_flow(self, params):
+        n, edges = params
+        net = FlowNetwork()
+        for src, dst, cap in edges:
+            net.add_edge(src, dst, cap)
+        net.add_node(0)
+        net.add_node(n - 1)
+        total = net.max_flow(0, n - 1)
+        cut = net.min_cut_edges(0)
+        assert sum(e.capacity for e in cut) == pytest.approx(total, abs=1e-9)

@@ -1,0 +1,93 @@
+"""Property-based tests: GroupManager invariants under random workloads."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import StarkConfig, StarkContext
+from repro.cluster.cost_model import SimStr
+from repro.core.extendable_partitioner import ExtendablePartitioner
+
+KEY_SPACE = 1 << 10
+
+
+@st.composite
+def load_streams(draw):
+    """A random sequence of dataset loads with varying skew."""
+    loads = draw(st.lists(
+        st.tuples(
+            st.integers(0, 3),          # hot quarter of the key space
+            st.integers(20, 150),       # records
+            st.sampled_from([50, 500, 2_000]),  # payload bytes
+        ),
+        min_size=1, max_size=8,
+    ))
+    max_group = draw(st.sampled_from([20_000.0, 60_000.0, 200_000.0]))
+    return loads, max_group
+
+
+class TestGroupManagerProperties:
+    @given(load_streams())
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_under_any_load_stream(self, params):
+        loads, max_group = params
+        sc = StarkContext(
+            num_workers=4, cores_per_worker=2, memory_per_worker=1e9,
+            config=StarkConfig(max_group_mem_size=max_group,
+                               min_group_mem_size=max_group / 16),
+        )
+        part = ExtendablePartitioner.over_key_range(0, KEY_SPACE, 4, 4)
+        total_records = 0
+        for hot_quarter, records, payload in loads:
+            base = hot_quarter * (KEY_SPACE // 4)
+            data = [
+                (base + (i * 37) % (KEY_SPACE // 4),
+                 SimStr("v", sim_size=payload))
+                for i in range(records)
+            ]
+            rdd = sc.parallelize(data, part.num_partitions,
+                                 partitioner=part) \
+                .locality_partition_by(part, "prop").cache()
+            assert rdd.count() == records
+            total_records += records
+            sc.group_manager.report_rdd(rdd)
+
+            # Invariant 1: the tree still tiles the partition space.
+            state = sc.group_manager._state["prop"]
+            state.tree.check_invariants()
+            # Invariant 2: every leaf group has a placement on alive
+            # workers.
+            alive = set(sc.cluster.alive_worker_ids())
+            for leaf in state.tree.leaves():
+                placement = sc.group_manager.preferred_executors(
+                    "prop", leaf.start
+                )
+                assert placement
+                assert set(placement) <= alive
+            # Invariant 3: partitions map to exactly one group each.
+            mapping = state.tree.partition_to_group_map()
+            assert sorted(mapping) == list(range(part.num_partitions))
+
+    @given(load_streams())
+    @settings(max_examples=10, deadline=None)
+    def test_results_stable_across_rebalancing(self, params):
+        """Whatever splits/merges happen, query results never change."""
+        loads, max_group = params
+        sc = StarkContext(
+            num_workers=4, cores_per_worker=2, memory_per_worker=1e9,
+            config=StarkConfig(max_group_mem_size=max_group,
+                               min_group_mem_size=max_group / 16),
+        )
+        part = ExtendablePartitioner.over_key_range(0, KEY_SPACE, 4, 4)
+        rdds = []
+        for hot_quarter, records, payload in loads:
+            base = hot_quarter * (KEY_SPACE // 4)
+            data = [(base + i % (KEY_SPACE // 4), i) for i in range(records)]
+            rdd = sc.parallelize(data, part.num_partitions,
+                                 partitioner=part) \
+                .locality_partition_by(part, "prop").cache()
+            rdd.count()
+            sc.group_manager.report_rdd(rdd)
+            rdds.append((rdd, data))
+        for rdd, data in rdds:
+            values = sorted(v for _, v in rdd.collect())
+            assert values == sorted(v for _, v in data)

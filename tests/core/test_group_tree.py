@@ -1,0 +1,171 @@
+"""Tests for the GroupTree: invariants under arbitrary split/merge."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.group_tree import GroupTree, GroupTreeError
+
+
+class TestConstruction:
+    def test_initial_layout(self):
+        tree = GroupTree(num_groups=4, partitions_per_group=4)
+        leaves = tree.leaves()
+        assert len(leaves) == 4
+        assert [leaf.partitions for leaf in leaves] == [
+            [0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12, 13, 14, 15],
+        ]
+
+    def test_ith_group_contains_expected_partitions(self):
+        # The paper: group i contains partitions e*i .. e*(i+1)-1.
+        g, e = 8, 2
+        tree = GroupTree(g, e)
+        for i, leaf in enumerate(tree.leaves()):
+            assert leaf.partitions == list(range(e * i, e * (i + 1)))
+
+    def test_non_power_of_two_groups(self):
+        tree = GroupTree(num_groups=3, partitions_per_group=2)
+        tree.check_invariants()
+        assert tree.num_groups() == 3
+        assert tree.num_partitions == 6
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(GroupTreeError):
+            GroupTree(0, 4)
+        with pytest.raises(GroupTreeError):
+            GroupTree(4, 0)
+
+    def test_single_group(self):
+        tree = GroupTree(1, 8)
+        assert tree.num_groups() == 1
+        assert tree.leaves()[0].partitions == list(range(8))
+
+
+class TestSplitMerge:
+    def test_split_halves_partitions(self):
+        tree = GroupTree(2, 4)
+        leaf = tree.leaves()[0]
+        left, right = tree.split(leaf)
+        assert left.partitions == [0, 1]
+        assert right.partitions == [2, 3]
+        tree.check_invariants()
+
+    def test_split_single_partition_rejected(self):
+        tree = GroupTree(2, 1)
+        with pytest.raises(GroupTreeError, match="cannot split"):
+            tree.split(tree.leaves()[0])
+
+    def test_split_non_leaf_rejected(self):
+        tree = GroupTree(2, 4)
+        with pytest.raises(GroupTreeError, match="leaf"):
+            tree.split(tree.root)
+
+    def test_merge_restores_parent(self):
+        tree = GroupTree(2, 4)
+        leaf = tree.leaves()[0]
+        left, right = tree.split(leaf)
+        merged = tree.merge(left, right)
+        assert merged is leaf
+        assert merged.is_leaf
+        tree.check_invariants()
+
+    def test_merge_non_siblings_rejected(self):
+        tree = GroupTree(4, 2)
+        leaves = tree.leaves()
+        # leaves[0] and leaves[2] share a grandparent, not a parent.
+        with pytest.raises(GroupTreeError, match="siblings"):
+            tree.merge(leaves[0], leaves[2])
+
+    def test_merge_sibling_leaves_of_initial_tree(self):
+        tree = GroupTree(4, 2)
+        leaves = tree.leaves()
+        sib = leaves[0].sibling()
+        if sib is not None and sib.is_leaf:
+            merged = tree.merge(leaves[0], sib)
+            assert merged.num_partitions == 4
+            tree.check_invariants()
+
+    def test_split_is_inverse_of_merge(self):
+        tree = GroupTree(2, 8)
+        leaf = tree.leaves()[1]
+        left, right = tree.split(leaf)
+        tree.merge(left, right)
+        assert [l.partitions for l in tree.leaves()] == [
+            list(range(0, 8)), list(range(8, 16)),
+        ]
+
+    def test_group_of_partition_after_split(self):
+        tree = GroupTree(2, 4)
+        left, right = tree.split(tree.leaves()[0])
+        assert tree.group_of_partition(0) is left
+        assert tree.group_of_partition(3) is right
+        assert tree.group_of_partition(5) is tree.leaves()[2]
+
+    def test_group_of_partition_out_of_range(self):
+        tree = GroupTree(2, 2)
+        with pytest.raises(GroupTreeError):
+            tree.group_of_partition(4)
+        with pytest.raises(GroupTreeError):
+            tree.group_of_partition(-1)
+
+    def test_partition_to_group_map_complete(self):
+        tree = GroupTree(4, 4)
+        tree.split(tree.leaves()[2])
+        mapping = tree.partition_to_group_map()
+        assert sorted(mapping) == list(range(16))
+
+    def test_find_leaf(self):
+        tree = GroupTree(2, 2)
+        leaf = tree.leaves()[0]
+        assert tree.find_leaf(leaf.group_id) is leaf
+        assert tree.find_leaf(-1) is None
+
+
+@st.composite
+def tree_operations(draw):
+    """A GroupTree plus a random sequence of valid split/merge ops."""
+    g = draw(st.sampled_from([2, 4, 8]))
+    e = draw(st.sampled_from([2, 4]))
+    ops = draw(st.lists(st.tuples(st.booleans(), st.integers(0, 30)),
+                        max_size=25))
+    return g, e, ops
+
+
+class TestPropertyInvariants:
+    @given(tree_operations())
+    @settings(max_examples=60, deadline=None)
+    def test_leaves_always_tile_partition_space(self, params):
+        g, e, ops = params
+        tree = GroupTree(g, e)
+        for do_split, index in ops:
+            leaves = tree.leaves()
+            if do_split:
+                candidates = [l for l in leaves if l.num_partitions >= 2]
+                if candidates:
+                    tree.split(candidates[index % len(candidates)])
+            else:
+                candidates = [
+                    l for l in leaves
+                    if l.sibling() is not None and l.sibling().is_leaf
+                ]
+                if candidates:
+                    leaf = candidates[index % len(candidates)]
+                    sibling = leaf.sibling()
+                    first, second = (
+                        (leaf, sibling) if leaf.start < sibling.start
+                        else (sibling, leaf)
+                    )
+                    tree.merge(first, second)
+            tree.check_invariants()
+            # Every partition maps to exactly the leaf covering it.
+            for pid in range(tree.num_partitions):
+                leaf = tree.group_of_partition(pid)
+                assert leaf.start <= pid < leaf.end
+                assert leaf.is_leaf
+
+    @given(st.integers(1, 16), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_any_shape_constructs_consistently(self, g, e):
+        tree = GroupTree(g, e)
+        tree.check_invariants()
+        assert tree.num_groups() == g
+        assert sum(l.num_partitions for l in tree.leaves()) == g * e

@@ -1,0 +1,91 @@
+"""Direct unit tests for the ReplicationManager's event bookkeeping."""
+
+import pytest
+
+from repro import StarkConfig, StarkContext
+from repro.engine.block_manager import Block
+from repro.engine.partitioner import HashPartitioner
+
+from ..conftest import make_pairs
+
+
+@pytest.fixture
+def rep_sc():
+    return StarkContext(num_workers=3, cores_per_worker=2,
+                        memory_per_worker=1e9)
+
+
+class FakeStage:
+    def __init__(self, rdd):
+        self.rdd = rdd
+
+
+class FakeTask:
+    def __init__(self, rdd, partition):
+        self.stage = FakeStage(rdd)
+        self.partition = partition
+
+
+class TestSignals:
+    def test_remote_launch_counts_hotspot(self, rep_sc):
+        part = HashPartitioner(3)
+        rdd = rep_sc.parallelize(make_pairs(10), 3).locality_partition_by(
+            part, "ns"
+        )
+        manager = rep_sc.replication_manager
+        manager.on_remote_launch(FakeTask(rdd, 1), worker_id=2, time=1.0)
+        manager.on_remote_launch(FakeTask(rdd, 1), worker_id=0, time=2.0)
+        assert manager.hotspot_counts[("ns", 1)] == 2
+        kinds = [e.kind for e in manager.events]
+        assert kinds == ["replicate", "replicate"]
+
+    def test_non_namespace_rdd_ignored(self, rep_sc):
+        plain = rep_sc.parallelize(make_pairs(10), 3)
+        rep_sc.replication_manager.on_remote_launch(
+            FakeTask(plain, 0), worker_id=1, time=0.0
+        )
+        assert rep_sc.replication_manager.events == []
+
+    def test_hottest_partitions_ordering(self, rep_sc):
+        part = HashPartitioner(3)
+        rdd = rep_sc.parallelize(make_pairs(10), 3).locality_partition_by(
+            part, "ns"
+        )
+        manager = rep_sc.replication_manager
+        for _ in range(3):
+            manager.on_remote_launch(FakeTask(rdd, 2), worker_id=1, time=0.0)
+        manager.on_remote_launch(FakeTask(rdd, 0), worker_id=1, time=0.0)
+        hottest = manager.hottest_partitions(2)
+        assert hottest[0] == (("ns", 2), 3)
+        assert hottest[1] == (("ns", 0), 1)
+
+
+class TestDereplication:
+    def test_eviction_event_recorded(self, rep_sc):
+        part = HashPartitioner(2)
+        rdd = rep_sc.parallelize(make_pairs(10), 2).locality_partition_by(
+            part, "ns"
+        )
+        rep_sc.locality_manager.add_replica("ns", 0, 2)
+        bmm = rep_sc.block_manager_master
+        bmm.put(2, Block((rdd.rdd_id, 0), ["x"], 10.0))
+        bmm.remove_block((rdd.rdd_id, 0), 2)
+        kinds = [e.kind for e in rep_sc.replication_manager.events]
+        assert "dereplicate" in kinds
+
+    def test_eviction_of_unrelated_block_ignored(self, rep_sc):
+        plain = rep_sc.parallelize(make_pairs(10), 2)
+        bmm = rep_sc.block_manager_master
+        bmm.put(0, Block((plain.rdd_id, 0), ["x"], 10.0))
+        bmm.remove_block((plain.rdd_id, 0), 0)
+        assert rep_sc.replication_manager.events == []
+
+    def test_replication_count_passthrough(self, rep_sc):
+        part = HashPartitioner(2)
+        rep_sc.parallelize(make_pairs(10), 2).locality_partition_by(
+            part, "ns"
+        )
+        base = rep_sc.replication_manager.replication_count("ns", 0)
+        rep_sc.locality_manager.add_replica("ns", 0, 2)
+        assert rep_sc.replication_manager.replication_count("ns", 0) == \
+            base + 1

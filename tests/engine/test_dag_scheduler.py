@@ -1,0 +1,99 @@
+"""Tests for stage construction, skipping, and result assembly."""
+
+import pytest
+
+from repro.engine.partitioner import HashPartitioner
+
+from ..conftest import make_pairs
+
+
+class TestStageConstruction:
+    def test_narrow_chain_is_single_stage(self, sc):
+        rdd = (
+            sc.parallelize(list(range(10)), 2)
+            .map(lambda x: x)
+            .filter(lambda x: True)
+        )
+        rdd.count()
+        job = sc.metrics.last_job()
+        assert job.num_stages == 1
+
+    def test_shuffle_splits_into_two_stages(self, sc):
+        rdd = sc.parallelize(make_pairs(20), 2).partition_by(HashPartitioner(2))
+        rdd.count()
+        assert sc.metrics.last_job().num_stages == 2
+
+    def test_chained_shuffles_make_three_stages(self, sc):
+        rdd = (
+            sc.parallelize(make_pairs(20), 2)
+            .partition_by(HashPartitioner(2))
+            .map(lambda kv: (kv[1], kv[0]))
+            .partition_by(HashPartitioner(4))
+        )
+        rdd.count()
+        assert sc.metrics.last_job().num_stages == 3
+
+    def test_cogroup_of_unpartitioned_parents_adds_map_stages(self, sc):
+        a = sc.parallelize(make_pairs(10), 2)
+        b = sc.parallelize(make_pairs(10), 2)
+        a.cogroup(b, partitioner=HashPartitioner(2)).count()
+        # two map stages + the result stage
+        assert sc.metrics.last_job().num_stages == 3
+
+    def test_shared_shuffle_stage_not_duplicated(self, sc):
+        base = sc.parallelize(make_pairs(20), 2).partition_by(HashPartitioner(2))
+        left = base.filter(lambda kv: True)
+        right = base.map_values(lambda v: v)
+        cg = left.cogroup(right)
+        cg.count()
+        # One shared map stage (the partition_by), one result stage.
+        assert sc.metrics.last_job().num_stages == 2
+
+
+class TestStageSkipping:
+    def test_completed_map_stage_skipped(self, sc):
+        base = sc.parallelize(make_pairs(20), 2).partition_by(HashPartitioner(2))
+        base.count()
+        derived = base.filter(lambda kv: True)
+        derived.count()
+        job = sc.metrics.last_job()
+        assert job.skipped_stages == 1
+        # Only the result stage actually ran tasks.
+        stage_ids = {t.stage_id for t in job.tasks}
+        assert len(stage_ids) == 1
+
+    def test_lost_map_outputs_rerun_stage(self, sc):
+        base = sc.parallelize(make_pairs(20), 2).partition_by(HashPartitioner(2))
+        base.count()
+        # Simulate machine loss including local disk.
+        victim = next(iter(sc.cluster.worker_ids))
+        doomed = sc.map_output_tracker.remove_outputs_on_worker(victim)
+        base.count()
+        job = sc.metrics.last_job()
+        if doomed:
+            assert job.skipped_stages == 0
+        else:
+            assert job.skipped_stages == 1
+
+
+class TestResults:
+    def test_results_ordered_by_partition(self, sc):
+        part = HashPartitioner(4)
+        rdd = sc.parallelize(make_pairs(40), 4).partition_by(part)
+        per_partition = sc.run_job(rdd, lambda recs: [k for k, _ in recs])
+        assert len(per_partition) == 4
+        for pid, keys in enumerate(per_partition):
+            assert all(part.get_partition(k) == pid for k in keys)
+
+    def test_custom_action(self, sc):
+        rdd = sc.parallelize(list(range(10)), 2)
+        sums = sc.run_job(rdd, sum)
+        assert sum(sums) == sum(range(10))
+
+    def test_job_metrics_recorded(self, sc):
+        rdd = sc.parallelize(list(range(10)), 2)
+        rdd.count()
+        job = sc.metrics.last_job()
+        assert job.finish_time >= job.submit_time
+        assert len(job.tasks) == 2
+        assert all(t.finish_time >= t.start_time for t in job.tasks)

@@ -1,0 +1,108 @@
+"""Tests for grouped task execution (GroupResultTask / GroupShuffleMapTask)."""
+
+import pytest
+
+from repro import StarkConfig, StarkContext
+from repro.cluster.cost_model import SimStr
+from repro.core.extendable_partitioner import ExtendablePartitioner
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.task import GroupResultTask, GroupShuffleMapTask
+
+KEY_SPACE = 1 << 10
+
+
+def grouped_context():
+    return StarkContext(
+        num_workers=4, cores_per_worker=2, memory_per_worker=1e9,
+        config=StarkConfig(max_group_mem_size=1e12, min_group_mem_size=0.0),
+    )
+
+
+def load_grouped(sc, records=256, groups=4, per_group=4, namespace="grp"):
+    part = ExtendablePartitioner.over_key_range(0, KEY_SPACE, groups,
+                                                per_group)
+    data = [
+        (k % KEY_SPACE, SimStr("v", sim_size=64)) for k in range(records)
+    ]
+    rdd = sc.parallelize(data, part.num_partitions, partitioner=part) \
+        .locality_partition_by(part, namespace).cache()
+    rdd.count()
+    return rdd, part
+
+
+class TestGroupResultTasks:
+    def test_one_task_per_group(self):
+        sc = grouped_context()
+        rdd, part = load_grouped(sc)
+        rdd.count()
+        job = sc.metrics.last_job()
+        assert len(job.tasks) == 4  # 16 partitions -> 4 groups
+        covered = sorted(
+            pid for t in job.tasks
+            for pid in range(part.num_partitions)
+            if t.group_id is not None
+        )
+        assert {t.group_id for t in job.tasks} == {
+            g.group_id for g in sc.group_manager.groups_for("grp")
+        }
+
+    def test_group_task_results_complete(self):
+        sc = grouped_context()
+        rdd, part = load_grouped(sc, records=300)
+        assert rdd.count() == 300
+        assert len(rdd.collect()) == 300
+
+    def test_derived_narrow_rdd_also_grouped(self):
+        sc = grouped_context()
+        rdd, part = load_grouped(sc)
+        derived = rdd.map_values(lambda v: v).filter(lambda kv: True)
+        derived.count()
+        job = sc.metrics.last_job()
+        assert len(job.tasks) == 4
+        assert all(isinstance(t.group_id, int) for t in job.tasks)
+
+
+class TestGroupShuffleMapTasks:
+    def test_shuffle_out_of_grouped_namespace(self):
+        """A further shuffle out of a grouped RDD runs its map side as
+        group tasks, and the result is still correct."""
+        sc = grouped_context()
+        rdd, part = load_grouped(sc, records=200)
+        regrouped = rdd.map(
+            lambda kv: (str(kv[0] % 10), 1)
+        ).reduce_by_key(lambda a, b: a + b, HashPartitioner(4))
+        result = dict(regrouped.collect())
+        assert sum(result.values()) == 200
+        # The map stage of that shuffle used group tasks.
+        job = sc.metrics.last_job()
+        stage_ids = sorted({t.stage_id for t in job.tasks})
+        map_stage_tasks = [t for t in job.tasks if t.stage_id == stage_ids[0]]
+        assert len(map_stage_tasks) == 4
+        assert all(t.group_id is not None for t in map_stage_tasks)
+
+    def test_group_cogroup_correct(self):
+        sc = grouped_context()
+        a, part = load_grouped(sc, records=128, namespace="cg")
+        data_b = [(k % KEY_SPACE, k) for k in range(128)]
+        b = sc.parallelize(data_b, part.num_partitions, partitioner=part) \
+            .locality_partition_by(part, "cg").cache()
+        b.count()
+        merged = a.cogroup(b)
+        total_pairs = sum(
+            len(left) + len(right) for _, (left, right) in merged.collect()
+        )
+        assert total_pairs == 256
+
+
+class TestGroupTaskMetrics:
+    def test_group_tasks_record_group_id(self):
+        sc = grouped_context()
+        rdd, part = load_grouped(sc)
+        rdd.count()
+        for t in sc.metrics.last_job().tasks:
+            assert t.group_id is not None
+            assert t.partition == min(
+                p for g in sc.group_manager.groups_for("grp")
+                if g.group_id == t.group_id
+                for p in g.partitions
+            )

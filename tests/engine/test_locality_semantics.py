@@ -1,0 +1,143 @@
+"""Tests for the engine's locality semantics — the behaviours §II-B of
+the paper builds its argument on.
+
+1. A partition cached locally is read from RAM (cheap).
+2. A partition cached only remotely is NOT fetched: the stage recomputes
+   from the shuffle outputs (expensive) — Spark-1.3's rule.
+3. Co-located collections cogroup without any shuffle fetch.
+"""
+
+import pytest
+
+from repro import StarkConfig, StarkContext
+from repro.engine.partitioner import HashPartitioner
+
+from ..conftest import make_pairs
+
+
+def build_collection(sc, n_rdds, locality, num_partitions=4, records=400):
+    part = HashPartitioner(num_partitions)
+    rdds = []
+    for i in range(n_rdds):
+        base = sc.parallelize(make_pairs(records, num_keys=50), num_partitions)
+        if locality:
+            rdd = base.locality_partition_by(part, namespace="col")
+        else:
+            rdd = base.partition_by(part)
+        rdd.cache()
+        rdd.count()
+        rdds.append(rdd)
+    return rdds
+
+
+class TestCacheLocality:
+    def test_local_cache_hit_avoids_recompute(self, sc):
+        rdd = sc.parallelize(make_pairs(200), 4).partition_by(
+            HashPartitioner(4)
+        ).cache()
+        rdd.count()
+        rdd.count()
+        job = sc.metrics.last_job()
+        assert all(t.cache_hits > 0 for t in job.tasks)
+        assert all(t.recomputed_partitions == 0 for t in job.tasks)
+
+    def test_no_remote_cache_fetch(self):
+        """A task without local cache recomputes from the shuffle — it
+        must never read another executor's cache."""
+        sc = StarkContext(
+            num_workers=4, cores_per_worker=2, memory_per_worker=1e9,
+            config=StarkConfig(locality_enabled=False, mcf_enabled=False,
+                               replication_enabled=False),
+        )
+        rdds = build_collection(sc, 3, locality=False)
+        cg = rdds[0].cogroup(*rdds[1:])
+        cg.count()
+        job = sc.metrics.last_job()
+        # Some input partition of some task was cached only remotely;
+        # that shows up as shuffle fetch + recompute, not as a free read.
+        missed = [t for t in job.tasks if t.cache_misses > 0]
+        assert missed, "expected at least one task to miss its local cache"
+        assert all(t.shuffle_fetch_time > 0 for t in missed)
+
+    def test_colocality_eliminates_fetch(self, sc):
+        rdds = build_collection(sc, 3, locality=True)
+        cg = rdds[0].cogroup(*rdds[1:])
+        cg.count()
+        job = sc.metrics.last_job()
+        assert all(t.shuffle_fetch_time == 0 for t in job.tasks)
+        assert all(t.locality == "PROCESS_LOCAL" for t in job.tasks)
+
+    def test_colocality_speeds_up_cogroup(self):
+        def run(locality):
+            config = StarkConfig(
+                locality_enabled=locality, mcf_enabled=locality,
+                replication_enabled=locality,
+            )
+            sc = StarkContext(num_workers=4, cores_per_worker=2,
+                              memory_per_worker=1e9, config=config)
+            rdds = build_collection(sc, 4, locality=locality, records=2000)
+            cg = rdds[0].cogroup(*rdds[1:])
+            cg.count()
+            return sc.metrics.last_job().makespan
+
+        spark_delay = run(False)
+        stark_delay = run(True)
+        assert stark_delay < spark_delay
+
+    def test_namespace_carries_through_narrow_transforms(self, sc):
+        part = HashPartitioner(4)
+        base = sc.parallelize(make_pairs(50), 4).locality_partition_by(
+            part, "ns1"
+        )
+        derived = base.filter(lambda kv: True).map_values(lambda v: v)
+        assert derived.namespace == "ns1"
+
+    def test_namespace_not_carried_through_shuffle(self, sc):
+        part = HashPartitioner(4)
+        base = sc.parallelize(make_pairs(50), 4).locality_partition_by(
+            part, "ns1"
+        )
+        shuffled = base.map(lambda kv: (kv[1], kv[0])).partition_by(
+            HashPartitioner(2)
+        )
+        assert shuffled.namespace is None
+
+    def test_collection_partitions_land_on_pinned_workers(self, sc):
+        rdds = build_collection(sc, 3, locality=True)
+        manager = sc.locality_manager
+        bmm = sc.block_manager_master
+        for pid in range(4):
+            pinned = set(manager.preferred_executors("col", pid))
+            for rdd in rdds:
+                locs = bmm.locations((rdd.rdd_id, pid))
+                assert locs, f"partition {pid} of {rdd} not cached"
+                assert locs <= pinned | locs  # cached at least somewhere
+                assert pinned & locs, (
+                    f"partition {pid} cached on {locs}, pinned {pinned}"
+                )
+
+    def test_collection_partition_alignment(self, sc):
+        """All RDDs of the namespace cache partition p on one worker."""
+        rdds = build_collection(sc, 4, locality=True)
+        bmm = sc.block_manager_master
+        for pid in range(4):
+            location_sets = [bmm.locations((r.rdd_id, pid)) for r in rdds]
+            common = set.intersection(*location_sets)
+            assert common, f"collection partition {pid} has no common worker"
+
+
+class TestLocalityLevels:
+    def test_tasks_prefer_cached_workers(self, sc):
+        rdd = sc.parallelize(make_pairs(100), 4).partition_by(
+            HashPartitioner(4)
+        ).cache()
+        rdd.count()
+        rdd.count()
+        job = sc.metrics.last_job()
+        assert all(t.locality == "PROCESS_LOCAL" for t in job.tasks)
+
+    def test_uncached_first_job_runs_any(self, sc):
+        rdd = sc.parallelize(list(range(40)), 4).map(lambda x: x)
+        rdd.count()
+        job = sc.metrics.last_job()
+        assert all(t.locality == "ANY" for t in job.tasks)

@@ -1,0 +1,170 @@
+"""Tests for the extended pair-RDD operations (pair_ops)."""
+
+from collections import Counter, defaultdict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import StarkContext
+from repro.engine.partitioner import HashPartitioner
+
+pairs = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(-20, 20)), max_size=40
+)
+
+
+class TestOuterJoins:
+    def setup_method(self):
+        self.sc = StarkContext(num_workers=2, cores_per_worker=2)
+        self.left = self.sc.parallelize(
+            [("a", 1), ("b", 2), ("a", 3)], 2
+        )
+        self.right = self.sc.parallelize(
+            [("a", "x"), ("c", "y")], 2
+        )
+
+    def test_left_outer(self):
+        result = sorted(self.left.left_outer_join(self.right).collect())
+        assert result == [("a", (1, "x")), ("a", (3, "x")),
+                          ("b", (2, None))]
+
+    def test_right_outer(self):
+        result = sorted(
+            self.left.right_outer_join(self.right).collect(),
+            key=lambda kv: (kv[0], str(kv[1])),
+        )
+        assert ("c", (None, "y")) in result
+        assert ("a", (1, "x")) in result
+        assert not any(k == "b" for k, _ in result)
+
+    def test_full_outer(self):
+        result = self.left.full_outer_join(self.right).collect()
+        keys = {k for k, _ in result}
+        assert keys == {"a", "b", "c"}
+        assert ("b", (2, None)) in result
+        assert ("c", (None, "y")) in result
+
+    @given(pairs, pairs)
+    @settings(max_examples=15, deadline=None)
+    def test_full_outer_covers_all_keys(self, left, right):
+        sc = StarkContext(num_workers=2, cores_per_worker=2)
+        a = sc.parallelize(left, 2)
+        b = sc.parallelize(right, 2)
+        result_keys = {k for k, _ in a.full_outer_join(b).collect()}
+        assert result_keys == {k for k, _ in left} | {k for k, _ in right}
+
+
+class TestSubtractByKey:
+    def test_removes_matching_keys(self, sc):
+        a = sc.parallelize([("a", 1), ("b", 2), ("c", 3)], 2)
+        b = sc.parallelize([("b", 99)], 2)
+        assert sorted(a.subtract_by_key(b).collect()) == \
+            [("a", 1), ("c", 3)]
+
+    def test_empty_other_keeps_everything(self, sc):
+        a = sc.parallelize([("a", 1)], 2)
+        b = sc.parallelize([("zz", 0)], 2).filter(lambda kv: False)
+        assert a.subtract_by_key(b).collect() == [("a", 1)]
+
+
+class TestSortByKey:
+    def test_global_ascending_order(self, sc):
+        import random
+
+        data = [(k, k) for k in range(100)]
+        random.Random(3).shuffle(data)
+        rdd = sc.parallelize(data, 4).sort_by_key()
+        parts = rdd.collect_partitions()
+        flattened = [k for part in parts for k, _ in part]
+        assert flattened == sorted(flattened)
+
+    def test_within_partition_sorted(self, sc):
+        rdd = sc.parallelize([(3, "c"), (1, "a"), (2, "b")], 2).sort_by_key()
+        for part in rdd.collect_partitions():
+            keys = [k for k, _ in part]
+            assert keys == sorted(keys)
+
+    def test_empty_rdd(self, sc):
+        rdd = sc.parallelize([], 2).sort_by_key()
+        assert rdd.collect() == []
+
+
+class TestAggregateByKey:
+    def test_sum_and_count(self, sc):
+        data = [("a", 1), ("a", 2), ("b", 5)]
+        rdd = sc.parallelize(data, 3).aggregate_by_key(
+            (0, 0),
+            lambda acc, v: (acc[0] + v, acc[1] + 1),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        result = dict(rdd.collect())
+        assert result == {"a": (3, 2), "b": (5, 1)}
+
+    @given(pairs)
+    @settings(max_examples=15, deadline=None)
+    def test_matches_reference_sum(self, data):
+        sc = StarkContext(num_workers=2, cores_per_worker=2)
+        rdd = sc.parallelize(data, 3).aggregate_by_key(
+            0, lambda acc, v: acc + v, lambda a, b: a + b,
+        )
+        expected = defaultdict(int)
+        for k, v in data:
+            expected[k] += v
+        assert dict(rdd.collect()) == dict(expected)
+
+
+class TestCombineByKey:
+    def test_builds_lists(self, sc):
+        data = [("a", 1), ("a", 2), ("b", 3)]
+        rdd = sc.parallelize(data, 3).combine_by_key(
+            create=lambda v: [v],
+            merge_value=lambda acc, v: acc + [v],
+            merge_combiners=lambda a, b: a + b,
+        )
+        result = {k: sorted(v) for k, v in rdd.collect()}
+        assert result == {"a": [1, 2], "b": [3]}
+
+    def test_respects_partitioner(self, sc):
+        part = HashPartitioner(2)
+        data = [("a", 1), ("b", 2)]
+        rdd = sc.parallelize(data, 2).combine_by_key(
+            lambda v: v, lambda a, v: a + v, lambda a, b: a + b,
+            partitioner=part,
+        )
+        assert rdd.partitioner == part
+
+
+class TestActions:
+    def test_count_by_key(self, sc):
+        data = [("a", 1), ("a", 2), ("b", 3)]
+        assert sc.parallelize(data, 2).count_by_key() == {"a": 2, "b": 1}
+
+    def test_lookup_unpartitioned(self, sc):
+        data = [("a", 1), ("b", 2), ("a", 3)]
+        assert sorted(sc.parallelize(data, 2).lookup("a")) == [1, 3]
+
+    def test_lookup_partitioned_scans_one_partition(self, sc):
+        part = HashPartitioner(4)
+        rdd = sc.parallelize([("a", 1), ("b", 2)], 4).partition_by(part)
+        assert rdd.lookup("a") == [1]
+        assert rdd.lookup("missing") == []
+
+    def test_sample_fraction_bounds(self, sc):
+        rdd = sc.parallelize([("a", 1)], 1)
+        with pytest.raises(ValueError):
+            rdd.sample(1.5)
+
+    def test_sample_deterministic_and_subset(self, sc):
+        data = [(i, i) for i in range(200)]
+        rdd = sc.parallelize(data, 4)
+        s1 = rdd.sample(0.3, seed=5).collect()
+        s2 = rdd.sample(0.3, seed=5).collect()
+        assert Counter(s1) == Counter(s2)
+        assert set(s1) <= set(data)
+        assert 20 < len(s1) < 120  # roughly 30%
+
+    def test_take_sample(self, sc):
+        data = [(i, i) for i in range(50)]
+        sample = sc.parallelize(data, 4).take_sample(10, seed=1)
+        assert len(sample) == 10
+        assert set(sample) <= set(data)

@@ -1,0 +1,117 @@
+"""Property-based scheduler invariants under random multi-job loads.
+
+Whatever mix of jobs, arrival times, partition counts, and feature flags
+hypothesis produces, the scheduler must never violate:
+
+* slot capacity — at most ``cores`` concurrent tasks per worker;
+* causality — no task starts before its job's submit time, and no stage
+  task starts before its parent stages' tasks finish;
+* liveness — every submitted job finishes with all partitions computed;
+* correctness — results are independent of scheduling.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import StarkConfig, StarkContext
+from repro.engine.partitioner import HashPartitioner
+
+
+@st.composite
+def job_mixes(draw):
+    jobs = draw(st.lists(
+        st.tuples(
+            st.integers(1, 6),            # partitions
+            st.integers(0, 80),           # records
+            st.booleans(),                # shuffle?
+            st.floats(min_value=0.0, max_value=2.0),  # arrival gap
+        ),
+        min_size=1, max_size=6,
+    ))
+    workers = draw(st.integers(1, 4))
+    cores = draw(st.integers(1, 3))
+    locality = draw(st.booleans())
+    wait = draw(st.sampled_from([0.0, 0.05, 0.5]))
+    return jobs, workers, cores, locality, wait
+
+
+class TestSchedulerProperties:
+    @given(job_mixes())
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_under_random_load(self, params):
+        jobs, workers, cores, locality, wait = params
+        sc = StarkContext(
+            num_workers=workers, cores_per_worker=cores,
+            memory_per_worker=1e9,
+            config=StarkConfig(locality_wait=wait,
+                               locality_enabled=locality,
+                               mcf_enabled=locality,
+                               replication_enabled=locality),
+        )
+        arrival = 0.0
+        expected_counts = []
+        for i, (partitions, records, shuffle, gap) in enumerate(jobs):
+            arrival += gap
+            data = [(f"k{j % 9}", j) for j in range(records)]
+            rdd = sc.parallelize(data, partitions)
+            if shuffle:
+                rdd = rdd.partition_by(HashPartitioner(partitions))
+            rdd = rdd.map_values(lambda v: v + 1)
+            results = sc.run_job(rdd, len, submit_time=arrival,
+                                 description=f"job{i}")
+            expected_counts.append((sum(results), records))
+
+        # Correctness: every job saw all its records.
+        for got, want in expected_counts:
+            assert got == want
+
+        # Causality + capacity, across ALL jobs simultaneously.
+        all_tasks = [t for j in sc.metrics.jobs for t in j.tasks]
+        for job in sc.metrics.jobs:
+            for t in job.tasks:
+                assert t.start_time >= job.submit_time - 1e-9
+                assert t.finish_time >= t.start_time
+            assert job.finish_time >= max(
+                (t.finish_time for t in job.tasks), default=job.submit_time
+            ) - 1e-9
+        by_worker = {}
+        for t in all_tasks:
+            by_worker.setdefault(t.worker_id, []).append(t)
+        for wid, tasks in by_worker.items():
+            capacity = sc.cluster.get_worker(wid).cores
+            events = []
+            for t in tasks:
+                if t.finish_time > t.start_time:
+                    events.append((t.start_time, 1))
+                    events.append((t.finish_time, -1))
+            events.sort(key=lambda e: (e[0], e[1]))
+            running = 0
+            for _, delta in events:
+                running += delta
+                assert running <= capacity
+
+    @given(job_mixes())
+    @settings(max_examples=10, deadline=None)
+    def test_stage_ordering(self, params):
+        """Reduce tasks never start before their map stage finishes."""
+        jobs, workers, cores, locality, wait = params
+        sc = StarkContext(
+            num_workers=workers, cores_per_worker=cores,
+            memory_per_worker=1e9,
+            config=StarkConfig(locality_wait=wait),
+        )
+        data = [(f"k{j % 5}", j) for j in range(50)]
+        rdd = sc.parallelize(data, 3).partition_by(HashPartitioner(3))
+        rdd.count()
+        job = sc.metrics.jobs[-1]
+        stages = sorted({t.stage_id for t in job.tasks})
+        if len(stages) == 2:
+            map_finish = max(
+                t.finish_time for t in job.tasks if t.stage_id == stages[0]
+            )
+            reduce_start = min(
+                t.start_time for t in job.tasks if t.stage_id == stages[1]
+            )
+            assert reduce_start >= map_finish - 1e-9

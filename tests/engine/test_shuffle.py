@@ -1,0 +1,106 @@
+"""Tests for the map-output tracker."""
+
+import pytest
+
+from repro.engine.shuffle import MapOutputTracker
+
+
+def buckets(*sizes_and_records):
+    return {
+        rpid: (float(size), records)
+        for rpid, size, records in sizes_and_records
+    }
+
+
+class TestMapOutputTracker:
+    def test_register_and_fetch(self):
+        tracker = MapOutputTracker()
+        tracker.register_shuffle(0, num_maps=2)
+        tracker.register_map_output(0, 0, worker_id=1,
+                                    buckets=buckets((0, 10, ["a"])))
+        tracker.register_map_output(0, 1, worker_id=2,
+                                    buckets=buckets((0, 20, ["b"])))
+        outputs = tracker.outputs_for_reduce(0, 0)
+        assert [o.worker_id for o in outputs] == [1, 2]
+        assert [o.records for o in outputs] == [["a"], ["b"]]
+
+    def test_reduce_with_no_bucket_is_empty(self):
+        tracker = MapOutputTracker()
+        tracker.register_shuffle(0, num_maps=1)
+        tracker.register_map_output(0, 0, 1, buckets((0, 10, ["a"])))
+        assert tracker.outputs_for_reduce(0, 1) == []
+
+    def test_incomplete_shuffle_raises_on_fetch(self):
+        tracker = MapOutputTracker()
+        tracker.register_shuffle(0, num_maps=2)
+        tracker.register_map_output(0, 0, 1, buckets((0, 10, ["a"])))
+        with pytest.raises(RuntimeError, match="map output missing"):
+            tracker.outputs_for_reduce(0, 0)
+
+    def test_is_shuffle_complete(self):
+        tracker = MapOutputTracker()
+        tracker.register_shuffle(0, num_maps=2)
+        assert not tracker.is_shuffle_complete(0)
+        tracker.register_map_output(0, 0, 1, buckets((0, 1, [])))
+        assert not tracker.is_shuffle_complete(0)
+        tracker.register_map_output(0, 1, 1, buckets((0, 1, [])))
+        assert tracker.is_shuffle_complete(0)
+
+    def test_unknown_shuffle_not_complete(self):
+        assert not MapOutputTracker().is_shuffle_complete(42)
+
+    def test_missing_map_partitions(self):
+        tracker = MapOutputTracker()
+        tracker.register_shuffle(0, num_maps=3)
+        tracker.register_map_output(0, 1, 1, buckets((0, 1, [])))
+        assert tracker.missing_map_partitions(0) == [0, 2]
+
+    def test_reregister_same_count_ok(self):
+        tracker = MapOutputTracker()
+        tracker.register_shuffle(0, num_maps=2)
+        tracker.register_shuffle(0, num_maps=2)
+
+    def test_reregister_different_count_rejected(self):
+        tracker = MapOutputTracker()
+        tracker.register_shuffle(0, num_maps=2)
+        with pytest.raises(ValueError):
+            tracker.register_shuffle(0, num_maps=3)
+
+    def test_register_output_for_unknown_shuffle_rejected(self):
+        tracker = MapOutputTracker()
+        with pytest.raises(KeyError):
+            tracker.register_map_output(9, 0, 1, buckets((0, 1, [])))
+
+    def test_reduce_input_bytes(self):
+        tracker = MapOutputTracker()
+        tracker.register_shuffle(0, num_maps=2)
+        tracker.register_map_output(0, 0, 1, buckets((0, 10, []), (1, 5, [])))
+        tracker.register_map_output(0, 1, 1, buckets((0, 20, [])))
+        assert tracker.reduce_input_bytes(0, 0) == 30
+        assert tracker.reduce_input_bytes(0, 1) == 5
+
+    def test_remove_outputs_on_worker(self):
+        tracker = MapOutputTracker()
+        tracker.register_shuffle(0, num_maps=2)
+        tracker.register_map_output(0, 0, 1, buckets((0, 1, [])))
+        tracker.register_map_output(0, 1, 2, buckets((0, 1, [])))
+        doomed = tracker.remove_outputs_on_worker(1)
+        assert doomed == [(0, 0)]
+        assert not tracker.is_shuffle_complete(0)
+        assert tracker.missing_map_partitions(0) == [0]
+
+    def test_unregister_shuffle(self):
+        tracker = MapOutputTracker()
+        tracker.register_shuffle(0, num_maps=1)
+        tracker.register_map_output(0, 0, 1, buckets((0, 7, [])))
+        tracker.unregister_shuffle(0)
+        assert not tracker.is_shuffle_complete(0)
+        assert tracker.total_shuffle_bytes() == 0
+
+    def test_total_shuffle_bytes(self):
+        tracker = MapOutputTracker()
+        tracker.register_shuffle(0, num_maps=1)
+        tracker.register_shuffle(1, num_maps=1)
+        tracker.register_map_output(0, 0, 1, buckets((0, 7, [])))
+        tracker.register_map_output(1, 0, 1, buckets((0, 3, [])))
+        assert tracker.total_shuffle_bytes() == 10

@@ -1,0 +1,135 @@
+"""Tests for delay scheduling and slot accounting."""
+
+import pytest
+
+from repro import StarkConfig, StarkContext
+from repro.engine.partitioner import HashPartitioner
+
+from ..conftest import make_pairs
+
+
+def small_context(**kwargs):
+    defaults = dict(num_workers=3, cores_per_worker=2, memory_per_worker=1e9)
+    defaults.update(kwargs)
+    return StarkContext(**defaults)
+
+
+class TestSlotAccounting:
+    def test_no_slot_runs_two_tasks_at_once(self):
+        sc = small_context()
+        rdd = sc.parallelize(list(range(200)), 12).map(lambda x: x)
+        rdd.count()
+        job = sc.metrics.last_job()
+        # Group task intervals by worker; within a worker at most
+        # `cores` tasks may overlap at any instant.
+        by_worker = {}
+        for t in job.tasks:
+            by_worker.setdefault(t.worker_id, []).append(t)
+        for wid, tasks in by_worker.items():
+            cores = sc.cluster.get_worker(wid).cores
+            events = []
+            for t in tasks:
+                events.append((t.start_time, 1))
+                events.append((t.finish_time, -1))
+            events.sort()
+            running = 0
+            for _, delta in events:
+                running += delta
+                assert running <= cores
+
+    def test_all_partitions_get_tasks(self):
+        sc = small_context()
+        rdd = sc.parallelize(list(range(100)), 7).map(lambda x: x)
+        rdd.count()
+        job = sc.metrics.last_job()
+        assert sorted(t.partition for t in job.tasks) == list(range(7))
+
+    def test_makespan_reflects_parallelism(self):
+        serial = small_context(num_workers=1, cores_per_worker=1)
+        parallel = small_context(num_workers=4, cores_per_worker=2)
+        for ctx in (serial, parallel):
+            rdd = ctx.parallelize(make_pairs(4000), 8).map(lambda kv: kv)
+            rdd.count()
+        assert parallel.metrics.last_job().makespan < \
+            serial.metrics.last_job().makespan
+
+    def test_tasks_start_after_submit_time(self):
+        sc = small_context()
+        sc.cluster.clock.advance_to(100.0)
+        rdd = sc.parallelize(list(range(10)), 2)
+        rdd.count()
+        job = sc.metrics.last_job()
+        assert all(t.start_time >= 100.0 for t in job.tasks)
+        assert job.submit_time == 100.0
+
+    def test_second_job_queues_behind_first(self):
+        sc = small_context(num_workers=1, cores_per_worker=1)
+        rdd1 = sc.parallelize(make_pairs(3000), 2).map(lambda kv: kv)
+        rdd1.count()
+        first_finish = sc.metrics.last_job().finish_time
+        rdd2 = sc.parallelize(make_pairs(10), 2)
+        # Submitted at time 0 but the only slot is busy until first_finish.
+        sc.run_job(rdd2, len, submit_time=0.0)
+        job2 = sc.metrics.last_job()
+        assert min(t.start_time for t in job2.tasks) >= 0.0
+        assert job2.finish_time >= first_finish
+
+
+class TestDelayScheduling:
+    def test_waits_for_preferred_worker(self):
+        """With locality_wait large, tasks wait for their cached worker
+        instead of running remotely."""
+        config = StarkConfig(locality_wait=10.0)
+        sc = small_context(config=config)
+        rdd = sc.parallelize(make_pairs(1000), 3).partition_by(
+            HashPartitioner(3)
+        ).cache()
+        rdd.count()
+        rdd.count()
+        job = sc.metrics.last_job()
+        assert all(t.locality == "PROCESS_LOCAL" for t in job.tasks)
+
+    def test_zero_wait_allows_immediate_remote(self):
+        config = StarkConfig(locality_wait=0.0, locality_enabled=False,
+                             mcf_enabled=False, replication_enabled=False)
+        sc = small_context(config=config)
+        rdd = sc.parallelize(make_pairs(100), 6).partition_by(
+            HashPartitioner(6)
+        ).cache()
+        rdd.count()
+        rdd.count()
+        # With no wait, over-subscribed cached workers spill to ANY.
+        # (Not asserted strictly: depends on placement; just must finish.)
+        assert sc.metrics.last_job().makespan >= 0
+
+    def test_dead_preferred_worker_does_not_block(self):
+        sc = small_context()
+        rdd = sc.parallelize(make_pairs(100), 3).partition_by(
+            HashPartitioner(3)
+        ).cache()
+        rdd.count()
+        victim = sc.metrics.last_job().tasks[0].worker_id
+        sc.cluster.kill_worker(victim)
+        sc.block_manager_master.lose_worker(victim)
+        rdd.count()  # must not hang waiting for the dead worker
+        job = sc.metrics.last_job()
+        assert all(t.worker_id != victim for t in job.tasks)
+
+    def test_no_alive_workers_raises(self):
+        sc = small_context(num_workers=1)
+        sc.cluster.kill_worker(0)
+        rdd = sc.parallelize([1, 2], 2)
+        with pytest.raises(RuntimeError, match="no alive workers"):
+            rdd.count()
+
+
+class TestDriverOverhead:
+    def test_many_tiny_tasks_hit_driver_dispatch(self):
+        """Fig 7's right side: driver dispatch serializes task launches,
+        so thousands of tiny tasks are slower than dozens."""
+        few = small_context(num_workers=8, cores_per_worker=4)
+        many = small_context(num_workers=8, cores_per_worker=4)
+        few.parallelize(list(range(256)), 16).map(lambda x: x).count()
+        many.parallelize(list(range(256)), 256).map(lambda x: x).count()
+        assert many.metrics.last_job().makespan > \
+            few.metrics.last_job().makespan

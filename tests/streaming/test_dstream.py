@@ -1,0 +1,227 @@
+"""Tests for the micro-batch streaming layer."""
+
+import pytest
+
+from repro import StarkContext
+from repro.engine.partitioner import HashPartitioner
+from repro.streaming import StreamingContext
+from repro.workloads.distributions import seeded_rng
+
+
+def counting_receiver(records_per_step=40, num_keys=10):
+    def receiver(step, num_partitions):
+        def generate(pid):
+            rng = seeded_rng("stream", step, pid)
+            return [
+                (f"k{rng.randint(0, num_keys - 1)}", step)
+                for i in range(pid, records_per_step, num_partitions)
+            ]
+
+        return generate
+
+    return receiver
+
+
+@pytest.fixture
+def ssc(sc):
+    return StreamingContext(sc, batch_seconds=300.0, retention_steps=4)
+
+
+class TestIngestion:
+    def test_advance_creates_one_rdd_per_step(self, sc, ssc):
+        stream = ssc.receiver_stream(counting_receiver(), 4)
+        ssc.advance(3)
+        assert sorted(stream.rdds) == [0, 1, 2]
+
+    def test_batch_contents_correct(self, sc, ssc):
+        stream = ssc.receiver_stream(counting_receiver(40), 4)
+        ssc.advance(1)
+        assert stream.rdd_of_step(0).count() == 40
+
+    def test_retention_evicts_old_steps(self, sc, ssc):
+        stream = ssc.receiver_stream(counting_receiver(), 4)
+        ssc.advance(6)
+        assert sorted(stream.rdds) == [2, 3, 4, 5]
+
+    def test_eviction_unpersists_blocks(self, sc, ssc):
+        stream = ssc.receiver_stream(counting_receiver(), 4)
+        ssc.advance(1)
+        old = stream.rdd_of_step(0)
+        assert sc.block_manager_master.cached_partitions_of(old.rdd_id)
+        ssc.advance(5)
+        assert not sc.block_manager_master.cached_partitions_of(old.rdd_id)
+
+    def test_stark_mode_registers_namespace(self, sc, ssc):
+        part = HashPartitioner(4)
+        ssc.receiver_stream(counting_receiver(), 4, partitioner=part,
+                            namespace="stream")
+        ssc.advance(2)
+        assert sc.locality_manager.has_namespace("stream")
+        assert len(sc.locality_manager.rdds_in_namespace("stream")) == 2
+
+    def test_spark_mode_partitions_without_namespace(self, sc, ssc):
+        part = HashPartitioner(4)
+        stream = ssc.receiver_stream(counting_receiver(), 4, partitioner=part)
+        ssc.advance(1)
+        rdd = stream.latest()
+        assert rdd.partitioner == part
+        assert rdd.namespace is None
+
+    def test_invalid_parameters(self, sc):
+        with pytest.raises(ValueError):
+            StreamingContext(sc, batch_seconds=0)
+        with pytest.raises(ValueError):
+            StreamingContext(sc, retention_steps=0)
+
+
+class TestWindows:
+    def test_window_returns_recent_steps(self, sc, ssc):
+        stream = ssc.receiver_stream(counting_receiver(), 4)
+        ssc.advance(4)
+        window = stream.window(2)
+        assert [r.name for r in window] == \
+            [stream.rdd_of_step(2).name, stream.rdd_of_step(3).name]
+
+    def test_slice_bounds_inclusive(self, sc, ssc):
+        stream = ssc.receiver_stream(counting_receiver(), 4)
+        ssc.advance(4)
+        assert len(stream.slice(1, 2)) == 2
+
+    def test_window_cogroup_over_steps(self, sc, ssc):
+        part = HashPartitioner(4)
+        stream = ssc.receiver_stream(counting_receiver(60), 4,
+                                     partitioner=part, namespace="w")
+        ssc.advance(3)
+        rdds = stream.window(3)
+        merged = rdds[0].cogroup(*rdds[1:])
+        result = dict(merged.collect())
+        for key, groups in result.items():
+            assert len(groups) == 3
+            # Values carry the step number they arrived in.
+            for step, values in enumerate(groups):
+                assert all(v == step for v in values)
+
+    def test_missing_step_raises(self, sc, ssc):
+        stream = ssc.receiver_stream(counting_receiver(), 4)
+        ssc.advance(6)
+        with pytest.raises(KeyError, match="not available"):
+            stream.rdd_of_step(0)
+
+    def test_latest_none_before_any_step(self, sc, ssc):
+        stream = ssc.receiver_stream(counting_receiver(), 4)
+        assert stream.latest() is None
+
+
+class TestUpdateStateByKey:
+    def test_running_counts(self, sc, ssc):
+        part = HashPartitioner(4)
+        stream = ssc.receiver_stream(counting_receiver(40, num_keys=5), 4,
+                                     partitioner=part, namespace="state")
+
+        def update(new_values, old_state):
+            return (old_state or 0) + len(new_values)
+
+        stateful = ssc.update_state_by_key(stream, update, part)
+        ssc.advance(1)
+        stateful.step()
+        ssc.advance(1)
+        state = stateful.step()
+        totals = dict(state.collect())
+        assert sum(totals.values()) == 80  # 40 records x 2 steps
+
+    def test_state_without_batch_raises(self, sc, ssc):
+        part = HashPartitioner(4)
+        stream = ssc.receiver_stream(counting_receiver(), 4,
+                                     partitioner=part, namespace="state")
+        stateful = ssc.update_state_by_key(stream, lambda n, o: len(n), part)
+        with pytest.raises(RuntimeError, match="advance"):
+            stateful.step()
+
+    def test_state_lineage_grows(self, sc, ssc):
+        """The runningReduce chain grows unboundedly — the structure the
+        CheckpointOptimizer exists for."""
+        from repro.core.checkpoint_optimizer import CheckpointOptimizer
+
+        part = HashPartitioner(4)
+        stream = ssc.receiver_stream(counting_receiver(20, num_keys=3), 4,
+                                     partitioner=part, namespace="state")
+        stateful = ssc.update_state_by_key(
+            stream, lambda n, o: (o or 0) + len(n), part
+        )
+        opt = CheckpointOptimizer(sc, recovery_bound=1e9)
+        lengths = []
+        for _ in range(4):
+            ssc.advance(1)
+            state = stateful.step()
+            nodes = opt.build_lineage([state])
+            lengths.append(
+                opt.longest_uncheckpointed_delay(nodes, state.rdd_id)
+            )
+        assert lengths == sorted(lengths)
+        assert lengths[-1] > lengths[0]
+
+    def test_optimizer_bounds_state_lineage(self, sc, ssc):
+        from repro.core.checkpoint_optimizer import CheckpointOptimizer
+
+        part = HashPartitioner(4)
+        stream = ssc.receiver_stream(counting_receiver(30, num_keys=3), 4,
+                                     partitioner=part, namespace="state")
+        stateful = ssc.update_state_by_key(
+            stream, lambda n, o: (o or 0) + len(n), part
+        )
+        ssc.advance(1)
+        state = stateful.step()
+        probe = CheckpointOptimizer(sc, recovery_bound=1e9)
+        view = probe.build_lineage([state])
+        per_step = probe.longest_uncheckpointed_delay(view, state.rdd_id)
+        bound = per_step * 3
+        opt = CheckpointOptimizer(sc, recovery_bound=bound)
+        for _ in range(6):
+            ssc.advance(1)
+            state = stateful.step()
+            decision = opt.optimize([state])
+            assert decision.residual_path_delay <= bound + 1e-12
+
+
+class TestWindowedOps:
+    def test_window_cogroup_groups_by_step(self, sc, ssc):
+        part = HashPartitioner(4)
+        stream = ssc.receiver_stream(counting_receiver(40, num_keys=4), 4,
+                                     partitioner=part, namespace="wc")
+        ssc.advance(3)
+        grouped = stream.window_cogroup(3)
+        for key, groups in grouped.collect():
+            assert len(groups) == 3
+
+    def test_window_cogroup_single_step(self, sc, ssc):
+        part = HashPartitioner(4)
+        stream = ssc.receiver_stream(counting_receiver(20), 4,
+                                     partitioner=part, namespace="wc1")
+        ssc.advance(1)
+        grouped = stream.window_cogroup(1)
+        for key, groups in grouped.collect():
+            assert len(groups) == 1
+
+    def test_window_cogroup_empty(self, sc, ssc):
+        stream = ssc.receiver_stream(counting_receiver(), 4)
+        assert stream.window_cogroup(3) is None
+
+    def test_window_reduce_by_key(self, sc, ssc):
+        part = HashPartitioner(4)
+        stream = ssc.receiver_stream(counting_receiver(40, num_keys=4), 4,
+                                     partitioner=part, namespace="wr")
+        ssc.advance(2)
+        # Values are the step index; summing over the window gives, per
+        # key, (count_in_step0 * 0 + count_in_step1 * 1).
+        reduced = stream.window_reduce_by_key(lambda a, b: a + b, 2)
+        totals = dict(reduced.collect())
+        raw = {}
+        for step in (0, 1):
+            for k, v in stream.rdd_of_step(step).collect():
+                raw[k] = raw.get(k, 0) + v
+        assert totals == raw
+
+    def test_window_count(self, sc, ssc):
+        stream = ssc.receiver_stream(counting_receiver(40), 4)
+        ssc.advance(3)
+        assert stream.window_count(2) == 80

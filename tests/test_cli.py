@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_all_commands_have_subparsers(self):
+        parser = build_parser()
+        for name in COMMANDS:
+            args = parser.parse_args([name])
+            assert args.command == name
+
+    def test_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig11"])
+        assert args.rdd_counts == [1, 2, 3, 4, 5, 6]
+        args = parser.parse_args(["fig19", "--rates", "2", "5"])
+        assert args.rates == [2.0, 5.0]
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig11" in capsys.readouterr().out
+
+    def test_fig17_runs(self, capsys):
+        assert main(["fig17", "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 17" in out
+        assert "jall" in out
+
+    def test_fig07_runs(self, capsys):
+        assert main(["fig07", "--partitions", "1", "8"]) == 0
+        assert "Fig 7" in capsys.readouterr().out

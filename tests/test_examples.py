@@ -1,0 +1,52 @@
+"""Smoke tests for the runnable examples.
+
+Each example must import cleanly; the fastest one also runs end to end.
+(The heavier examples are exercised by the benchmark suite through the
+same harness code paths.)
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = [
+    "quickstart",
+    "log_diagnosis",
+    "taxi_advertising",
+    "trending_topics",
+    "streaming_window",
+]
+
+
+class TestExamples:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_imports_and_has_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+
+    def test_quickstart_runs(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Stark (co-located)" in out
+        assert "speedup" in out
+
+    def test_quickstart_shows_colocality_win(self, capsys):
+        module = load_example("quickstart")
+        spark = module.run(locality=False)
+        stark = module.run(locality=True)
+        capsys.readouterr()
+        assert stark < spark

@@ -1,0 +1,62 @@
+"""Public API surface tests: imports, __all__, and version."""
+
+import importlib
+
+import pytest
+
+
+PACKAGES = [
+    "repro",
+    "repro.cluster",
+    "repro.core",
+    "repro.engine",
+    "repro.streaming",
+    "repro.workloads",
+    "repro.apps",
+    "repro.bench",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports(self, name):
+        module = importlib.import_module(name)
+        assert module is not None
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_entries_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_quickstart_docstring_is_runnable_shape(self):
+        """The README/`repro` docstring snippet's API calls all exist."""
+        from repro import HashPartitioner, StarkContext
+
+        sc = StarkContext(num_workers=2, cores_per_worker=2)
+        part = HashPartitioner(2)
+        hours = [
+            sc.parallelize([(k, 1) for k in range(50)], 2)
+            .locality_partition_by(part, namespace="logs")
+            .cache()
+            for _ in range(2)
+        ]
+        for rdd in hours:
+            rdd.count()
+        merged = hours[0].cogroup(*hours[1:])
+        assert merged.count() == 50
+
+
+class TestExtendedOpsInstalled:
+    def test_pair_ops_attached_via_top_level_import(self):
+        import repro
+
+        rdd_cls = repro.RDD
+        for name in ("left_outer_join", "sort_by_key", "aggregate_by_key",
+                     "count_by_key", "lookup", "sample"):
+            assert hasattr(rdd_cls, name)

@@ -1,0 +1,138 @@
+"""Tests for the statistical workload building blocks."""
+
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.distributions import (
+    Hotspot,
+    HotspotMixture,
+    ZipfSampler,
+    diurnal_factor,
+    poisson_arrivals,
+    seeded_rng,
+)
+
+
+class TestSeededRng:
+    def test_same_parts_same_stream(self):
+        a = seeded_rng(1, "x", 2).random()
+        b = seeded_rng(1, "x", 2).random()
+        assert a == b
+
+    def test_different_parts_differ(self):
+        assert seeded_rng(1, 2).random() != seeded_rng(2, 1).random()
+
+
+class TestZipfSampler:
+    def test_rank_zero_most_popular(self):
+        sampler = ZipfSampler(100, 1.2)
+        rng = random.Random(1)
+        counts = [0] * 100
+        for _ in range(5000):
+            counts[sampler.sample(rng)] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > 5 * (counts[50] + 1)
+
+    def test_exponent_zero_is_uniform(self):
+        sampler = ZipfSampler(10, 0.0)
+        rng = random.Random(2)
+        counts = [0] * 10
+        for _ in range(10000):
+            counts[sampler.sample(rng)] += 1
+        assert max(counts) < 2 * min(counts)
+
+    def test_sample_in_range(self):
+        sampler = ZipfSampler(5, 1.0)
+        rng = random.Random(3)
+        assert all(0 <= sampler.sample(rng) < 5 for _ in range(200))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -0.5)
+
+    def test_sample_many(self):
+        sampler = ZipfSampler(10, 1.0)
+        assert len(sampler.sample_many(random.Random(4), 17)) == 17
+
+
+class TestDiurnalFactor:
+    def test_peak_at_peak_hour(self):
+        assert diurnal_factor(20.0, peak_hour=20.0, peak_to_nadir=2.0) == \
+            pytest.approx(2.0)
+
+    def test_nadir_is_one(self):
+        assert diurnal_factor(8.0, peak_hour=20.0, peak_to_nadir=2.0) == \
+            pytest.approx(1.0)
+
+    def test_ratio_one_is_flat(self):
+        values = [diurnal_factor(h, peak_to_nadir=1.0) for h in range(24)]
+        assert all(v == pytest.approx(1.0) for v in values)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            diurnal_factor(12.0, peak_to_nadir=0.5)
+
+    @given(st.floats(min_value=0.0, max_value=24.0))
+    def test_bounded(self, hour):
+        f = diurnal_factor(hour, peak_hour=19.0, peak_to_nadir=2.5)
+        assert 1.0 - 1e-9 <= f <= 2.5 + 1e-9
+
+
+class TestHotspotMixture:
+    def test_samples_in_unit_square(self):
+        mixture = HotspotMixture([Hotspot(0.5, 0.5, 0.1, 1.0)], 0.2)
+        rng = random.Random(5)
+        for x, y in mixture.sample_many(rng, 300):
+            assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+
+    def test_mass_concentrates_near_hotspot(self):
+        mixture = HotspotMixture([Hotspot(0.2, 0.2, 0.03, 1.0)], 0.0)
+        rng = random.Random(6)
+        points = mixture.sample_many(rng, 500)
+        near = sum(1 for x, y in points
+                   if abs(x - 0.2) < 0.1 and abs(y - 0.2) < 0.1)
+        assert near > 400
+
+    def test_pure_background_is_uniformish(self):
+        mixture = HotspotMixture([], 1.0)
+        rng = random.Random(7)
+        xs = [x for x, _ in mixture.sample_many(rng, 2000)]
+        assert 0.4 < statistics.fmean(xs) < 0.6
+
+    def test_invalid_background(self):
+        with pytest.raises(ValueError):
+            HotspotMixture([], 0.5)
+        with pytest.raises(ValueError):
+            HotspotMixture([Hotspot(0, 0, 1, 1)], 1.5)
+
+    def test_weights_respected(self):
+        heavy = Hotspot(0.1, 0.1, 0.01, 10.0)
+        light = Hotspot(0.9, 0.9, 0.01, 1.0)
+        mixture = HotspotMixture([heavy, light], 0.0)
+        rng = random.Random(8)
+        points = mixture.sample_many(rng, 1000)
+        near_heavy = sum(1 for x, _ in points if x < 0.5)
+        assert near_heavy > 800
+
+
+class TestPoissonArrivals:
+    def test_rate_roughly_matches(self):
+        arrivals = poisson_arrivals(10.0, 100.0, random.Random(9))
+        assert 800 < len(arrivals) < 1200
+
+    def test_sorted_and_in_range(self):
+        arrivals = poisson_arrivals(5.0, 50.0, random.Random(10))
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t < 50.0 for t in arrivals)
+
+    def test_zero_rate_empty(self):
+        assert poisson_arrivals(0.0, 100.0, random.Random(11)) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(-1.0, 10.0, random.Random(12))

@@ -1,0 +1,186 @@
+"""Tests for the Wikipedia / taxi / merged Twitter trace generators."""
+
+import random
+
+import pytest
+
+from repro.engine.partitioner import HashPartitioner, StaticRangePartitioner
+from repro.workloads.taxi import (
+    HOLIDAY_REGIME,
+    MORNING_REGIME,
+    TaxiTrace,
+    TaxiTraceConfig,
+)
+from repro.workloads.twitter import MergedTaxiTwitterTrace, Tweet
+from repro.workloads.wikipedia import WikipediaTrace, WikipediaTraceConfig
+
+
+class TestWikipediaTrace:
+    def setup_method(self):
+        self.trace = WikipediaTrace(WikipediaTraceConfig(
+            base_requests_per_hour=2000, num_articles=100,
+        ))
+
+    def test_deterministic(self):
+        a = self.trace.lines_for_hour_partition(3, 1, 4)
+        b = self.trace.lines_for_hour_partition(3, 1, 4)
+        assert a == b
+
+    def test_partitions_tile_the_hour(self):
+        total = self.trace.requests_in_hour(2)
+        lines = [
+            line
+            for pid in range(4)
+            for line in self.trace.lines_for_hour_partition(2, pid, 4)
+        ]
+        assert len(lines) == total
+
+    def test_diurnal_volume(self):
+        peak = self.trace.requests_in_hour(20)
+        nadir = self.trace.requests_in_hour(8)
+        assert peak == pytest.approx(2 * nadir, rel=0.05)
+
+    def test_line_format(self):
+        for line in self.trace.lines_for_hour_partition(0, 0, 4)[:20]:
+            ts, url, status = line.split(" ")[:3]
+            assert int(ts) < 3600
+            assert url.startswith("/wiki/Article_")
+            assert status in ("200", "ERROR")
+
+    def test_timestamps_inside_hour(self):
+        for line in self.trace.lines_for_hour_partition(5, 0, 4)[:50]:
+            ts = int(line.split(" ", 1)[0])
+            assert 5 * 3600 <= ts < 6 * 3600
+
+    def test_padding_accounted_not_materialized(self):
+        padded = WikipediaTrace(WikipediaTraceConfig(
+            base_requests_per_hour=100, line_padding_bytes=10_000,
+        ))
+        line = padded.lines_for_hour_partition(0, 0, 2)[0]
+        assert len(line) < 100  # short real string
+        assert line.sim_size > 10_000  # accounted bytes
+
+    def test_popular_keyword_occurs_often(self):
+        keyword = self.trace.popular_keyword()
+        lines = self.trace.lines_for_hour_partition(0, 0, 1)
+        hits = sum(1 for line in lines if keyword in line)
+        assert hits > len(lines) / 100
+
+    def test_keyed_generator_routes_by_partitioner(self):
+        part = HashPartitioner(4)
+        gen = self.trace.keyed_hour_generator(0, 4, part)
+        for pid in range(4):
+            for url, _line in gen(pid)[:50]:
+                assert part.get_partition(url) == pid
+
+
+class TestTaxiTrace:
+    def setup_method(self):
+        self.trace = TaxiTrace(TaxiTraceConfig(
+            base_events_per_step=500, steps_per_day=24,
+        ))
+
+    def test_deterministic(self):
+        a = self.trace.events_for_step_partition(2, 0, 4)
+        b = self.trace.events_for_step_partition(2, 0, 4)
+        assert a == b
+
+    def test_partitions_tile_the_step(self):
+        total = self.trace.events_in_step(1)
+        events = [
+            e for pid in range(4)
+            for e in self.trace.events_for_step_partition(1, pid, 4)
+        ]
+        assert len(events) == total
+
+    def test_partitioned_generation_routes_keys(self):
+        part = StaticRangePartitioner.uniform(
+            0, self.trace.encoder.key_space(), 8
+        )
+        for pid in (0, 3, 7):
+            for zkey, _event in self.trace.events_for_step_partition(
+                0, pid, 8, part
+            ):
+                assert part.get_partition(zkey) == pid
+
+    def test_regimes_change_with_time(self):
+        morning = self.trace.regime_for_step(2)    # early steps = morning
+        evening = self.trace.regime_for_step(20)
+        assert morning is MORNING_REGIME
+        assert morning is not evening
+
+    def test_holiday_regime(self):
+        holiday = TaxiTrace(TaxiTraceConfig(steps_per_day=24, holiday=True))
+        assert holiday.regime_for_step(20) is HOLIDAY_REGIME
+
+    def test_spatial_skew_exists(self):
+        """Hotspot regimes must concentrate keys (the premise of the
+        extendable-group experiments)."""
+        events = self.trace.events_for_step_partition(20, 0, 1)
+        keys = sorted(zkey for zkey, _ in events)
+        span = self.trace.encoder.key_space()
+        top_bucket = max(
+            sum(1 for k in keys if b * span // 16 <= k < (b + 1) * span // 16)
+            for b in range(16)
+        )
+        assert top_bucket > len(keys) / 8  # > uniform share
+
+    def test_event_fields(self):
+        for zkey, event in self.trace.events_for_step_partition(0, 0, 4)[:20]:
+            assert event.zkey == zkey
+            assert event.kind in ("pickup", "dropoff")
+            assert 0 <= event.timestamp < self.trace.config.step_seconds
+
+    def test_record_bytes_configurable(self):
+        scaled = TaxiTrace(TaxiTraceConfig(
+            base_events_per_step=10, record_bytes=50_000,
+        ))
+        _zkey, event = scaled.events_for_step_partition(0, 0, 1)[0]
+        assert event.sim_size == 50_000
+
+    def test_random_region_query_valid(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            lo, hi = self.trace.random_region_query(rng)
+            assert 0 <= lo <= hi < self.trace.encoder.key_space()
+
+
+class TestMergedTrace:
+    def test_one_tweet_per_event(self):
+        merged = MergedTaxiTwitterTrace(TaxiTrace(TaxiTraceConfig(
+            base_events_per_step=100,
+        )))
+        records = merged.records_for_step_partition(0, 0, 1)
+        events = [r for _, r in records if not isinstance(r, Tweet)]
+        tweets = [r for _, r in records if isinstance(r, Tweet)]
+        assert len(events) == len(tweets)
+
+    def test_tweet_inherits_key_and_follows_event(self):
+        merged = MergedTaxiTwitterTrace(TaxiTrace(TaxiTraceConfig(
+            base_events_per_step=50,
+        )))
+        records = merged.records_for_step_partition(0, 0, 1)
+        for i in range(0, len(records) - 1, 2):
+            (k1, event), (k2, tweet) = records[i], records[i + 1]
+            assert k1 == k2
+            assert isinstance(tweet, Tweet)
+            assert tweet.timestamp == event.timestamp + 1
+
+    def test_deterministic(self):
+        merged = MergedTaxiTwitterTrace(TaxiTrace(TaxiTraceConfig(
+            base_events_per_step=50,
+        )))
+        assert merged.records_for_step_partition(1, 0, 2) == \
+            merged.records_for_step_partition(1, 0, 2)
+
+    def test_topics_are_zipfian(self):
+        merged = MergedTaxiTwitterTrace(TaxiTrace(TaxiTraceConfig(
+            base_events_per_step=2000,
+        )))
+        records = merged.records_for_step_partition(0, 0, 1)
+        counts = {}
+        for _, payload in records:
+            if isinstance(payload, Tweet):
+                counts[payload.topic] = counts.get(payload.topic, 0) + 1
+        top = max(counts.values())
+        assert top > 3 * (sorted(counts.values())[len(counts) // 2])

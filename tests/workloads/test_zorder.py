@@ -1,0 +1,97 @@
+"""Tests for Z-order encoding and the grid encoder."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.zorder import GridEncoder, z_decode, z_encode, z_key_space
+
+
+class TestZEncode:
+    def test_origin_is_zero(self):
+        assert z_encode(0, 0) == 0
+
+    def test_known_small_values(self):
+        # Interleaving: x bits even positions, y bits odd.
+        assert z_encode(1, 0, bits=4) == 0b01
+        assert z_encode(0, 1, bits=4) == 0b10
+        assert z_encode(1, 1, bits=4) == 0b11
+        assert z_encode(2, 0, bits=4) == 0b0100
+        assert z_encode(3, 3, bits=4) == 0b1111
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            z_encode(16, 0, bits=4)
+        with pytest.raises(ValueError):
+            z_encode(-1, 0, bits=4)
+
+    def test_decode_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            z_decode(1 << 8, bits=4)
+
+    def test_key_space(self):
+        assert z_key_space(4) == 256
+        assert z_key_space(8) == 65536
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_roundtrip(self, x, y):
+        assert z_decode(z_encode(x, y, bits=8), bits=8) == (x, y)
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_decode_encode_roundtrip(self, code):
+        x, y = z_decode(code, bits=8)
+        assert z_encode(x, y, bits=8) == code
+
+    def test_quadrant_locality(self):
+        """The defining property used in Fig 8: each quadrant of the grid
+        maps to one contiguous quarter of the key space."""
+        bits = 4
+        side = 1 << bits
+        half = side // 2
+        quarter_size = z_key_space(bits) // 4
+        for x in range(side):
+            for y in range(side):
+                code = z_encode(x, y, bits)
+                quadrant = (x >= half) + 2 * (y >= half)
+                assert code // quarter_size == quadrant
+
+
+class TestGridEncoder:
+    def test_defaults_cover_manhattan(self):
+        enc = GridEncoder()
+        code = enc.encode(-73.98, 40.75)  # Times Square
+        assert 0 <= code < enc.key_space()
+
+    def test_out_of_box_clamps(self):
+        enc = GridEncoder(bits=4)
+        assert enc.cell_of(-200.0, 0.0) == (0, 0)
+        x, y = enc.cell_of(200.0, 90.0)
+        assert (x, y) == (15, 15)
+
+    def test_degenerate_box_rejected(self):
+        with pytest.raises(ValueError):
+            GridEncoder(lon_min=0, lon_max=0, lat_min=0, lat_max=1)
+
+    def test_bits_bounds(self):
+        with pytest.raises(ValueError):
+            GridEncoder(bits=0)
+        with pytest.raises(ValueError):
+            GridEncoder(bits=30)
+
+    def test_region_key_range_covers_cells(self):
+        enc = GridEncoder(bits=4)
+        lo, hi = enc.region_key_range(2, 2, 5, 5)
+        for x in range(2, 6):
+            for y in range(2, 6):
+                assert lo <= z_encode(x, y, 4) <= hi
+
+    def test_empty_region_rejected(self):
+        enc = GridEncoder(bits=4)
+        with pytest.raises(ValueError):
+            enc.region_key_range(5, 5, 4, 4)
+
+    @given(st.floats(min_value=-74.03, max_value=-73.90),
+           st.floats(min_value=40.69, max_value=40.88))
+    def test_encode_decode_stays_in_cell(self, lon, lat):
+        enc = GridEncoder(bits=8)
+        cell = enc.cell_of(lon, lat)
+        assert enc.decode_cell(enc.encode(lon, lat)) == cell
