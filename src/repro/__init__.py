@@ -31,6 +31,18 @@ Quickstart::
     print(merged.count())
 """
 
+from .cache import (
+    AdmissionController,
+    CacheManager,
+    CachePolicy,
+    CostAwarePolicy,
+    FIFOPolicy,
+    LRCPolicy,
+    LRUPolicy,
+    POLICY_NAMES,
+    ReferenceTracker,
+    make_policy,
+)
 from .cluster import Cluster, CostModel, EventQueue, RecordSizer, SimClock, Worker
 from .core import (
     CheckpointOptimizer,
@@ -56,24 +68,34 @@ from .engine import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionController",
+    "CacheManager",
+    "CachePolicy",
     "CheckpointOptimizer",
     "Cluster",
+    "CostAwarePolicy",
     "CostModel",
     "EdgeCheckpointer",
     "EventQueue",
     "ExtendablePartitioner",
+    "FIFOPolicy",
     "FailureInjector",
     "FlowNetwork",
     "GroupManager",
     "GroupTree",
     "HashPartitioner",
+    "LRCPolicy",
+    "LRUPolicy",
     "LocalityManager",
     "MinimumContentionFirstPolicy",
+    "POLICY_NAMES",
     "RDD",
     "RangePartitioner",
     "RecordSizer",
+    "ReferenceTracker",
     "ReplicationManager",
     "SimClock",
+    "make_policy",
     "StarkConfig",
     "StarkContext",
     "StaticRangePartitioner",

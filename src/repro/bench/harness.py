@@ -512,6 +512,117 @@ def run_fig18(
 
 
 # ---------------------------------------------------------------------------
+# Cache-policy comparison (repro.cache subsystem)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CachePolicyResult:
+    """One eviction policy's behaviour on the iterative workload."""
+
+    policy: str
+    mean_makespan: float        # mean job makespan after warmup (s)
+    hit_rate: float
+    evictions: int
+    recomputed_partitions: int
+    recompute_time: float       # total seconds rebuilding missed blocks
+    admission_rejected: int
+    #: the raw MetricsCollector.cache_stats() dict of the run.
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+
+
+def run_cache_policies(
+    policies: Sequence[str] = ("lru", "fifo", "lrc", "cost"),
+    num_hot: int = 4,
+    iterations: int = 12,
+    warmup_iterations: int = 2,
+    records_per_partition: int = 8,
+    payload_bytes: int = 1_000_000,
+    num_partitions: int = 8,
+    num_workers: int = 4,
+    cores_per_worker: int = 2,
+    memory_per_worker: float = 3.7e8,
+    admission_min_cost: float = 0.0,
+    auto_unpersist: bool = False,
+) -> List[CachePolicyResult]:
+    """Iterative multi-job workload under memory pressure, per policy.
+
+    The driver holds ``num_hot`` *hot* cached datasets (expensive: their
+    source is a network read) split into two groups that alternate
+    between iterations, plus one fresh cheap *cold* dataset per
+    iteration that is read exactly once.  Executor memory fits the hot
+    set plus only a couple of cold datasets, so every cold
+    materialization forces evictions.
+
+    Recency then betrays LRU: at eviction time the off-iteration hot
+    group is colder than the just-read dead dataset, so LRU (and worse,
+    FIFO) throw away blocks the *next* iteration needs and pay the
+    Spark-1.3 miss penalty — a full network re-read — while the
+    reference-counting policies evict the dead cold blocks first.  The
+    driver declares future uses via ``CacheManager.expect`` (in the
+    paper's dynamic-collection setting the query window over the
+    dataset collection is known), which is what LRC acts on; the
+    cost-aware policy additionally ranks blocks by observed rebuild
+    cost, so it demotes cold data even without declarations.
+    """
+    results: List[CachePolicyResult] = []
+    group_of = lambda i: i % 2  # noqa: E731  (hot-group active at iteration i)
+    for policy in policies:
+        config = StarkConfig(
+            cache_policy=policy,
+            cache_admission_min_cost=admission_min_cost,
+            cache_auto_unpersist=auto_unpersist,
+        )
+        sc = StarkContext(
+            num_workers=num_workers, cores_per_worker=cores_per_worker,
+            memory_per_worker=memory_per_worker, config=config,
+        )
+
+        def dataset(name: str, read_cost: str, seed: int):
+            payload = SimStr("x" * 8, sim_size=payload_bytes)
+
+            def generate(pid: int) -> List[Tuple[int, object]]:
+                return [(seed * 10_000 + pid * 100 + i, payload)
+                        for i in range(records_per_partition)]
+
+            return sc.generated(generate, num_partitions,
+                                read_cost=read_cost, name=name).cache()
+
+        hot = [dataset(f"hot{h}", "network", seed=h) for h in range(num_hot)]
+        for h, rdd in enumerate(hot):
+            rdd.count()  # materialize into the caches
+            uses = sum(1 for i in range(iterations) if group_of(i) == h % 2)
+            sc.cache_manager.expect(rdd, uses)
+
+        makespans: List[float] = []
+        for i in range(iterations):
+            iteration_jobs: List[float] = []
+            for h, rdd in enumerate(hot):
+                if h % 2 != group_of(i):
+                    continue
+                rdd.count()
+                iteration_jobs.append(sc.metrics.last_job().makespan)
+            cold = dataset(f"cold{i}", "none", seed=100 + i)
+            sc.cache_manager.expect(cold, 1)
+            cold.count()
+            iteration_jobs.append(sc.metrics.last_job().makespan)
+            if i >= warmup_iterations:
+                makespans.extend(iteration_jobs)
+
+        stats = sc.metrics.cache_stats()
+        results.append(CachePolicyResult(
+            policy=policy,
+            mean_makespan=statistics.fmean(makespans),
+            hit_rate=stats["hit_rate"],
+            evictions=int(stats["evictions"]),
+            recomputed_partitions=int(stats["recomputed_partitions"]),
+            recompute_time=stats["recompute_time"],
+            admission_rejected=sc.cache_manager.admission.rejected,
+            cache_stats=stats,
+        ))
+    return results
+
+
+# ---------------------------------------------------------------------------
 # Figs 19 / 20: throughput and delay over time
 # ---------------------------------------------------------------------------
 

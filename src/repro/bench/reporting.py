@@ -56,6 +56,21 @@ def format_series(title: str, xlabel: str, ylabel: str,
     return format_table(title, headers, points)
 
 
+def format_cache_stats(stats: dict, title: str = "cache stats") -> str:
+    """One-line summary of :meth:`MetricsCollector.cache_stats`."""
+    return (
+        f"-- {title}: hit_rate={stats['hit_rate']:.2%} "
+        f"(hits={stats['hits']:.0f}, misses={stats['misses']:.0f}), "
+        f"evictions={stats['evictions']:.0f}, "
+        f"recomputed={stats['recomputed_partitions']:.0f} "
+        f"({stats['recompute_time']:.2f}s)"
+    )
+
+
+def print_cache_stats(stats: dict, title: str = "cache stats") -> None:
+    print(format_cache_stats(stats, title))
+
+
 def print_comparison(
     title: str,
     baseline_name: str,

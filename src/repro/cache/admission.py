@@ -1,0 +1,35 @@
+"""Cache admission control: refuse blocks not worth their RAM.
+
+Under Spark-1.3 semantics a cache miss recomputes the partition from the
+beginning of the stage, so the value of caching a block is its recompute
+cost.  Blocks cheaper to rebuild than ``min_cost_seconds`` are not
+admitted at all — caching them would only displace blocks whose loss
+actually hurts.  ``min_cost_seconds = 0`` (the default) admits
+everything, preserving stock behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AdmissionController:
+    """Gate in front of every block-store insert."""
+
+    min_cost_seconds: float = 0.0
+    accepted: int = 0
+    rejected: int = 0
+
+    def should_admit(self, recompute_cost_seconds: float) -> bool:
+        """Admit unless the block rebuilds faster than the threshold."""
+        if (self.min_cost_seconds > 0
+                and recompute_cost_seconds < self.min_cost_seconds):
+            self.rejected += 1
+            return False
+        self.accepted += 1
+        return True
+
+    def stats(self) -> dict:
+        return {"accepted": self.accepted, "rejected": self.rejected,
+                "min_cost_seconds": self.min_cost_seconds}

@@ -1,0 +1,135 @@
+"""CacheManager: the driver-side owner of all caching policy decisions.
+
+One instance lives on every :class:`~repro.engine.context.StarkContext`
+and ties the subsystem together:
+
+* builds one :class:`~repro.cache.policy.CachePolicy` per executor store
+  (``policy_for_worker`` is handed to the
+  :class:`~repro.engine.block_manager.BlockManagerMaster` as a factory),
+  wiring the lineage-aware policies to the shared
+  :class:`~repro.cache.reference_tracker.ReferenceTracker` and to the
+  recompute-cost estimator;
+* gates every insert through the
+  :class:`~repro.cache.admission.AdmissionController`;
+* receives the DAGScheduler's job/stage lifecycle hooks and forwards
+  them to the tracker (which may auto-unpersist drained RDDs).
+
+The recompute-cost estimate walks the narrow chain above an RDD, summing
+the per-RDD transformation delays the cost model has observed
+(:class:`~repro.engine.compute.RDDStats`), and stops at barriers —
+checkpointed RDDs, shuffle inputs, or cached ancestors that still hold
+blocks.  It is the same quantity the CheckpointOptimizer reasons about
+(§III-D1), reused as an eviction weight.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TYPE_CHECKING
+
+from .admission import AdmissionController
+from .policy import CachePolicy, make_policy
+from .reference_tracker import ReferenceTracker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.context import StarkContext
+    from ..engine.rdd import RDD
+    from ..engine.stage import Stage
+
+
+class CacheManager:
+    """Central cache-policy coordinator of one context."""
+
+    def __init__(self, context: "StarkContext") -> None:
+        self.context = context
+        config = context.config
+        self.policy_name: str = config.cache_policy
+        self.admission = AdmissionController(
+            min_cost_seconds=config.cache_admission_min_cost
+        )
+        self.tracker = ReferenceTracker(
+            auto_unpersist=config.cache_auto_unpersist,
+            unpersist_fn=self._auto_unpersist,
+        )
+
+    # ---- policy construction ----------------------------------------------
+
+    def policy_for_worker(self, worker_id: int) -> CachePolicy:
+        """Build this context's configured policy for one block store."""
+        return make_policy(
+            self.policy_name,
+            ref_fn=self.tracker.block_ref_count,
+            cost_fn=self.estimate_recompute_cost,
+        )
+
+    # ---- declarations (application API) ------------------------------------
+
+    def expect(self, rdd: "RDD", uses: int = 1) -> None:
+        """Declare that ``uses`` more jobs will read ``rdd`` — the
+        knowledge LRC/cost eviction and auto-unpersist act on."""
+        self.tracker.expect(rdd.rdd_id, uses)
+
+    # ---- admission ----------------------------------------------------------
+
+    def should_admit(self, rdd_id: int, size_bytes: float) -> bool:
+        if self.admission.min_cost_seconds <= 0:
+            self.admission.accepted += 1
+            return True
+        return self.admission.should_admit(
+            self.estimate_recompute_cost(rdd_id)
+        )
+
+    # ---- recompute-cost estimation ------------------------------------------
+
+    def estimate_recompute_cost(self, rdd_id: int) -> float:
+        """Seconds to rebuild one partition of ``rdd_id`` from the
+        nearest barrier, per the delays observed so far.
+
+        Unobserved RDDs (never materialized) estimate zero — the
+        admission controller then refuses them only under a positive
+        threshold, which is the conservative direction.
+        """
+        context = self.context
+        total = 0.0
+        seen = set()
+        stack = [rdd_id]
+        root = True
+        while stack:
+            rid = stack.pop()
+            if rid in seen:
+                continue
+            seen.add(rid)
+            if not root:
+                if context.checkpoint_store.has_checkpoint(rid):
+                    continue  # rebuilt by a cheap checkpoint read
+                rdd = context.get_rdd(rid)
+                if rdd.cached and context.block_manager_master.cached_partitions_of(rid):
+                    continue  # served from some executor's RAM
+            else:
+                rdd = context.get_rdd(rid)
+                root = False
+            total += context.rdd_stats(rid).max_partition_delay
+            for dep in rdd.narrow_dependencies():
+                stack.append(dep.rdd.rdd_id)
+        return total
+
+    # ---- DAGScheduler lifecycle hooks ---------------------------------------
+
+    def on_job_submit(self, job_id: int, final_rdd: "RDD",
+                      stages: Iterable["Stage"]) -> None:
+        self.tracker.on_job_submit(job_id, final_rdd, stages)
+
+    def on_stage_complete(self, job_id: int, stage_id: int) -> None:
+        self.tracker.on_stage_complete(job_id, stage_id)
+
+    def on_job_complete(self, job_id: int) -> None:
+        self.tracker.on_job_complete(job_id)
+
+    # ---- internals -----------------------------------------------------------
+
+    def _auto_unpersist(self, rdd_id: int) -> None:
+        """Drop a fully-drained RDD cluster-wide (declared uses hit 0)."""
+        try:
+            self.context.get_rdd(rdd_id).cached = False
+        except KeyError:
+            pass
+        self.context.block_manager_master.remove_rdd(rdd_id)

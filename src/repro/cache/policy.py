@@ -1,0 +1,264 @@
+"""Pluggable eviction policies for the per-executor block stores.
+
+Each :class:`~repro.engine.block_manager.BlockStore` owns one policy
+instance.  The store keeps the authoritative block map and byte
+accounting; the policy only mirrors membership (via ``on_insert`` /
+``on_access`` / ``on_remove``) and answers one question: *which resident
+block should go next* (``choose_victim``).
+
+Four policies are provided:
+
+* :class:`LRUPolicy` — Spark's default, and this engine's historical
+  behaviour: evict the least-recently-used block.
+* :class:`FIFOPolicy` — evict in insertion order, ignoring accesses.
+* :class:`LRCPolicy` — least-reference-count (after *Intermediate Data
+  Caching Optimization for Multi-Stage and Parallel Big Data
+  Frameworks*): evict the block whose RDD has the fewest remaining
+  downstream references, as tracked by the driver-side
+  :class:`~repro.cache.reference_tracker.ReferenceTracker`.  Dead data
+  (zero remaining references) goes first regardless of recency.
+* :class:`CostAwarePolicy` — weight each block by
+  ``recompute_cost * (1 + remaining_references) / size`` and evict the
+  lightest.  Under Spark-1.3 semantics a cache miss re-executes the
+  whole narrow chain, so keeping expensive-to-rebuild, still-referenced
+  blocks minimizes expected recovery work per byte of RAM.  (The ``1 +``
+  smoothing keeps recompute cost relevant when no references are
+  declared.)
+
+All policies are deterministic: given identical insert/access/remove
+traces (and, for the scored policies, identical reference/cost
+functions) they evict identical sequences.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+BlockId = Tuple[int, int]  # (rdd_id, partition_index)
+
+#: Remaining-reference oracle: block id -> pending + declared references.
+RefCountFn = Callable[[BlockId], int]
+#: Recompute-cost oracle: rdd_id -> estimated seconds to rebuild one
+#: partition from the nearest barrier (shuffle/checkpoint/source).
+CostFn = Callable[[int], float]
+
+
+class CachePolicy:
+    """Eviction-order strategy of one :class:`BlockStore`.
+
+    Subclasses must keep their internal membership mirror in sync purely
+    from the ``on_*`` notifications — the store never hands them the
+    block map.
+    """
+
+    name: str = "base"
+
+    def on_insert(self, block_id: BlockId, size_bytes: float) -> None:
+        raise NotImplementedError
+
+    def on_access(self, block_id: BlockId) -> None:
+        raise NotImplementedError
+
+    def on_remove(self, block_id: BlockId) -> None:
+        raise NotImplementedError
+
+    def choose_victim(self) -> BlockId:
+        """Return the resident block to evict next.
+
+        Only called when at least one block is resident.
+        """
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class LRUPolicy(CachePolicy):
+    """Evict the least-recently-used block (inserts count as uses)."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[BlockId, None]" = OrderedDict()
+
+    def on_insert(self, block_id: BlockId, size_bytes: float) -> None:
+        self._order[block_id] = None
+        self._order.move_to_end(block_id)
+
+    def on_access(self, block_id: BlockId) -> None:
+        if block_id in self._order:
+            self._order.move_to_end(block_id)
+
+    def on_remove(self, block_id: BlockId) -> None:
+        self._order.pop(block_id, None)
+
+    def choose_victim(self) -> BlockId:
+        return next(iter(self._order))
+
+    def clear(self) -> None:
+        self._order.clear()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class FIFOPolicy(LRUPolicy):
+    """Evict in insertion order; accesses never refresh a block."""
+
+    name = "fifo"
+
+    def on_access(self, block_id: BlockId) -> None:
+        pass
+
+
+@dataclass
+class _ScoredEntry:
+    """Bookkeeping for one resident block under a scored policy."""
+
+    seq: int           # insertion sequence number (FIFO tie-break)
+    size_bytes: float
+    last_access: int   # recency sequence number (LRU tie-break)
+
+
+class _ScoredPolicy(CachePolicy):
+    """Base for policies that evict the minimum of a score function.
+
+    Victims are ``min`` by ``(score, last_access, seq)`` so identical
+    traces always evict identically; the recency tie-break makes the
+    scored policies degrade to LRU when their oracles are uninformative
+    (all scores equal).
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[BlockId, _ScoredEntry] = {}
+        self._seq = itertools.count()
+
+    def score(self, block_id: BlockId, entry: _ScoredEntry) -> float:
+        raise NotImplementedError
+
+    def on_insert(self, block_id: BlockId, size_bytes: float) -> None:
+        seq = next(self._seq)
+        self._entries[block_id] = _ScoredEntry(seq, size_bytes, seq)
+
+    def on_access(self, block_id: BlockId) -> None:
+        entry = self._entries.get(block_id)
+        if entry is not None:
+            entry.last_access = next(self._seq)
+
+    def on_remove(self, block_id: BlockId) -> None:
+        self._entries.pop(block_id, None)
+
+    def choose_victim(self) -> BlockId:
+        return min(
+            self._entries.items(),
+            key=lambda kv: (self.score(kv[0], kv[1]),
+                            kv[1].last_access, kv[1].seq),
+        )[0]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class LRCPolicy(_ScoredPolicy):
+    """Least-reference-count eviction.
+
+    A block's score is the number of not-yet-executed consumers of its
+    RDD (in-job pending reads plus driver-declared future jobs).  Blocks
+    nothing will read again score zero and are reclaimed first; ties
+    fall back to LRU.
+    """
+
+    name = "lrc"
+
+    def __init__(self, ref_fn: RefCountFn) -> None:
+        super().__init__()
+        self._ref_fn = ref_fn
+
+    def score(self, block_id: BlockId, entry: _ScoredEntry) -> float:
+        return float(self._ref_fn(block_id))
+
+
+class CostAwarePolicy(_ScoredPolicy):
+    """Evict the block with the least recompute-value per byte.
+
+    ``score = recompute_cost * (1 + references) / size`` — the expected
+    stage re-execution time a cached byte is saving.  Cheap-to-rebuild
+    or dead blocks yield their RAM to expensive, still-referenced ones.
+    """
+
+    name = "cost"
+
+    def __init__(self, ref_fn: RefCountFn, cost_fn: CostFn) -> None:
+        super().__init__()
+        self._ref_fn = ref_fn
+        self._cost_fn = cost_fn
+
+    def score(self, block_id: BlockId, entry: _ScoredEntry) -> float:
+        cost = self._cost_fn(block_id[0])
+        refs = self._ref_fn(block_id)
+        return cost * (1.0 + refs) / max(entry.size_bytes, 1.0)
+
+
+POLICY_NAMES = (LRUPolicy.name, FIFOPolicy.name, LRCPolicy.name,
+                CostAwarePolicy.name)
+
+
+def make_policy(
+    name: str,
+    ref_fn: Optional[RefCountFn] = None,
+    cost_fn: Optional[CostFn] = None,
+) -> CachePolicy:
+    """Instantiate the policy called ``name``.
+
+    ``lrc`` requires ``ref_fn``; ``cost`` requires both oracles.
+    """
+    if name == LRUPolicy.name:
+        return LRUPolicy()
+    if name == FIFOPolicy.name:
+        return FIFOPolicy()
+    if name == LRCPolicy.name:
+        if ref_fn is None:
+            raise ValueError("LRCPolicy needs a reference-count function")
+        return LRCPolicy(ref_fn)
+    if name == CostAwarePolicy.name:
+        if ref_fn is None or cost_fn is None:
+            raise ValueError("CostAwarePolicy needs reference and cost functions")
+        return CostAwarePolicy(ref_fn, cost_fn)
+    raise ValueError(f"unknown cache policy {name!r}; pick from {POLICY_NAMES}")
+
+
+@dataclass
+class CacheDefaults:
+    """Process-wide defaults consumed by new :class:`StarkConfig` objects.
+
+    The CLI sets these (``--cache-policy`` / ``--cache-admission-min-cost``)
+    so every experiment driver — none of which thread cache options —
+    runs under the selected policy.
+    """
+
+    policy: str = LRUPolicy.name
+    admission_min_cost: float = 0.0
+
+
+DEFAULTS = CacheDefaults()
+
+
+def set_default_policy(name: str) -> None:
+    if name not in POLICY_NAMES:
+        raise ValueError(f"unknown cache policy {name!r}; pick from {POLICY_NAMES}")
+    DEFAULTS.policy = name
+
+
+def set_default_admission_min_cost(seconds: float) -> None:
+    if seconds < 0:
+        raise ValueError(f"admission threshold must be non-negative: {seconds}")
+    DEFAULTS.admission_min_cost = seconds

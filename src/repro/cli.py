@@ -20,6 +20,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from .bench import harness
 from .bench.reporting import print_comparison, print_table
+from .cache import (
+    POLICY_NAMES,
+    set_default_admission_min_cost,
+    set_default_policy,
+)
 
 
 def _cmd_fig01(args: argparse.Namespace) -> None:
@@ -143,6 +148,31 @@ def _cmd_fig20(args: argparse.Namespace) -> None:
               f"(max {max(series) * 1000:.0f} ms)")
 
 
+def _cmd_cache(args: argparse.Namespace) -> None:
+    results = harness.run_cache_policies(
+        policies=tuple(args.policies),
+        iterations=args.iterations,
+        admission_min_cost=args.admission_min_cost,
+        auto_unpersist=args.auto_unpersist,
+    )
+    print_table(
+        "Cache policies: iterative workload under memory pressure",
+        ["policy", "mean job (s)", "hit rate", "evictions",
+         "recomputed", "recompute (s)", "rejected"],
+        [[r.policy, r.mean_makespan, f"{r.hit_rate:.2%}", r.evictions,
+          r.recomputed_partitions, r.recompute_time, r.admission_rejected]
+         for r in results],
+        floatfmt="{:.4f}",
+    )
+    by = {r.policy: r for r in results}
+    if "lru" in by:
+        for name in ("lrc", "cost"):
+            if name in by:
+                print_comparison("mean job makespan", "lru",
+                                 by["lru"].mean_makespan, name,
+                                 by[name].mean_makespan)
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig01": _cmd_fig01,
     "fig07": _cmd_fig07,
@@ -153,13 +183,33 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig18": _cmd_fig18,
     "fig19": _cmd_fig19,
     "fig20": _cmd_fig20,
+    "cache": _cmd_cache,
 }
+
+
+def _nonnegative_seconds(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be non-negative seconds: {text}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the Stark paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "--cache-policy", choices=POLICY_NAMES, default=None,
+        help="block-store eviction policy every experiment runs under "
+             "(default: lru)",
+    )
+    parser.add_argument(
+        "--cache-admission-min-cost", type=_nonnegative_seconds,
+        default=None, metavar="SECONDS",
+        help="never cache blocks whose estimated recompute cost is below "
+             "this many simulated seconds (default: 0, admit everything)",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -193,12 +243,24 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig20", help="Fig 20: delay over a replayed day")
     p.add_argument("--hours", type=int, default=24)
     p.add_argument("--jobs-per-step", type=int, default=5)
+
+    p = sub.add_parser("cache", help="compare block-store eviction policies")
+    p.add_argument("--policies", nargs="+", choices=POLICY_NAMES,
+                   default=list(POLICY_NAMES))
+    p.add_argument("--iterations", type=int, default=12)
+    p.add_argument("--admission-min-cost", type=float, default=0.0)
+    p.add_argument("--auto-unpersist", action="store_true",
+                   help="drop cached RDDs whose declared uses drain to zero")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.cache_policy is not None:
+        set_default_policy(args.cache_policy)
+    if args.cache_admission_min_cost is not None:
+        set_default_admission_min_cost(args.cache_admission_min_cost)
     if args.command in (None, "list"):
         print("available experiments:")
         for name in COMMANDS:

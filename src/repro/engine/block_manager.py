@@ -1,10 +1,14 @@
-"""Block managers: per-executor in-memory caches with LRU eviction.
+"""Block managers: per-executor in-memory caches with pluggable eviction.
 
 Every worker owns a :class:`BlockStore` holding deserialized cached RDD
 partitions, bounded by a fraction of the worker's RAM (Spark's
-``storage.memoryFraction``).  The driver-side
-:class:`BlockManagerMaster` tracks, for every block, the set of workers
-caching it — the cluster view the schedulers consult for locality.
+``storage.memoryFraction``).  Which resident block an over-full store
+drops is decided by a :class:`~repro.cache.policy.CachePolicy` — LRU by
+default, with FIFO, least-reference-count, and cost-aware policies
+selectable through ``StarkConfig.cache_policy`` (see ``repro.cache`` and
+``docs/CACHING.md``).  The driver-side :class:`BlockManagerMaster`
+tracks, for every block, the set of workers caching it — the cluster
+view the schedulers consult for locality.
 
 Crucially, the engine follows Spark-1.3 semantics that the paper builds
 on: a task never *fetches* a remote cached block.  If the block is not in
@@ -15,9 +19,10 @@ used for *placement* decisions, not for data transfer.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..cache.policy import CachePolicy, LRUPolicy
 
 BlockId = Tuple[int, int]  # (rdd_id, partition_index)
 
@@ -32,19 +37,26 @@ class Block:
 
 
 class BlockStore:
-    """LRU memory store of one executor.
+    """Bounded memory store of one executor.
 
     ``capacity_bytes`` bounds the sum of cached block sizes; inserting
-    beyond it evicts least-recently-used blocks.  A block larger than the
-    whole store is refused (Spark drops such blocks too).
+    beyond it evicts blocks in the order the store's eviction policy
+    chooses (LRU when none is given).  A block larger than the whole
+    store is refused (Spark drops such blocks too).
     """
 
-    def __init__(self, worker_id: int, capacity_bytes: float) -> None:
+    def __init__(
+        self,
+        worker_id: int,
+        capacity_bytes: float,
+        policy: Optional[CachePolicy] = None,
+    ) -> None:
         if capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive: {capacity_bytes}")
         self.worker_id = worker_id
         self.capacity_bytes = capacity_bytes
-        self._blocks: "OrderedDict[BlockId, Block]" = OrderedDict()
+        self.policy: CachePolicy = policy if policy is not None else LRUPolicy()
+        self._blocks: Dict[BlockId, Block] = {}
         self.used_bytes: float = 0.0
         self.eviction_count: int = 0
 
@@ -58,18 +70,18 @@ class BlockStore:
         return list(self._blocks)
 
     def get(self, block_id: BlockId) -> Optional[Block]:
-        """Return the block and mark it most-recently-used."""
+        """Return the block and record the access with the policy."""
         block = self._blocks.get(block_id)
         if block is not None:
-            self._blocks.move_to_end(block_id)
+            self.policy.on_access(block_id)
         return block
 
     def peek(self, block_id: BlockId) -> Optional[Block]:
-        """Return the block without touching LRU order."""
+        """Return the block without touching the eviction order."""
         return self._blocks.get(block_id)
 
     def put(self, block: Block) -> List[Block]:
-        """Insert ``block``, evicting LRU blocks as needed.
+        """Insert ``block``, evicting policy-chosen blocks as needed.
 
         Returns the list of evicted blocks (possibly including a
         previously cached version of the same block id, which is replaced,
@@ -82,18 +94,23 @@ class BlockStore:
         old = self._blocks.pop(block.block_id, None)
         if old is not None:
             self.used_bytes -= old.size_bytes
+            self.policy.on_remove(block.block_id)
         while self.used_bytes + block.size_bytes > self.capacity_bytes and self._blocks:
-            _, victim = self._blocks.popitem(last=False)
+            victim_id = self.policy.choose_victim()
+            victim = self._blocks.pop(victim_id)
+            self.policy.on_remove(victim_id)
             self.used_bytes -= victim.size_bytes
             self.eviction_count += 1
             evicted.append(victim)
         self._blocks[block.block_id] = block
+        self.policy.on_insert(block.block_id, block.size_bytes)
         self.used_bytes += block.size_bytes
         return evicted
 
     def remove(self, block_id: BlockId) -> Optional[Block]:
         block = self._blocks.pop(block_id, None)
         if block is not None:
+            self.policy.on_remove(block_id)
             self.used_bytes -= block.size_bytes
         return block
 
@@ -101,6 +118,7 @@ class BlockStore:
         """Drop everything (worker failure); returns the lost blocks."""
         lost = list(self._blocks.values())
         self._blocks.clear()
+        self.policy.clear()
         self.used_bytes = 0.0
         return lost
 
@@ -112,18 +130,33 @@ EvictionListener = Callable[[int, BlockId], None]
 
 
 class BlockManagerMaster:
-    """Driver-side registry of block locations across all executors."""
+    """Driver-side registry of block locations across all executors.
+
+    Alongside the per-block location sets it maintains a per-RDD index
+    (``rdd_id -> partitions cached somewhere``) so the schedulers'
+    hot-path query :meth:`cached_partitions_of` is O(partitions of that
+    RDD) instead of O(total blocks in the cluster).
+    """
 
     def __init__(
         self,
         worker_ids: Sequence[int],
         capacity_for: Callable[[int], float],
+        policy_factory: Optional[Callable[[int], CachePolicy]] = None,
     ) -> None:
         self.stores: Dict[int, BlockStore] = {
-            wid: BlockStore(wid, capacity_for(wid)) for wid in worker_ids
+            wid: BlockStore(
+                wid,
+                capacity_for(wid),
+                policy=policy_factory(wid) if policy_factory is not None else None,
+            )
+            for wid in worker_ids
         }
         self._locations: Dict[BlockId, Set[int]] = {}
+        #: rdd_id -> partition indices with at least one live location.
+        self._rdd_index: Dict[int, Set[int]] = {}
         self._eviction_listeners: List[EvictionListener] = []
+        self._capacity_eviction_listeners: List[EvictionListener] = []
 
     # ---- listeners --------------------------------------------------------
 
@@ -132,8 +165,18 @@ class BlockManagerMaster:
         whenever a block is evicted or lost."""
         self._eviction_listeners.append(listener)
 
+    def add_capacity_eviction_listener(self, listener: EvictionListener) -> None:
+        """Register a callback fired only for capacity evictions (a
+        policy chose the victim), not explicit removals or worker
+        losses."""
+        self._capacity_eviction_listeners.append(listener)
+
     def _notify_evicted(self, worker_id: int, block_id: BlockId) -> None:
         for listener in self._eviction_listeners:
+            listener(worker_id, block_id)
+
+    def _notify_capacity_evicted(self, worker_id: int, block_id: BlockId) -> None:
+        for listener in self._capacity_eviction_listeners:
             listener(worker_id, block_id)
 
     # ---- data path ---------------------------------------------------------
@@ -147,10 +190,11 @@ class BlockManagerMaster:
         if evicted and evicted[0] is block and block.block_id not in self.stores[worker_id]:
             # Rejected: too large for the store.
             return evicted
-        self._locations.setdefault(block.block_id, set()).add(worker_id)
+        self._add_location(block.block_id, worker_id)
         for victim in evicted:
             self._drop_location(victim.block_id, worker_id)
             self._notify_evicted(worker_id, victim.block_id)
+            self._notify_capacity_evicted(worker_id, victim.block_id)
         return evicted
 
     # ---- cluster view -------------------------------------------------------
@@ -165,7 +209,7 @@ class BlockManagerMaster:
         return block_id in self.stores[worker_id]
 
     def cached_partitions_of(self, rdd_id: int) -> Set[int]:
-        return {pid for (rid, pid) in self._locations if rid == rdd_id and self._locations[(rid, pid)]}
+        return set(self._rdd_index.get(rdd_id, ()))
 
     def memory_utilisation(self, worker_id: int) -> float:
         return self.stores[worker_id].utilisation()
@@ -188,7 +232,7 @@ class BlockManagerMaster:
 
     def remove_rdd(self, rdd_id: int) -> None:
         """Uncache every partition of an RDD (``RDD.unpersist``)."""
-        doomed = [bid for bid in self._locations if bid[0] == rdd_id]
+        doomed = [(rdd_id, pid) for pid in sorted(self._rdd_index.get(rdd_id, ()))]
         for bid in doomed:
             self.remove_block(bid)
 
@@ -202,9 +246,18 @@ class BlockManagerMaster:
             lost_ids.append(block.block_id)
         return lost_ids
 
+    def _add_location(self, block_id: BlockId, worker_id: int) -> None:
+        self._locations.setdefault(block_id, set()).add(worker_id)
+        self._rdd_index.setdefault(block_id[0], set()).add(block_id[1])
+
     def _drop_location(self, block_id: BlockId, worker_id: int) -> None:
         locs = self._locations.get(block_id)
         if locs is not None:
             locs.discard(worker_id)
             if not locs:
                 self._locations.pop(block_id, None)
+                pids = self._rdd_index.get(block_id[0])
+                if pids is not None:
+                    pids.discard(block_id[1])
+                    if not pids:
+                        self._rdd_index.pop(block_id[0], None)

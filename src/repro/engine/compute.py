@@ -68,6 +68,7 @@ class EvalContext:
         self.worker_id = worker_id
         self.metrics = metrics
         self._memo: Dict[Tuple[int, int], list] = {}
+        self._recompute_depth = 0
 
     # ---- cost charging (called by RDD.compute implementations) ---------------
 
@@ -136,7 +137,18 @@ class EvalContext:
         if rdd.cached:
             self.metrics.cache_misses += 1
         self.metrics.recomputed_partitions += 1
-        records = rdd.compute(pid, self)
+        if rdd.cached and self._recompute_depth == 0:
+            # Attribute the whole rebuild (including nested parents) to
+            # the outermost miss — the per-policy recompute penalty.
+            self._recompute_depth += 1
+            before = self.metrics.work_time()
+            try:
+                records = rdd.compute(pid, self)
+            finally:
+                self._recompute_depth -= 1
+            self.metrics.recompute_time += self.metrics.work_time() - before
+        else:
+            records = rdd.compute(pid, self)
         self._memo[key] = records
 
         size = ctx.sizer.size_of_partition(records)
@@ -221,6 +233,10 @@ class EvalContext:
         # Cached blocks live deserialized on the heap: bigger than their
         # serialized (disk/shuffle) form by the memory-overhead factor.
         size = ctx.sizer.in_memory_size(records)
+        if not ctx.cache_manager.should_admit(rdd.rdd_id, size):
+            # Cheaper to rebuild than the admission threshold: caching it
+            # would only displace blocks whose loss actually costs time.
+            return
         ctx.block_manager_master.put(
             self.worker_id, Block((rdd.rdd_id, pid), records, size)
         )

@@ -14,6 +14,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
+from ..cache.manager import CacheManager
+from ..cache.policy import DEFAULTS as CACHE_DEFAULTS
 from ..cluster.cluster import Cluster
 from ..cluster.cost_model import CostModel, RecordSizer
 from .block_manager import BlockManagerMaster
@@ -61,6 +63,20 @@ class StarkConfig:
     checkpoint_relax_factor: float = 1.0
     #: Fraction of worker memory available to the block cache.
     storage_memory_fraction: float = 0.6
+    #: Eviction policy of the executor block stores: one of
+    #: ``repro.cache.POLICY_NAMES`` ("lru", "fifo", "lrc", "cost").
+    #: Defaults follow ``repro.cache.DEFAULTS`` so the CLI can select a
+    #: policy globally for every experiment.
+    cache_policy: str = field(default_factory=lambda: CACHE_DEFAULTS.policy)
+    #: Admission threshold (seconds): blocks whose estimated recompute
+    #: cost is below this are never cached.  0 admits everything.
+    cache_admission_min_cost: float = field(
+        default_factory=lambda: CACHE_DEFAULTS.admission_min_cost
+    )
+    #: Auto-unpersist RDDs whose declared reference count
+    #: (``CacheManager.expect``) drains to zero.  Only RDDs with explicit
+    #: declarations are ever dropped.
+    cache_auto_unpersist: bool = False
 
 
 class StarkContext:
@@ -89,10 +105,15 @@ class StarkContext:
         self.metrics = MetricsCollector()
         self.map_output_tracker = MapOutputTracker()
         self.checkpoint_store = CheckpointStore()
+        self.cache_manager = CacheManager(self)
         self.block_manager_master = BlockManagerMaster(
             self.cluster.worker_ids,
             capacity_for=lambda wid: self.cluster.get_worker(wid).memory_bytes
             * self.config.storage_memory_fraction,
+            policy_factory=self.cache_manager.policy_for_worker,
+        )
+        self.block_manager_master.add_capacity_eviction_listener(
+            lambda wid, bid: self.metrics.record_eviction()
         )
 
         # Stark components (imported here to keep engine importable alone).

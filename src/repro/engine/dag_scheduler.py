@@ -74,6 +74,11 @@ class DAGScheduler:
         order = self._topological_stages(final_stage)
         job.num_stages = len(order)
 
+        # Cache subsystem hooks: register the references this job will
+        # hold on cached RDDs; stage completions below drain them.
+        cache_manager = context.cache_manager
+        cache_manager.on_job_submit(job.job_id, rdd, order)
+
         stage_finish: Dict[int, float] = {}
         frontier = submit_time
         for stage in order:
@@ -85,15 +90,19 @@ class DAGScheduler:
             if stage.is_shuffle_map and self._can_skip(stage):
                 job.skipped_stages += 1
                 stage_finish[stage.stage_id] = start
+                cache_manager.on_stage_complete(job.job_id, stage.stage_id)
                 continue
             finish = self._run_stage(stage, job, start, action)
             stage_finish[stage.stage_id] = finish
             frontier = max(frontier, start)
+            cache_manager.on_stage_complete(job.job_id, stage.stage_id)
 
         finish_time = stage_finish[final_stage.stage_id]
         clock.advance_to(max(clock.now, finish_time))
         job.finish_time = finish_time
-        return self._collect_results(final_stage)
+        results = self._collect_results(final_stage)
+        cache_manager.on_job_complete(job.job_id)
+        return results
 
     # ---- stage construction ---------------------------------------------------------
 

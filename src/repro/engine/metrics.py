@@ -46,6 +46,9 @@ class TaskMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     recomputed_partitions: int = 0
+    #: Work charged rebuilding partitions of *cached* RDDs that missed
+    #: (the Spark-1.3 miss penalty); subset of the other time fields.
+    recompute_time: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -113,6 +116,11 @@ class MetricsCollector:
         self.jobs: List[JobMetrics] = []
         self._task_ids = itertools.count()
         self._job_ids = itertools.count()
+        self.evictions: int = 0
+
+    def record_eviction(self, count: int = 1) -> None:
+        """Count a capacity eviction (fed by the block manager)."""
+        self.evictions += count
 
     def new_job(self, description: str, submit_time: float) -> JobMetrics:
         job = JobMetrics(
@@ -156,6 +164,28 @@ class MetricsCollector:
 
     def total_tasks(self) -> int:
         return sum(len(j.tasks) for j in self.jobs)
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Aggregate cache behaviour across the experiment: hits, misses,
+        hit rate, capacity evictions, and the count/time of cache-miss
+        recomputations (analogous to :meth:`locality_fractions`)."""
+        hits = misses = recomputed = 0
+        recompute_time = 0.0
+        for job in self.jobs:
+            for t in job.tasks:
+                hits += t.cache_hits
+                misses += t.cache_misses
+                recomputed += t.recomputed_partitions
+                recompute_time += t.recompute_time
+        reads = hits + misses
+        return {
+            "hits": float(hits),
+            "misses": float(misses),
+            "hit_rate": hits / reads if reads else 0.0,
+            "evictions": float(self.evictions),
+            "recomputed_partitions": float(recomputed),
+            "recompute_time": recompute_time,
+        }
 
     def locality_fractions(self) -> Dict[str, float]:
         """Fraction of tasks launched at each locality level."""

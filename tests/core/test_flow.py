@@ -20,7 +20,12 @@ def nx_max_flow(edges, source, sink):
     graph.add_node(sink)
     if not networkx.has_path(graph, source, sink):
         return 0.0
-    value, _ = networkx.maximum_flow(graph, source, sink)
+    # Pin the oracle to edmonds_karp: the default preflow_push crashes
+    # (networkx 3.6, "min() arg is an empty sequence") on graphs with a
+    # node that has no forward path to the sink.
+    value, _ = networkx.maximum_flow(
+        graph, source, sink,
+        flow_func=networkx.algorithms.flow.edmonds_karp)
     return value
 
 

@@ -1,0 +1,93 @@
+"""Randomized invariants of the block stores and the location index.
+
+Satellite of the cache subsystem PR: under any interleaving of puts,
+gets, removes, RDD unpersists and worker losses — and under any eviction
+policy — the byte accounting and the master's per-RDD location index
+must exactly mirror the stores' contents.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.policy import POLICY_NAMES, make_policy
+from repro.engine.block_manager import Block, BlockManagerMaster
+
+WORKERS = [0, 1, 2]
+CAPACITY = 100.0
+
+
+def op_strategy():
+    rdd_ids = st.integers(0, 3)
+    pids = st.integers(0, 3)
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("put"), st.integers(0, 2), rdd_ids, pids,
+                      st.floats(min_value=1, max_value=70)),
+            st.tuples(st.just("get"), st.integers(0, 2), rdd_ids, pids),
+            st.tuples(st.just("remove_block"), rdd_ids, pids),
+            st.tuples(st.just("remove_rdd"), rdd_ids),
+            st.tuples(st.just("lose_worker"), st.integers(0, 2)),
+        ),
+        max_size=80,
+    )
+
+
+def apply_ops(master, ops):
+    lost_workers = set()
+    for op in ops:
+        if op[0] == "put":
+            _, wid, rdd_id, pid, size = op
+            if wid in lost_workers:
+                continue
+            master.put(wid, Block((rdd_id, pid), ["r"], size))
+        elif op[0] == "get":
+            _, wid, rdd_id, pid = op
+            if wid not in lost_workers:
+                master.get_local(wid, (rdd_id, pid))
+        elif op[0] == "remove_block":
+            master.remove_block((op[1], op[2]))
+        elif op[0] == "remove_rdd":
+            master.remove_rdd(op[1])
+        else:
+            master.lose_worker(op[1])
+            lost_workers.add(op[1])
+
+
+def check_invariants(master):
+    resident = {}  # block_id -> workers actually holding it
+    for wid, store in master.stores.items():
+        block_ids = store.block_ids()
+        # Byte accounting: exact sum of resident sizes, within capacity.
+        assert store.used_bytes == pytest.approx(
+            sum(store.peek(b).size_bytes for b in block_ids))
+        assert store.used_bytes <= store.capacity_bytes + 1e-9
+        # The policy's membership mirror matches the store.
+        assert len(store.policy) == len(store)
+        for bid in block_ids:
+            resident.setdefault(bid, set()).add(wid)
+    # Location map: exactly the resident blocks, no stale or missing entries.
+    for bid, workers in resident.items():
+        assert master.locations(bid) == workers
+    all_rdds = {bid[0] for bid in resident}
+    for rdd_id in all_rdds | set(range(4)):
+        expected = {bid[1] for bid in resident if bid[0] == rdd_id}
+        assert master.cached_partitions_of(rdd_id) == expected
+        assert (rdd_id in all_rdds) == bool(expected)
+
+
+@pytest.mark.parametrize("policy_name", POLICY_NAMES)
+@settings(max_examples=60, deadline=None)
+@given(ops=op_strategy())
+def test_store_and_index_invariants(policy_name, ops):
+    refs = {0: 2, 1: 0, 2: 5, 3: 1}
+    costs = {0: 0.5, 1: 0.0, 2: 4.0, 3: 0.1}
+    master = BlockManagerMaster(
+        WORKERS, lambda wid: CAPACITY,
+        policy_factory=lambda wid: make_policy(
+            policy_name,
+            ref_fn=lambda bid: refs.get(bid[0], 0),
+            cost_fn=lambda rdd_id: costs.get(rdd_id, 0.0),
+        ),
+    )
+    apply_ops(master, ops)
+    check_invariants(master)

@@ -2,6 +2,11 @@
 
 import pytest
 
+from repro.cache import (
+    DEFAULTS,
+    set_default_admission_min_cost,
+    set_default_policy,
+)
 from repro.cli import COMMANDS, build_parser, main
 
 
@@ -40,3 +45,25 @@ class TestMain:
     def test_fig07_runs(self, capsys):
         assert main(["fig07", "--partitions", "1", "8"]) == 0
         assert "Fig 7" in capsys.readouterr().out
+
+    def test_cache_runs(self, capsys):
+        assert main(["cache", "--policies", "lru", "lrc",
+                     "--iterations", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Cache policies" in out
+        assert "lrc" in out
+        assert "faster than lru" in out
+
+    def test_global_cache_flags_set_defaults(self):
+        try:
+            assert main(["--cache-policy", "lrc",
+                         "--cache-admission-min-cost", "0.2", "list"]) == 0
+            assert DEFAULTS.policy == "lrc"
+            assert DEFAULTS.admission_min_cost == 0.2
+        finally:
+            set_default_policy("lru")
+            set_default_admission_min_cost(0.0)
+
+    def test_unknown_cache_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--cache-policy", "belady", "list"])

@@ -7,6 +7,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.cache",
     "repro.cluster",
     "repro.core",
     "repro.engine",
