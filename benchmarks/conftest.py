@@ -5,18 +5,46 @@ corresponding experiment driver exactly once under pytest-benchmark
 (``rounds=1`` — the interesting measurements are *simulated* seconds
 inside the run, not wall time), prints the paper-style rows, and asserts
 the qualitative shape the paper reports.
+
+Pass ``--trace-dir DIR`` to drop observability artifacts next to the
+results: every context a benchmark creates writes an ``events-N.jsonl``
+event log plus a Perfetto-loadable ``trace-N.json`` under
+``DIR/<benchmark node name>/`` (see ``docs/OBSERVABILITY.md``).
 """
+
+import re
+from pathlib import Path
 
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write per-benchmark JSONL event logs + Perfetto traces "
+             "under DIR",
+    )
+
+
 @pytest.fixture
-def run_once(benchmark):
+def run_once(benchmark, request):
     """Run an experiment once under the benchmark timer and return its
-    result."""
+    result.  With ``--trace-dir``, the run is traced via
+    ``repro.obs.observe_to_dir``."""
+    trace_dir = request.config.getoption("--trace-dir")
 
     def runner(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                                  rounds=1, iterations=1, warmup_rounds=0)
+        def measured():
+            return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                      rounds=1, iterations=1,
+                                      warmup_rounds=0)
+
+        if trace_dir is None:
+            return measured()
+        from repro.obs import observe_to_dir
+
+        safe = re.sub(r"[^\w.\-\[\]=]", "_", request.node.name)
+        with observe_to_dir(Path(trace_dir) / safe):
+            return measured()
 
     return runner

@@ -16,15 +16,24 @@ from __future__ import annotations
 import argparse
 import statistics
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
+from . import obs
 from .bench import harness
+from .bench.ascii_charts import timeline_chart, utilization_chart
 from .bench.reporting import print_comparison, print_table
 from .cache import (
     POLICY_NAMES,
     set_default_admission_min_cost,
     set_default_policy,
 )
+from .obs import log as obs_log
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine.context import StarkContext
+
+LOG_LEVELS = ("DEBUG", "INFO", "WARNING", "ERROR")
 
 
 def _cmd_fig01(args: argparse.Namespace) -> None:
@@ -130,7 +139,7 @@ def _cmd_fig19(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig20(args: argparse.Namespace) -> None:
-    from .ascii_charts import sparkline
+    from .bench.ascii_charts import sparkline
 
     points = harness.run_fig20(hours=args.hours, steps_per_hour=1,
                                jobs_per_step=args.jobs_per_step)
@@ -173,6 +182,179 @@ def _cmd_cache(args: argparse.Namespace) -> None:
                                  by[name].mean_makespan)
 
 
+# ---- canned traceable workloads ------------------------------------------------
+
+
+def _workload_smoke() -> "StarkContext":
+    """Cached RDD counted twice (misses then hits) plus one shuffle."""
+    from .bench.configs import ClusterSpec, make_context
+
+    context = make_context(
+        "Stark-H", ClusterSpec(num_workers=4, cores_per_worker=2, seed=7))
+    data = [(i % 40, i) for i in range(2000)]
+    rdd = context.parallelize(data, num_partitions=8, name="smoke").cache()
+    rdd.count()
+    rdd.count()
+    rdd.reduce_by_key(lambda a, b: a + b, name="smoke.reduce").count()
+    return context
+
+
+def _workload_cache_pressure() -> "StarkContext":
+    """Several cached RDDs larger than aggregate store capacity, cycled
+    repeatedly: capacity evictions, misses, and recomputation."""
+    from .bench.configs import ClusterSpec, make_context
+
+    context = make_context(
+        "Spark-H",
+        ClusterSpec(num_workers=2, cores_per_worker=2,
+                    memory_per_worker=6e5, seed=11))
+    rdds = []
+    for r in range(4):
+        data = [(i, i * r) for i in range(3000)]
+        rdds.append(context.parallelize(
+            data, num_partitions=4, name=f"pressure{r}").cache())
+    for _ in range(3):
+        for rdd in rdds:
+            rdd.count()
+    return context
+
+
+def _workload_streaming() -> "StarkContext":
+    """A few micro-batch steps with a short retention window: batch
+    events plus explicit evictions of expired step RDDs."""
+    from .bench.configs import ClusterSpec, make_context
+    from .streaming.dstream import StreamingContext
+
+    context = make_context(
+        "Stark-H", ClusterSpec(num_workers=4, cores_per_worker=2, seed=3))
+    ssc = StreamingContext(context, batch_seconds=10.0, retention_steps=3)
+
+    def receiver(step: int, parts: int):
+        def gen(pid: int) -> list:
+            return [((pid * 97 + i) % (1 << 16), step) for i in range(100)]
+        return gen
+
+    ssc.receiver_stream(receiver, num_partitions=8, name="ingest")
+    ssc.advance(5)
+    return context
+
+
+WORKLOADS: Dict[str, Callable[[], "StarkContext"]] = {
+    "smoke": _workload_smoke,
+    "cache-pressure": _workload_cache_pressure,
+    "streaming": _workload_streaming,
+}
+
+
+def _run_traced_workload(name: str, listeners: Sequence) -> List["StarkContext"]:
+    """Run a canned workload with ``listeners`` subscribed to every
+    context it creates; returns those contexts for reconciliation."""
+    contexts: List["StarkContext"] = []
+
+    def attach(context: "StarkContext") -> None:
+        contexts.append(context)
+        for listener in listeners:
+            context.event_bus.subscribe(listener)
+
+    obs.add_context_observer(attach)
+    try:
+        WORKLOADS[name]()
+    finally:
+        obs.remove_context_observer(attach)
+    return contexts
+
+
+def _reconcile(contexts: Sequence["StarkContext"],
+               collector: obs.EventCollector) -> List[List]:
+    """Rows of [quantity, from events, from metrics, ok] — the event
+    stream must agree exactly with ``MetricsCollector`` totals."""
+    counts = collector.counts_by_type()
+    tasks = hits = misses = evictions = 0
+    for context in contexts:
+        stats = context.metrics.cache_stats()
+        tasks += context.metrics.total_tasks()
+        hits += int(stats["hits"])
+        misses += int(stats["misses"])
+        evictions += int(stats["evictions"])
+    capacity_evictions = sum(
+        1 for e in collector.of_type(obs.BlockEvicted)
+        if e.reason == "capacity")
+    rows = []
+    for label, from_events, from_metrics in (
+        ("tasks", counts.get("TaskEnd", 0), tasks),
+        ("cache hits", counts.get("CacheHit", 0), hits),
+        ("cache misses", counts.get("CacheMiss", 0), misses),
+        ("capacity evictions", capacity_evictions, evictions),
+    ):
+        rows.append([label, from_events, from_metrics,
+                     "ok" if from_events == from_metrics else "MISMATCH"])
+    return rows
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    events_path = (Path(args.events_out) if args.events_out
+                   else out.with_name(out.stem + ".events.jsonl"))
+    collector = obs.EventCollector()
+    sampler = obs.UtilizationSampler()
+    tracer = obs.ChromeTraceExporter()
+    with obs.JsonlEventLog(events_path) as event_log:
+        contexts = _run_traced_workload(
+            args.workload, [collector, sampler, tracer, event_log])
+    tracer.export(out)
+    print(f"trace:     {out} ({len(collector.of_type(obs.TaskEnd))} task "
+          f"spans; load in https://ui.perfetto.dev)")
+    print(f"event log: {events_path} ({event_log.events_written} events)")
+
+    failures = 0
+    problems = obs.validate_event_log(events_path)
+    for problem in problems:
+        print(f"schema: {problem}")
+        failures += 1
+    violations = obs.check_event_invariants(collector.events)
+    for violation in violations:
+        print(f"invariant: {violation}")
+        failures += 1
+
+    rows = _reconcile(contexts, collector)
+    print_table("Events vs. MetricsCollector",
+                ["quantity", "events", "metrics", "check"], rows)
+    failures += sum(1 for row in rows if row[3] != "ok")
+
+    lanes: Dict[str, List] = {}
+    for worker_id, assigned in tracer.slot_assignment().items():
+        for task, slot in assigned:
+            lanes.setdefault(f"w{worker_id}/s{slot}", []).append(
+                (task.time - task.duration, task.time))
+    if lanes:
+        print("\ntask timeline (one lane per worker slot):")
+        print(timeline_chart(lanes))
+    occupancy = sampler.slot_occupancy()
+    if occupancy:
+        print("\ncluster slot occupancy:")
+        print(utilization_chart(occupancy, unit=" slots"))
+    cache = sampler.cache_bytes()
+    if cache:
+        print("\nresident cache bytes:")
+        print(utilization_chart(cache, unit="B"))
+    if failures:
+        print(f"\n{failures} problem(s) found")
+    return 1 if failures else 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    collector = obs.EventCollector()
+    _run_traced_workload(args.workload, [collector])
+    shown = collector.tail(args.tail) if args.tail else collector.events
+    skipped = len(collector.events) - len(shown)
+    if skipped > 0:
+        print(f"... {skipped} earlier events "
+              f"(--tail {len(collector.events)} to see all)")
+    for event in shown:
+        print(obs.format_event(event))
+    return 0
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig01": _cmd_fig01,
     "fig07": _cmd_fig07,
@@ -184,6 +366,8 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig19": _cmd_fig19,
     "fig20": _cmd_fig20,
     "cache": _cmd_cache,
+    "trace": _cmd_trace,
+    "events": _cmd_events,
 }
 
 
@@ -210,6 +394,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None, metavar="SECONDS",
         help="never cache blocks whose estimated recompute cost is below "
              "this many simulated seconds (default: 0, admit everything)",
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default=None,
+        help="enable engine logging at this level (sim-time-prefixed, "
+             "to stderr)",
+    )
+    parser.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="write events-N.jsonl + trace-N.json for every context the "
+             "command creates into DIR",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -251,7 +445,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--admission-min-cost", type=float, default=0.0)
     p.add_argument("--auto-unpersist", action="store_true",
                    help="drop cached RDDs whose declared uses drain to zero")
+
+    p = sub.add_parser(
+        "trace", help="run a canned workload under full tracing; export a "
+                      "Perfetto trace + JSONL event log")
+    p.add_argument("workload", nargs="?", choices=sorted(WORKLOADS),
+                   default="smoke")
+    p.add_argument("--out", default="trace.json", metavar="FILE",
+                   help="Chrome/Perfetto trace output path "
+                        "(default: trace.json)")
+    p.add_argument("--events-out", default=None, metavar="FILE",
+                   help="JSONL event log path "
+                        "(default: <out stem>.events.jsonl)")
+
+    p = sub.add_parser("events",
+                       help="run a canned workload and print its event "
+                            "stream")
+    p.add_argument("workload", nargs="?", choices=sorted(WORKLOADS),
+                   default="smoke")
+    p.add_argument("--tail", type=int, default=40, metavar="N",
+                   help="show only the last N events (0 = all)")
     return parser
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "all":
+        defaults = build_parser()
+        status = 0
+        for name in COMMANDS:
+            print(f"\n### {name} ###")
+            sub_args = defaults.parse_args([name])
+            status = max(status, COMMANDS[name](sub_args) or 0)
+        return status
+    return COMMANDS[args.command](args) or 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -261,21 +487,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         set_default_policy(args.cache_policy)
     if args.cache_admission_min_cost is not None:
         set_default_admission_min_cost(args.cache_admission_min_cost)
+    if args.log_level is not None:
+        obs_log.configure(args.log_level)
     if args.command in (None, "list"):
         print("available experiments:")
         for name in COMMANDS:
             print(f"  {name}")
         print("  all")
         return 0
-    if args.command == "all":
-        defaults = build_parser()
-        for name in COMMANDS:
-            print(f"\n### {name} ###")
-            sub_args = defaults.parse_args([name])
-            COMMANDS[name](sub_args)
-        return 0
-    COMMANDS[args.command](args)
-    return 0
+    if args.trace_dir is not None:
+        with obs.observe_to_dir(args.trace_dir) as out:
+            status = _dispatch(args)
+        print(f"\nobservability artifacts written to {out}/", file=sys.stderr)
+        return status
+    return _dispatch(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -128,6 +128,11 @@ class BlockStore:
 
 EvictionListener = Callable[[int, BlockId], None]
 
+#: ``listener(worker_id, block_id, reason)`` where reason is one of
+#: ``"capacity"`` | ``"explicit"`` | ``"worker_lost"`` — the channel the
+#: observability layer turns into ``BlockEvicted`` events.
+BlockEventListener = Callable[[int, BlockId, str], None]
+
 
 class BlockManagerMaster:
     """Driver-side registry of block locations across all executors.
@@ -157,6 +162,7 @@ class BlockManagerMaster:
         self._rdd_index: Dict[int, Set[int]] = {}
         self._eviction_listeners: List[EvictionListener] = []
         self._capacity_eviction_listeners: List[EvictionListener] = []
+        self._block_event_listeners: List[BlockEventListener] = []
 
     # ---- listeners --------------------------------------------------------
 
@@ -179,6 +185,17 @@ class BlockManagerMaster:
         for listener in self._capacity_eviction_listeners:
             listener(worker_id, block_id)
 
+    def add_block_event_listener(self, listener: BlockEventListener) -> None:
+        """Register a reasoned removal callback: fired as
+        ``listener(worker_id, block_id, reason)`` for every block that
+        leaves a store, with the removal cause attached."""
+        self._block_event_listeners.append(listener)
+
+    def _notify_block_event(self, worker_id: int, block_id: BlockId,
+                            reason: str) -> None:
+        for listener in self._block_event_listeners:
+            listener(worker_id, block_id, reason)
+
     # ---- data path ---------------------------------------------------------
 
     def get_local(self, worker_id: int, block_id: BlockId) -> Optional[Block]:
@@ -195,6 +212,7 @@ class BlockManagerMaster:
             self._drop_location(victim.block_id, worker_id)
             self._notify_evicted(worker_id, victim.block_id)
             self._notify_capacity_evicted(worker_id, victim.block_id)
+            self._notify_block_event(worker_id, victim.block_id, "capacity")
         return evicted
 
     # ---- cluster view -------------------------------------------------------
@@ -229,6 +247,7 @@ class BlockManagerMaster:
             if self.stores[wid].remove(block_id) is not None:
                 self._drop_location(block_id, wid)
                 self._notify_evicted(wid, block_id)
+                self._notify_block_event(wid, block_id, "explicit")
 
     def remove_rdd(self, rdd_id: int) -> None:
         """Uncache every partition of an RDD (``RDD.unpersist``)."""
@@ -243,6 +262,7 @@ class BlockManagerMaster:
         for block in lost:
             self._drop_location(block.block_id, worker_id)
             self._notify_evicted(worker_id, block.block_id)
+            self._notify_block_event(worker_id, block.block_id, "worker_lost")
             lost_ids.append(block.block_id)
         return lost_ids
 

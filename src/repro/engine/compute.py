@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
+from ..obs.events import BlockCached, CacheHit, CacheMiss, ShuffleFetch
 from .metrics import TaskMetrics
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -118,6 +119,12 @@ class EvalContext:
             self.metrics.cache_read_time += model.memory_read_cost(block.size_bytes)
             self.metrics.cache_hits += 1
             self.metrics.input_bytes += block.size_bytes
+            bus = ctx.event_bus
+            if bus.active:
+                bus.post(CacheHit(
+                    time=ctx.cluster.clock.now, worker_id=self.worker_id,
+                    rdd_id=rdd.rdd_id, partition=pid,
+                    size_bytes=block.size_bytes))
             self._memo[key] = block.records
             return block.records
 
@@ -136,6 +143,11 @@ class EvalContext:
         # 3/4. Recompute (shuffle fetches happen inside rdd.compute).
         if rdd.cached:
             self.metrics.cache_misses += 1
+            bus = ctx.event_bus
+            if bus.active:
+                bus.post(CacheMiss(
+                    time=ctx.cluster.clock.now, worker_id=self.worker_id,
+                    rdd_id=rdd.rdd_id, partition=pid))
         self.metrics.recomputed_partitions += 1
         if rdd.cached and self._recompute_depth == 0:
             # Attribute the whole rebuild (including nested parents) to
@@ -167,16 +179,28 @@ class EvalContext:
         model = ctx.cost_model
         outputs = ctx.map_output_tracker.outputs_for_reduce(dep.shuffle_id, pid)
         records: list = []
+        local_bytes = remote_bytes = 0.0
+        local_seconds = remote_seconds = 0.0
         for out in outputs:
             disk = model.disk_read_cost(out.size_bytes)
             if out.worker_id == self.worker_id:
                 self.metrics.shuffle_fetch_local_time += disk
+                local_bytes += out.size_bytes
+                local_seconds += disk
             else:
-                self.metrics.shuffle_fetch_remote_time += (
-                    disk + model.network_cost(out.size_bytes)
-                )
+                remote = disk + model.network_cost(out.size_bytes)
+                self.metrics.shuffle_fetch_remote_time += remote
+                remote_bytes += out.size_bytes
+                remote_seconds += remote
             self.metrics.shuffle_bytes_fetched += out.size_bytes
             records.extend(out.records)
+        bus = ctx.event_bus
+        if bus.active and outputs:
+            bus.post(ShuffleFetch(
+                time=ctx.cluster.clock.now, worker_id=self.worker_id,
+                shuffle_id=dep.shuffle_id, reduce_id=pid,
+                local_bytes=local_bytes, remote_bytes=remote_bytes,
+                local_seconds=local_seconds, remote_seconds=remote_seconds))
         reduce_cost = model.shuffle_reduce_cost(len(records))
         self.metrics.compute_time += reduce_cost
         ctx.rdd_stats(child.rdd_id).record_delay(reduce_cost)
@@ -240,3 +264,10 @@ class EvalContext:
         ctx.block_manager_master.put(
             self.worker_id, Block((rdd.rdd_id, pid), records, size)
         )
+        bus = ctx.event_bus
+        if bus.active and ctx.block_manager_master.is_cached_on(
+            self.worker_id, (rdd.rdd_id, pid)
+        ):
+            bus.post(BlockCached(
+                time=ctx.cluster.clock.now, worker_id=self.worker_id,
+                rdd_id=rdd.rdd_id, partition=pid, size_bytes=size))

@@ -18,6 +18,16 @@ from ..cache.manager import CacheManager
 from ..cache.policy import DEFAULTS as CACHE_DEFAULTS
 from ..cluster.cluster import Cluster
 from ..cluster.cost_model import CostModel, RecordSizer
+from ..obs import log as obs_log
+from ..obs import notify_context_created
+from ..obs.bus import EventBus
+from ..obs.events import (
+    BlockEvicted,
+    CheckpointWritten,
+    JobEnd,
+    JobStart,
+    task_events_from_metrics,
+)
 from .block_manager import BlockManagerMaster
 from .checkpoint import CheckpointStore
 from .compute import EvalContext, RDDStats
@@ -103,6 +113,10 @@ class StarkContext:
         self.cost_model = self.cluster.cost_model
         self.sizer = self.cluster.sizer
         self.metrics = MetricsCollector()
+        #: SparkListener-style bus; inert (and cost-free) until a
+        #: listener subscribes (see ``repro.obs``).
+        self.event_bus = EventBus()
+        obs_log.bind_clock(self.cluster.clock)
         self.map_output_tracker = MapOutputTracker()
         self.checkpoint_store = CheckpointStore()
         self.cache_manager = CacheManager(self)
@@ -114,6 +128,9 @@ class StarkContext:
         )
         self.block_manager_master.add_capacity_eviction_listener(
             lambda wid, bid: self.metrics.record_eviction()
+        )
+        self.block_manager_master.add_block_event_listener(
+            self._on_block_removed
         )
 
         # Stark components (imported here to keep engine importable alone).
@@ -141,6 +158,14 @@ class StarkContext:
         self._rdd_ids = itertools.count()
         self._rdds: Dict[int, "RDD"] = {}
         self._rdd_stats: Dict[int, RDDStats] = {}
+        notify_context_created(self)
+
+    def _on_block_removed(self, worker_id: int, block_id, reason: str) -> None:
+        if self.event_bus.active:
+            self.event_bus.post(BlockEvicted(
+                time=self.cluster.clock.now, worker_id=worker_id,
+                rdd_id=block_id[0], partition=block_id[1], reason=reason,
+            ))
 
     # ---- registries ------------------------------------------------------------
 
@@ -225,6 +250,10 @@ class StarkContext:
         """Materialize ``rdd`` and persist every partition to the reliable
         store (``RDD.forceCheckpoint``).  Returns total bytes written."""
         job = self.metrics.new_job(f"checkpoint({rdd.name})", self.now)
+        bus = self.event_bus
+        if bus.active:
+            bus.post(JobStart(time=job.submit_time, job_id=job.job_id,
+                              description=job.description))
         total = 0.0
         for pid in range(rdd.num_partitions):
             # Run the write where the data is (or can be) materialized.
@@ -250,9 +279,21 @@ class StarkContext:
             tm.worker_id = worker_id
             self.checkpoint_store.write(rdd.rdd_id, pid, size, records)
             total += size
+            if bus.active:
+                start_event, end_event = task_events_from_metrics(tm)
+                bus.post(start_event)
+                bus.post(end_event)
         self.checkpoint_store.commit(rdd.rdd_id, self.now)
         rdd.checkpointed = True
         job.finish_time = max((t.finish_time for t in job.tasks), default=self.now)
+        if bus.active:
+            bus.post(CheckpointWritten(
+                time=job.finish_time, rdd_id=rdd.rdd_id, total_bytes=total,
+                num_partitions=rdd.num_partitions,
+            ))
+            bus.post(JobEnd(time=job.finish_time, job_id=job.job_id,
+                            duration=job.makespan, num_stages=0,
+                            skipped_stages=0))
         return total
 
     # ---- diagnostics --------------------------------------------------------------------------

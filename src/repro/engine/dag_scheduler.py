@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
+from ..obs import log as obs_log
+from ..obs.events import JobEnd, JobStart, StageCompleted, StageSubmitted
 from .dependency import NarrowDependency, ShuffleDependency
 from .metrics import JobMetrics
 from .stage import Stage
@@ -34,6 +36,8 @@ from .task import (
 if TYPE_CHECKING:  # pragma: no cover
     from .context import StarkContext
     from .rdd import RDD
+
+logger = obs_log.get_logger("dag")
 
 
 class DAGScheduler:
@@ -74,6 +78,13 @@ class DAGScheduler:
         order = self._topological_stages(final_stage)
         job.num_stages = len(order)
 
+        bus = context.event_bus
+        if bus.active:
+            bus.post(JobStart(time=submit_time, job_id=job.job_id,
+                              description=job.description))
+        logger.debug("job %d submitted: %s (%d stages)",
+                     job.job_id, job.description, len(order))
+
         # Cache subsystem hooks: register the references this job will
         # hold on cached RDDs; stage completions below drain them.
         cache_manager = context.cache_manager
@@ -90,6 +101,15 @@ class DAGScheduler:
             if stage.is_shuffle_map and self._can_skip(stage):
                 job.skipped_stages += 1
                 stage_finish[stage.stage_id] = start
+                if bus.active:
+                    bus.post(StageSubmitted(
+                        time=start, job_id=job.job_id,
+                        stage_id=stage.stage_id, num_tasks=0,
+                        is_shuffle_map=True))
+                    bus.post(StageCompleted(
+                        time=start, job_id=job.job_id,
+                        stage_id=stage.stage_id, skipped=True,
+                        duration=0.0))
                 cache_manager.on_stage_complete(job.job_id, stage.stage_id)
                 continue
             finish = self._run_stage(stage, job, start, action)
@@ -102,6 +122,13 @@ class DAGScheduler:
         job.finish_time = finish_time
         results = self._collect_results(final_stage)
         cache_manager.on_job_complete(job.job_id)
+        if bus.active:
+            bus.post(JobEnd(time=finish_time, job_id=job.job_id,
+                            duration=job.makespan,
+                            num_stages=job.num_stages,
+                            skipped_stages=job.skipped_stages))
+        logger.debug("job %d finished in %.3fs (%d tasks)",
+                     job.job_id, job.makespan, len(job.tasks))
         return results
 
     # ---- stage construction ---------------------------------------------------------
@@ -197,7 +224,17 @@ class DAGScheduler:
         tasks = self._create_tasks(stage, job, action)
         for task in tasks:
             task.preferred_workers = self._preferred_workers(stage.rdd, task)
+        bus = self.context.event_bus
+        if bus.active:
+            bus.post(StageSubmitted(
+                time=start_time, job_id=job.job_id,
+                stage_id=stage.stage_id, num_tasks=len(tasks),
+                is_shuffle_map=stage.is_shuffle_map))
         finish = self.context.task_scheduler.run_taskset(tasks, start_time)
+        if bus.active:
+            bus.post(StageCompleted(
+                time=finish, job_id=job.job_id, stage_id=stage.stage_id,
+                skipped=False, duration=finish - start_time))
         if not stage.is_shuffle_map:
             self._last_result_tasks[stage.stage_id] = tasks
         return finish

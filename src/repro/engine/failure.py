@@ -14,9 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
 
+from ..obs import log as obs_log
+from ..obs.events import FailureInjected, LineageRecovered
+
 if TYPE_CHECKING:  # pragma: no cover
     from .context import StarkContext
     from .rdd import RDD
+
+logger = obs_log.get_logger("failure")
 
 
 @dataclass
@@ -53,6 +58,14 @@ class FailureInjector:
         if lose_disk:
             lost_outputs = context.map_output_tracker.remove_outputs_on_worker(worker_id)
             context.cluster.get_worker(worker_id).shuffle_disk.clear()
+        bus = context.event_bus
+        if bus.active:
+            bus.post(FailureInjected(
+                time=context.cluster.clock.now, worker_id=worker_id,
+                lost_blocks=len(lost_blocks),
+                lost_shuffle_outputs=len(lost_outputs)))
+        logger.warning("worker %d killed: %d cached blocks, %d shuffle outputs lost",
+                       worker_id, len(lost_blocks), len(lost_outputs))
         return RecoveryReport(
             killed_worker=worker_id,
             lost_blocks=len(lost_blocks),
@@ -85,6 +98,11 @@ class FailureInjector:
         recovery = self._timed_run(rdd, act, "recovery.after_failure")
         report.baseline_delay = baseline
         report.recovery_delay = recovery
+        bus = self.context.event_bus
+        if bus.active:
+            bus.post(LineageRecovered(
+                time=self.context.cluster.clock.now, worker_id=worker_id,
+                baseline_delay=baseline, recovery_delay=recovery))
         return report
 
     def _timed_run(self, rdd: "RDD", action: Callable, description: str) -> float:

@@ -9,9 +9,12 @@ series over arrival rate or wall time (Figs 19/20).
 from __future__ import annotations
 
 import itertools
+import math
 import statistics
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
+
+from ..obs.registry import MetricsRegistry
 
 
 @dataclass
@@ -116,11 +119,28 @@ class MetricsCollector:
         self.jobs: List[JobMetrics] = []
         self._task_ids = itertools.count()
         self._job_ids = itertools.count()
-        self.evictions: int = 0
+        #: Registry backing the collector's counters; also holds any
+        #: metrics other components register (``repro.obs.registry``).
+        self.registry = MetricsRegistry()
+        self._evictions = self.registry.counter(
+            "stark_cache_evictions_total",
+            "Capacity evictions across all executor block stores",
+        )
+        self._jobs_total = self.registry.counter(
+            "stark_jobs_total", "Jobs submitted to the DAG scheduler",
+        )
+        self._tasks_total = self.registry.counter(
+            "stark_tasks_total", "Task attempts created",
+        )
+
+    @property
+    def evictions(self) -> int:
+        """Capacity evictions so far (registry-backed)."""
+        return int(self._evictions.value)
 
     def record_eviction(self, count: int = 1) -> None:
         """Count a capacity eviction (fed by the block manager)."""
-        self.evictions += count
+        self._evictions.inc(count)
 
     def new_job(self, description: str, submit_time: float) -> JobMetrics:
         job = JobMetrics(
@@ -129,6 +149,7 @@ class MetricsCollector:
             submit_time=submit_time,
         )
         self.jobs.append(job)
+        self._jobs_total.inc()
         return job
 
     def new_task_metrics(self, job: JobMetrics, stage_id: int, partition: int) -> TaskMetrics:
@@ -139,6 +160,7 @@ class MetricsCollector:
             partition=partition,
         )
         job.tasks.append(tm)
+        self._tasks_total.inc()
         return tm
 
     # ---- summaries -------------------------------------------------------------
@@ -156,10 +178,19 @@ class MetricsCollector:
         return statistics.fmean(spans) if spans else 0.0
 
     def percentile_makespan(self, pct: float) -> float:
+        """Nearest-rank percentile of the job makespans.
+
+        The nearest-rank method: the smallest span with at least
+        ``pct`` percent of the sample at or below it, i.e. rank
+        ``ceil(n * pct / 100)``.  (Truncating ``int(n * pct / 100)``
+        over-shoots by one whole rank whenever ``n * pct`` divides
+        evenly — p50 of two samples returned the *maximum*.)
+        """
         spans = sorted(self.makespans())
         if not spans:
             return 0.0
-        idx = min(len(spans) - 1, int(len(spans) * pct / 100.0))
+        rank = math.ceil(len(spans) * pct / 100.0)
+        idx = min(len(spans) - 1, max(0, rank - 1))
         return spans[idx]
 
     def total_tasks(self) -> int:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple, TYPE_CHECKING
 
+from ..obs.events import task_events_from_metrics
 from .task import Task
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -224,6 +225,11 @@ class TaskScheduler:
         tm.locality = locality
         tm.start_time = begin
         tm.finish_time = finish
+        bus = self.context.event_bus
+        if bus.active:
+            start_event, end_event = task_events_from_metrics(tm)
+            bus.post(start_event)
+            bus.post(end_event)
         # Signal the replication manager (§III-C3): a remote launch means
         # either a hotspot collection partition or executor contention.
         if locality == ANY:

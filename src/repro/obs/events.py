@@ -1,0 +1,300 @@
+"""Typed events of the simulated engine (the SparkListener taxonomy).
+
+Every interesting state change in the engine — job/stage/task lifecycle,
+cache traffic, shuffle fetches, checkpoints, failures, streaming batches
+— is described by one frozen dataclass below, stamped with the
+:class:`~repro.cluster.events.SimClock` time at which it happened.
+Components post instances onto the context's
+:class:`~repro.obs.bus.EventBus`; listeners (JSONL log, Chrome-trace
+exporter, utilization sampler, …) consume them.
+
+The module also derives a machine-checkable **schema** from the
+dataclasses (:data:`EVENT_SCHEMA`): a mapping of event-type name to the
+field names and primitive types a serialized event must carry.
+:func:`validate_event_dict` checks one JSONL record against it, which is
+what ``repro trace`` and the CI smoke job use to catch silent
+event-shape drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Tuple, Type
+
+#: Registry of event classes by type name (class name), filled by
+#: ``Event.__init_subclass__``.
+EVENT_TYPES: Dict[str, Type["Event"]] = {}
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: everything carries the simulated time it happened."""
+
+    time: float
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        EVENT_TYPES[cls.__name__] = cls  # type: ignore[assignment]
+
+    @property
+    def type(self) -> str:
+        return type(self).__name__
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-serializable form: ``{"type": ..., <fields>}``."""
+        out: Dict[str, Any] = {"type": self.type}
+        for f in fields(self):
+            out[f.name] = getattr(self, f.name)
+        return out
+
+
+# ---- job / stage / task lifecycle -----------------------------------------
+
+@dataclass(frozen=True)
+class JobStart(Event):
+    job_id: int
+    description: str
+
+
+@dataclass(frozen=True)
+class JobEnd(Event):
+    job_id: int
+    duration: float
+    num_stages: int
+    skipped_stages: int
+
+
+@dataclass(frozen=True)
+class StageSubmitted(Event):
+    job_id: int
+    stage_id: int
+    num_tasks: int
+    is_shuffle_map: bool
+
+
+@dataclass(frozen=True)
+class StageCompleted(Event):
+    job_id: int
+    stage_id: int
+    skipped: bool
+    duration: float
+
+
+@dataclass(frozen=True)
+class TaskStart(Event):
+    job_id: int
+    stage_id: int
+    task_id: int
+    partition: int
+    worker_id: int
+    locality: str
+
+
+@dataclass(frozen=True)
+class TaskEnd(Event):
+    """Task completion; ``time`` is the finish time, phase fields carry
+    the full simulated cost breakdown (what the trace exporter renders
+    as coloured sub-spans)."""
+
+    job_id: int
+    stage_id: int
+    task_id: int
+    partition: int
+    worker_id: int
+    locality: str
+    duration: float
+    launch_overhead: float
+    cache_read_time: float
+    compute_time: float
+    shuffle_fetch_local_time: float
+    shuffle_fetch_remote_time: float
+    shuffle_write_time: float
+    checkpoint_read_time: float
+    source_read_time: float
+    gc_time: float
+
+
+# ---- cache traffic ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class BlockCached(Event):
+    worker_id: int
+    rdd_id: int
+    partition: int
+    size_bytes: float
+
+
+@dataclass(frozen=True)
+class BlockEvicted(Event):
+    """A block left a store: ``reason`` is one of ``"capacity"`` (the
+    eviction policy chose a victim), ``"explicit"`` (unpersist), or
+    ``"worker_lost"``."""
+
+    worker_id: int
+    rdd_id: int
+    partition: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class CacheHit(Event):
+    worker_id: int
+    rdd_id: int
+    partition: int
+    size_bytes: float
+
+
+@dataclass(frozen=True)
+class CacheMiss(Event):
+    worker_id: int
+    rdd_id: int
+    partition: int
+
+
+# ---- shuffle / checkpoint --------------------------------------------------
+
+@dataclass(frozen=True)
+class ShuffleFetch(Event):
+    """One reduce task fetching all its map-output buckets."""
+
+    worker_id: int
+    shuffle_id: int
+    reduce_id: int
+    local_bytes: float
+    remote_bytes: float
+    local_seconds: float
+    remote_seconds: float
+
+
+@dataclass(frozen=True)
+class CheckpointWritten(Event):
+    rdd_id: int
+    total_bytes: float
+    num_partitions: int
+
+
+# ---- failures --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FailureInjected(Event):
+    worker_id: int
+    lost_blocks: int
+    lost_shuffle_outputs: int
+
+
+@dataclass(frozen=True)
+class LineageRecovered(Event):
+    worker_id: int
+    baseline_delay: float
+    recovery_delay: float
+
+
+# ---- streaming -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BatchSubmitted(Event):
+    step: int
+
+
+@dataclass(frozen=True)
+class BatchCompleted(Event):
+    step: int
+    num_streams: int
+    evicted_rdds: int
+
+
+# ---- schema ----------------------------------------------------------------
+
+_PRIMITIVES: Dict[str, Tuple[type, ...]] = {
+    "float": (int, float),
+    "int": (int,),
+    "str": (str,),
+    "bool": (bool,),
+}
+
+
+def _field_types(cls: Type[Event]) -> Dict[str, Tuple[type, ...]]:
+    out: Dict[str, Tuple[type, ...]] = {}
+    for f in fields(cls):
+        type_name = f.type if isinstance(f.type, str) else f.type.__name__
+        out[f.name] = _PRIMITIVES[type_name]
+    return out
+
+
+#: type name -> {field name -> accepted python types}.  Derived from the
+#: dataclasses so code and schema cannot drift apart.
+EVENT_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
+    name: _field_types(cls) for name, cls in EVENT_TYPES.items()
+}
+
+
+def validate_event_dict(record: Dict[str, Any]) -> List[str]:
+    """Check one deserialized event record against the schema.
+
+    Returns a list of human-readable problems (empty when valid):
+    unknown type, missing or extra fields, or wrong primitive types.
+    """
+    problems: List[str] = []
+    type_name = record.get("type")
+    if not isinstance(type_name, str) or type_name not in EVENT_SCHEMA:
+        return [f"unknown event type: {type_name!r}"]
+    schema = EVENT_SCHEMA[type_name]
+    for field_name, accepted in schema.items():
+        if field_name not in record:
+            problems.append(f"{type_name}: missing field {field_name!r}")
+            continue
+        value = record[field_name]
+        # bool is an int subclass; only accept it where the schema says bool.
+        if isinstance(value, bool) and bool not in accepted:
+            problems.append(
+                f"{type_name}.{field_name}: expected "
+                f"{'/'.join(t.__name__ for t in accepted)}, got bool"
+            )
+        elif not isinstance(value, accepted):
+            problems.append(
+                f"{type_name}.{field_name}: expected "
+                f"{'/'.join(t.__name__ for t in accepted)}, "
+                f"got {type(value).__name__}"
+            )
+    extras = set(record) - set(schema) - {"type"}
+    for extra in sorted(extras):
+        problems.append(f"{type_name}: unexpected field {extra!r}")
+    return problems
+
+
+def task_events_from_metrics(tm: Any) -> Tuple[TaskStart, TaskEnd]:
+    """Build the start/end pair for one finished task attempt.
+
+    Duck-typed over :class:`~repro.engine.metrics.TaskMetrics` so the
+    event layer stays import-free of the engine.
+    """
+    start = TaskStart(
+        time=tm.start_time, job_id=tm.job_id, stage_id=tm.stage_id,
+        task_id=tm.task_id, partition=tm.partition,
+        worker_id=tm.worker_id, locality=tm.locality,
+    )
+    end = TaskEnd(
+        time=tm.finish_time, job_id=tm.job_id, stage_id=tm.stage_id,
+        task_id=tm.task_id, partition=tm.partition,
+        worker_id=tm.worker_id, locality=tm.locality,
+        duration=tm.duration,
+        launch_overhead=tm.launch_overhead,
+        cache_read_time=tm.cache_read_time,
+        compute_time=tm.compute_time,
+        shuffle_fetch_local_time=tm.shuffle_fetch_local_time,
+        shuffle_fetch_remote_time=tm.shuffle_fetch_remote_time,
+        shuffle_write_time=tm.shuffle_write_time,
+        checkpoint_read_time=tm.checkpoint_read_time,
+        source_read_time=tm.source_read_time,
+        gc_time=tm.gc_time,
+    )
+    return start, end
+
+
+def event_from_dict(record: Dict[str, Any]) -> Event:
+    """Rebuild a typed event from its ``to_dict`` form (raises on an
+    invalid record — run :func:`validate_event_dict` first for
+    diagnostics)."""
+    data = dict(record)
+    type_name = data.pop("type")
+    return EVENT_TYPES[type_name](**data)

@@ -1,0 +1,122 @@
+"""Event-stream invariants: what a well-formed engine trace looks like.
+
+These are the auditability guarantees the observability layer makes
+(and the property-based tests enforce over randomized workloads):
+
+* **task pairing** — every ``TaskEnd`` is preceded in the stream by the
+  ``TaskStart`` of the same task, and ends no earlier than it started;
+* **launch monotonicity** — within one stage, task launch times are
+  non-decreasing in emission order (the scheduler dispatches serially);
+* **job nesting** — all stage/task events of a job sit strictly between
+  its ``JobStart`` and ``JobEnd`` in the stream; every submitted stage
+  completes before the job ends; task times fall inside the job's
+  ``[submit, finish]`` window;
+* **non-negative clocks** — every timestamp is finite and ``>= 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .events import (
+    Event,
+    JobEnd,
+    JobStart,
+    StageCompleted,
+    StageSubmitted,
+    TaskEnd,
+    TaskStart,
+)
+
+_EPS = 1e-9
+
+
+def check_event_invariants(events: Iterable[Event]) -> List[str]:
+    """Check the stream; returns violations (empty when well-formed)."""
+    problems: List[str] = []
+    open_jobs: Dict[int, JobStart] = {}
+    open_stages: Dict[Tuple[int, int], StageSubmitted] = {}
+    started_tasks: Dict[int, TaskStart] = {}
+    ended_tasks: Set[int] = set()
+    last_launch_in_stage: Dict[Tuple[int, int], float] = {}
+
+    for i, event in enumerate(events):
+        where = f"event #{i} ({event.type})"
+        if not math.isfinite(event.time) or event.time < 0:
+            problems.append(f"{where}: bad timestamp {event.time!r}")
+            continue
+
+        if isinstance(event, JobStart):
+            if event.job_id in open_jobs:
+                problems.append(f"{where}: job {event.job_id} started twice")
+            open_jobs[event.job_id] = event
+        elif isinstance(event, JobEnd):
+            start = open_jobs.pop(event.job_id, None)
+            if start is None:
+                problems.append(f"{where}: JobEnd without JobStart "
+                                f"(job {event.job_id})")
+            elif event.time < start.time - _EPS:
+                problems.append(f"{where}: job {event.job_id} ends at "
+                                f"{event.time} before start {start.time}")
+            dangling = [key for key in open_stages if key[0] == event.job_id]
+            for key in dangling:
+                problems.append(f"{where}: stage {key[1]} of job "
+                                f"{event.job_id} never completed")
+                open_stages.pop(key)
+        elif isinstance(event, StageSubmitted):
+            if event.job_id not in open_jobs:
+                problems.append(f"{where}: stage outside an open job")
+            open_stages[(event.job_id, event.stage_id)] = event
+        elif isinstance(event, StageCompleted):
+            if open_stages.pop((event.job_id, event.stage_id), None) is None:
+                problems.append(f"{where}: StageCompleted without "
+                                f"StageSubmitted (stage {event.stage_id})")
+        elif isinstance(event, TaskStart):
+            if event.job_id not in open_jobs:
+                problems.append(f"{where}: task outside an open job")
+            if (event.job_id, event.stage_id) not in open_stages \
+                    and event.stage_id >= 0:
+                problems.append(f"{where}: task outside an open stage "
+                                f"(stage {event.stage_id})")
+            job = open_jobs.get(event.job_id)
+            if job is not None and event.time < job.time - _EPS:
+                problems.append(f"{where}: task starts at {event.time} "
+                                f"before job submit {job.time}")
+            if event.stage_id >= 0:
+                # Scheduler-dispatched stages launch serially; the
+                # stage_id=-1 pseudo-stage (checkpoint writes) places
+                # tasks directly on per-partition workers instead.
+                key = (event.job_id, event.stage_id)
+                last = last_launch_in_stage.get(key)
+                if last is not None and event.time < last - _EPS:
+                    problems.append(f"{where}: launch time {event.time} "
+                                    f"moves backwards within stage "
+                                    f"{event.stage_id} (previous {last})")
+                last_launch_in_stage[key] = max(
+                    last if last is not None else event.time, event.time
+                )
+            if event.task_id in started_tasks:
+                problems.append(f"{where}: task {event.task_id} started twice")
+            started_tasks[event.task_id] = event
+        elif isinstance(event, TaskEnd):
+            start = started_tasks.get(event.task_id)
+            if start is None:
+                problems.append(f"{where}: TaskEnd without TaskStart "
+                                f"(task {event.task_id})")
+            else:
+                if event.time < start.time - _EPS:
+                    problems.append(f"{where}: task {event.task_id} ends at "
+                                    f"{event.time} before start {start.time}")
+                if event.duration < -_EPS:
+                    problems.append(f"{where}: negative duration "
+                                    f"{event.duration}")
+            if event.task_id in ended_tasks:
+                problems.append(f"{where}: task {event.task_id} ended twice")
+            ended_tasks.add(event.task_id)
+
+    for task_id in set(started_tasks) - ended_tasks:
+        problems.append(f"task {task_id} started but never ended")
+    for job_id in open_jobs:
+        problems.append(f"job {job_id} started but never ended")
+    return problems

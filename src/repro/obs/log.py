@@ -1,0 +1,85 @@
+"""Module-level logging with sim-time-prefixed records.
+
+The codebase previously had zero logging; this wires Python's standard
+``logging`` under the ``stark`` namespace with a formatter that prefixes
+each record with the *simulated* clock reading (wall time is meaningless
+inside the discrete-event engine).
+
+Usage::
+
+    from repro.obs import log
+    logger = log.get_logger("dag")       # -> logging.Logger "stark.dag"
+    log.configure("DEBUG")               # install handler + formatter
+    # StarkContext binds its SimClock automatically; records then read
+    # [t=   12.345s] DEBUG stark.dag: job 3 submitted
+
+The CLI exposes ``--log-level`` which calls :func:`configure`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.events import SimClock
+
+ROOT_NAME = "stark"
+
+#: The clock records are stamped from; the most recently constructed
+#: StarkContext binds its cluster clock here (good enough for the CLI
+#: and tests, which drive one context at a time).
+_clock: Optional["SimClock"] = None
+_handler: Optional[logging.Handler] = None
+
+
+def bind_clock(clock: Optional["SimClock"]) -> None:
+    """Make ``clock`` the source of the ``t=...`` prefix."""
+    global _clock
+    _clock = clock
+
+
+class SimTimeFormatter(logging.Formatter):
+    """Prefixes every record with the bound simulated time."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        sim = _clock.now if _clock is not None else 0.0
+        record.sim_time = sim
+        return super().format(record)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Logger under the ``stark`` namespace (``stark.<name>``)."""
+    return logging.getLogger(f"{ROOT_NAME}.{name}" if name else ROOT_NAME)
+
+
+def configure(level: str = "INFO",
+              stream: Optional[IO[str]] = None) -> logging.Logger:
+    """Install (or retarget) the stark handler at ``level``.
+
+    Idempotent: repeated calls replace the previous handler instead of
+    stacking duplicates.
+    """
+    global _handler
+    root = logging.getLogger(ROOT_NAME)
+    if _handler is not None:
+        root.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream or sys.stderr)
+    _handler.setFormatter(SimTimeFormatter(
+        "[t=%(sim_time)10.3fs] %(levelname)s %(name)s: %(message)s"
+    ))
+    root.addHandler(_handler)
+    root.setLevel(level.upper() if isinstance(level, str) else level)
+    root.propagate = False
+    return root
+
+
+def reset() -> None:
+    """Remove the installed handler (tests)."""
+    global _handler, _clock
+    root = logging.getLogger(ROOT_NAME)
+    if _handler is not None:
+        root.removeHandler(_handler)
+    _handler = None
+    _clock = None

@@ -1,0 +1,279 @@
+"""MetricsRegistry: labelled counters / gauges / histograms.
+
+A small Prometheus-flavoured metrics surface for the simulator: metric
+*families* are created once on a registry and carry an optional label
+set; each distinct label combination materializes a child series.  The
+registry renders either as a plain dict (for tests and reports) or as
+Prometheus text exposition format.
+
+:class:`~repro.engine.metrics.MetricsCollector` owns one registry and
+backs its ad-hoc counters (evictions, job/task counts) with it, so the
+same numbers are available programmatically, in event-log reconciliation,
+and in scrape-ready text form.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+LabelValues = Tuple[Tuple[str, str], ...]
+
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 120.0, 300.0, float("inf"),
+)
+
+
+def _label_key(labels: Dict[str, str]) -> LabelValues:
+    return tuple(sorted(labels.items()))
+
+
+def _render_labels(key: LabelValues) -> str:
+    if not key:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + body + "}"
+
+
+class Counter:
+    """Monotonically increasing family of series."""
+
+    def __init__(self, name: str, help_text: str = "",
+                 label_names: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self._series: Dict[LabelValues, float] = {}
+
+    def labels(self, **labels: str) -> "_CounterChild":
+        self._check_labels(labels)
+        return _CounterChild(self, _label_key(labels))
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up: {amount}")
+        self._check_labels(labels)
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    @property
+    def value(self) -> float:
+        """Sum across every label combination."""
+        return sum(self._series.values())
+
+    def get(self, **labels: str) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def _check_labels(self, labels: Dict[str, str]) -> None:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {sorted(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+
+    def series(self) -> Dict[LabelValues, float]:
+        return dict(self._series)
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}".rstrip(),
+                 f"# TYPE {self.name} counter"]
+        for key in sorted(self._series):
+            lines.append(f"{self.name}{_render_labels(key)} "
+                         f"{_format(self._series[key])}")
+        if not self._series:
+            lines.append(f"{self.name} 0")
+        return lines
+
+
+class _CounterChild:
+    def __init__(self, family: Counter, key: LabelValues) -> None:
+        self._family = family
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up: {amount}")
+        series = self._family._series
+        series[self._key] = series.get(self._key, 0.0) + amount
+
+    @property
+    def value(self) -> float:
+        return self._family._series.get(self._key, 0.0)
+
+
+class Gauge:
+    """Family of series that can go up and down."""
+
+    def __init__(self, name: str, help_text: str = "",
+                 label_names: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self._series: Dict[LabelValues, float] = {}
+
+    def _key(self, labels: Dict[str, str]) -> LabelValues:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {sorted(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        return _label_key(labels)
+
+    def set(self, value: float, **labels: str) -> None:
+        self._series[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def get(self, **labels: str) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> Dict[LabelValues, float]:
+        return dict(self._series)
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}".rstrip(),
+                 f"# TYPE {self.name} gauge"]
+        for key in sorted(self._series):
+            lines.append(f"{self.name}{_render_labels(key)} "
+                         f"{_format(self._series[key])}")
+        if not self._series:
+            lines.append(f"{self.name} 0")
+        return lines
+
+
+class Histogram:
+    """Cumulative-bucket histogram family (Prometheus semantics)."""
+
+    def __init__(self, name: str, help_text: str = "",
+                 label_names: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds or bounds[-1] != float("inf"):
+            bounds.append(float("inf"))
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        # key -> (bucket counts, sum, count)
+        self._series: Dict[LabelValues, Tuple[List[int], float, int]] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {sorted(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        key = _label_key(labels)
+        counts, total, count = self._series.get(
+            key, ([0] * len(self.bounds), 0.0, 0)
+        )
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                counts[i] += 1
+        self._series[key] = (counts, total + value, count + 1)
+
+    def snapshot(self, **labels: str) -> Dict[str, float]:
+        """Sum / count / mean of one series (zeros when unobserved)."""
+        counts, total, count = self._series.get(
+            _label_key(labels), ([0] * len(self.bounds), 0.0, 0)
+        )
+        return {
+            "sum": total,
+            "count": float(count),
+            "mean": total / count if count else 0.0,
+        }
+
+    def series(self) -> Dict[LabelValues, Tuple[List[int], float, int]]:
+        return {k: (list(c), s, n) for k, (c, s, n) in self._series.items()}
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}".rstrip(),
+                 f"# TYPE {self.name} histogram"]
+        for key in sorted(self._series):
+            counts, total, count = self._series[key]
+            for bound, cumulative in zip(self.bounds, counts):
+                le = "+Inf" if math.isinf(bound) else _format(bound)
+                bucket_key = key + (("le", le),)
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(bucket_key)} {cumulative}"
+                )
+            lines.append(f"{self.name}_sum{_render_labels(key)} {_format(total)}")
+            lines.append(f"{self.name}_count{_render_labels(key)} {count}")
+        return lines
+
+
+def _format(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class MetricsRegistry:
+    """Owns metric families; one per :class:`MetricsCollector`."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, object] = {}
+
+    def _register(self, family):
+        existing = self._families.get(family.name)
+        if existing is not None:
+            if type(existing) is not type(family):
+                raise ValueError(
+                    f"metric {family.name!r} re-registered as a different type"
+                )
+            return existing
+        self._families[family.name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "",
+                label_names: Sequence[str] = ()) -> Counter:
+        return self._register(Counter(name, help_text, label_names))
+
+    def gauge(self, name: str, help_text: str = "",
+              label_names: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help_text, label_names))
+
+    def histogram(self, name: str, help_text: str = "",
+                  label_names: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._register(Histogram(name, help_text, label_names, buckets))
+
+    def families(self) -> Iterable[object]:
+        return list(self._families.values())
+
+    def get(self, name: str) -> Optional[object]:
+        return self._families.get(name)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """``{metric name: {rendered labels: value}}`` for counters and
+        gauges; histograms contribute ``_sum``/``_count`` entries."""
+        out: Dict[str, Dict[str, float]] = {}
+        for family in self._families.values():
+            if isinstance(family, (Counter, Gauge)):
+                out[family.name] = {
+                    _render_labels(k) or "": v
+                    for k, v in family.series().items()
+                } or {"": 0.0}
+            elif isinstance(family, Histogram):
+                sums: Dict[str, float] = {}
+                counts: Dict[str, float] = {}
+                for key, (_, total, count) in family.series().items():
+                    rendered = _render_labels(key) or ""
+                    sums[rendered] = total
+                    counts[rendered] = float(count)
+                out[f"{family.name}_sum"] = sums or {"": 0.0}
+                out[f"{family.name}_count"] = counts or {"": 0.0}
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._families):
+            lines.extend(self._families[name].render())
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,302 @@
+"""Chrome/Perfetto trace exporter.
+
+Consumes the engine's event stream and emits Trace Event Format JSON
+(the ``{"traceEvents": [...]}`` container) loadable by Perfetto or
+``chrome://tracing``:
+
+* one *process* per worker, one *thread track* per executor slot —
+  slots are reconstructed by greedy interval packing of the worker's
+  task spans, which reproduces the earliest-free-slot assignment the
+  simulated :class:`~repro.cluster.worker.Worker` uses;
+* every task is a complete-event (``"X"``) span, *colour-phased*: the
+  task span carries nested sub-spans for launch / cache read / compute /
+  shuffle / checkpoint+source read / GC, each with a stable Chrome
+  colour name, so Perfetto shows where each task's time went;
+* evictions, cache misses, failures, and checkpoints render as instant
+  events (``"i"``) on the owning worker's track;
+* jobs and stages render as spans on a dedicated "driver" process.
+
+Simulated seconds map to trace microseconds (1 s -> 1e6 us).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .events import (
+    BatchCompleted,
+    BatchSubmitted,
+    BlockCached,
+    BlockEvicted,
+    CacheHit,
+    CacheMiss,
+    CheckpointWritten,
+    Event,
+    FailureInjected,
+    JobEnd,
+    JobStart,
+    LineageRecovered,
+    ShuffleFetch,
+    StageCompleted,
+    StageSubmitted,
+    TaskEnd,
+)
+
+_US = 1e6  # simulated seconds -> trace microseconds
+
+#: pid of the synthetic driver process (workers use pid = worker_id + 1).
+DRIVER_PID = 0
+
+#: Trace-phase colour names (Chrome's reserved palette, understood by
+#: Perfetto's legacy colour mapping).
+PHASE_COLORS = {
+    "launch": "grey",
+    "cache_read": "good",
+    "compute": "thread_state_running",
+    "shuffle_fetch": "thread_state_iowait",
+    "shuffle_write": "rail_animation",
+    "checkpoint_read": "rail_idle",
+    "source_read": "rail_load",
+    "gc": "terrible",
+}
+
+TASK_PHASES: Tuple[Tuple[str, str], ...] = (
+    # (TaskEnd field, phase name) in the order phases occur in a task.
+    ("launch_overhead", "launch"),
+    ("cache_read_time", "cache_read"),
+    ("source_read_time", "source_read"),
+    ("checkpoint_read_time", "checkpoint_read"),
+    ("shuffle_fetch_local_time", "shuffle_fetch"),
+    ("shuffle_fetch_remote_time", "shuffle_fetch"),
+    ("compute_time", "compute"),
+    ("shuffle_write_time", "shuffle_write"),
+    ("gc_time", "gc"),
+)
+
+_SLOT_EPS = 1e-9
+
+
+def assign_slots(
+    spans: Sequence[Tuple[float, float]],
+) -> List[int]:
+    """Greedily pack ``(start, end)`` spans onto slots.
+
+    Spans are processed in the order given (sort by start first for the
+    canonical packing); each goes to the lowest-numbered slot that is
+    free at its start, opening a new slot when none is.  Mirrors the
+    worker's earliest-free-slot bookkeeping, so the reconstructed lanes
+    match the simulated core count.
+    """
+    slot_free: List[float] = []
+    assignment: List[int] = []
+    for start, end in spans:
+        placed = None
+        for slot, free in enumerate(slot_free):
+            if free <= start + _SLOT_EPS:
+                placed = slot
+                break
+        if placed is None:
+            placed = len(slot_free)
+            slot_free.append(0.0)
+        slot_free[placed] = max(end, start)
+        assignment.append(placed)
+    return assignment
+
+
+class ChromeTraceExporter:
+    """EventBus listener that accumulates events and renders the trace."""
+
+    def __init__(self, include_phases: bool = True) -> None:
+        self.include_phases = include_phases
+        self._tasks: List[TaskEnd] = []
+        self._instants: List[Dict[str, Any]] = []
+        self._driver_spans: List[Dict[str, Any]] = []
+        self._open_stages: Dict[Tuple[int, int], StageSubmitted] = {}
+        self._open_jobs: Dict[int, JobStart] = {}
+
+    # ---- listener ----------------------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, TaskEnd):
+            self._tasks.append(event)
+        elif isinstance(event, JobStart):
+            self._open_jobs[event.job_id] = event
+        elif isinstance(event, JobEnd):
+            start = self._open_jobs.pop(event.job_id, None)
+            begin = start.time if start is not None else event.time
+            self._driver_spans.append(self._span(
+                name=f"job {event.job_id}"
+                     + (f": {start.description}" if start is not None
+                        and start.description else ""),
+                cat="job", begin=begin, end=event.time, tid=1,
+                args={"job_id": event.job_id,
+                      "num_stages": event.num_stages,
+                      "skipped_stages": event.skipped_stages},
+            ))
+        elif isinstance(event, StageSubmitted):
+            self._open_stages[(event.job_id, event.stage_id)] = event
+        elif isinstance(event, StageCompleted):
+            start = self._open_stages.pop(
+                (event.job_id, event.stage_id), None)
+            begin = start.time if start is not None else event.time
+            self._driver_spans.append(self._span(
+                name=f"stage {event.stage_id}"
+                     + (" (skipped)" if event.skipped else ""),
+                cat="stage", begin=begin, end=event.time, tid=2,
+                args={"job_id": event.job_id, "stage_id": event.stage_id,
+                      "skipped": event.skipped},
+            ))
+        elif isinstance(event, BlockEvicted):
+            self._instant(event.time, event.worker_id,
+                          f"evict rdd_{event.rdd_id}[{event.partition}]",
+                          "eviction", {"reason": event.reason})
+        elif isinstance(event, CacheMiss):
+            self._instant(event.time, event.worker_id,
+                          f"miss rdd_{event.rdd_id}[{event.partition}]",
+                          "cache", {})
+        elif isinstance(event, FailureInjected):
+            self._instant(event.time, event.worker_id, "worker failure",
+                          "failure",
+                          {"lost_blocks": event.lost_blocks,
+                           "lost_shuffle_outputs": event.lost_shuffle_outputs},
+                          scope="g")
+        elif isinstance(event, LineageRecovered):
+            self._instant(event.time, event.worker_id, "lineage recovered",
+                          "failure",
+                          {"recovery_delay": event.recovery_delay},
+                          scope="g")
+        elif isinstance(event, CheckpointWritten):
+            self._instants.append({
+                "name": f"checkpoint rdd_{event.rdd_id}", "ph": "i",
+                "ts": event.time * _US, "pid": DRIVER_PID, "tid": 1,
+                "s": "p", "cat": "checkpoint",
+                "args": {"total_bytes": event.total_bytes},
+            })
+        elif isinstance(event, (BatchSubmitted, BatchCompleted,
+                                BlockCached, CacheHit, ShuffleFetch)):
+            pass  # timeline-neutral here; the sampler consumes these
+
+    # ---- rendering ---------------------------------------------------------
+
+    def to_trace(self) -> Dict[str, Any]:
+        """Build the Trace Event Format container."""
+        trace_events: List[Dict[str, Any]] = []
+        trace_events.extend(self._metadata_events())
+        trace_events.extend(self._driver_spans)
+
+        by_worker: Dict[int, List[TaskEnd]] = {}
+        for task in self._tasks:
+            by_worker.setdefault(task.worker_id, []).append(task)
+
+        for worker_id, tasks in sorted(by_worker.items()):
+            tasks = sorted(tasks, key=lambda t: (t.time - t.duration, t.time))
+            slots = assign_slots(
+                [(t.time - t.duration, t.time) for t in tasks]
+            )
+            for task, slot in zip(tasks, slots):
+                trace_events.extend(self._task_events(task, slot))
+
+        for instant in self._instants:
+            trace_events.append(dict(instant))
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def export(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_trace(), fh)
+        return path
+
+    def slot_assignment(self) -> Dict[int, List[Tuple[TaskEnd, int]]]:
+        """Per worker: ``(task, slot)`` pairs (the ASCII renderer input)."""
+        out: Dict[int, List[Tuple[TaskEnd, int]]] = {}
+        by_worker: Dict[int, List[TaskEnd]] = {}
+        for task in self._tasks:
+            by_worker.setdefault(task.worker_id, []).append(task)
+        for worker_id, tasks in sorted(by_worker.items()):
+            tasks = sorted(tasks, key=lambda t: (t.time - t.duration, t.time))
+            slots = assign_slots(
+                [(t.time - t.duration, t.time) for t in tasks]
+            )
+            out[worker_id] = list(zip(tasks, slots))
+        return out
+
+    # ---- internals ---------------------------------------------------------
+
+    def _metadata_events(self) -> List[Dict[str, Any]]:
+        events: List[Dict[str, Any]] = [
+            {"name": "process_name", "ph": "M", "pid": DRIVER_PID,
+             "args": {"name": "driver"}},
+            {"name": "thread_name", "ph": "M", "pid": DRIVER_PID, "tid": 1,
+             "args": {"name": "jobs"}},
+            {"name": "thread_name", "ph": "M", "pid": DRIVER_PID, "tid": 2,
+             "args": {"name": "stages"}},
+        ]
+        workers: Dict[int, int] = {}
+        for task in self._tasks:
+            spans = workers.get(task.worker_id)
+            workers[task.worker_id] = (spans or 0) + 1
+        by_worker: Dict[int, List[TaskEnd]] = {}
+        for task in self._tasks:
+            by_worker.setdefault(task.worker_id, []).append(task)
+        for worker_id, tasks in sorted(by_worker.items()):
+            pid = worker_id + 1
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "args": {"name": f"worker {worker_id}"}})
+            tasks = sorted(tasks, key=lambda t: (t.time - t.duration, t.time))
+            num_slots = max(assign_slots(
+                [(t.time - t.duration, t.time) for t in tasks]
+            )) + 1
+            for slot in range(num_slots):
+                events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                               "tid": slot,
+                               "args": {"name": f"slot {slot}"}})
+        return events
+
+    def _task_events(self, task: TaskEnd, slot: int) -> List[Dict[str, Any]]:
+        pid = task.worker_id + 1
+        start = task.time - task.duration
+        events = [{
+            "name": f"task {task.task_id} "
+                    f"(s{task.stage_id} p{task.partition})",
+            "cat": "task", "ph": "X", "ts": start * _US,
+            "dur": max(task.duration, 0.0) * _US, "pid": pid, "tid": slot,
+            "args": {
+                "job_id": task.job_id, "stage_id": task.stage_id,
+                "task_id": task.task_id, "partition": task.partition,
+                "locality": task.locality, "gc_time": task.gc_time,
+                "compute_time": task.compute_time,
+            },
+        }]
+        if not self.include_phases:
+            return events
+        cursor = start
+        for field_name, phase in TASK_PHASES:
+            seconds = getattr(task, field_name)
+            if seconds <= 0:
+                continue
+            events.append({
+                "name": phase, "cat": "phase", "ph": "X",
+                "ts": cursor * _US, "dur": seconds * _US,
+                "pid": pid, "tid": slot,
+                "cname": PHASE_COLORS[phase],
+                "args": {"task_id": task.task_id},
+            })
+            cursor += seconds
+        return events
+
+    def _span(self, name: str, cat: str, begin: float, end: float,
+              tid: int, args: Dict[str, Any]) -> Dict[str, Any]:
+        return {"name": name, "cat": cat, "ph": "X", "ts": begin * _US,
+                "dur": max(end - begin, 0.0) * _US,
+                "pid": DRIVER_PID, "tid": tid, "args": args}
+
+    def _instant(self, time: float, worker_id: int, name: str, cat: str,
+                 args: Dict[str, Any], scope: str = "t") -> None:
+        self._instants.append({
+            "name": name, "ph": "i", "ts": time * _US,
+            "pid": worker_id + 1, "tid": 0, "s": scope, "cat": cat,
+            "args": args,
+        })

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..engine.partitioner import Partitioner
 from ..engine.rdd import RDD
+from ..obs.events import BatchCompleted, BatchSubmitted
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..engine.context import StarkContext
@@ -172,8 +173,12 @@ class StreamingContext:
 
     def advance(self, steps: int = 1) -> None:
         """Complete ``steps`` timesteps: ingest data, cache, evict old."""
+        bus = self.context.event_bus
+        clock = self.context.cluster.clock
         for _ in range(steps):
             step = self.current_step
+            if bus.active:
+                bus.post(BatchSubmitted(time=clock.now, step=step))
             for (stream, receiver, parts, partitioner, namespace, cache) \
                     in self._receivers:
                 rdd = self._ingest(step, receiver, parts, partitioner,
@@ -181,8 +186,13 @@ class StreamingContext:
                 stream._record(step, rdd)
             self.current_step += 1
             min_step = self.current_step - self.retention_steps
+            evicted_rdds = 0
             for stream in self._streams:
-                stream._evict_older_than(min_step)
+                evicted_rdds += len(stream._evict_older_than(min_step))
+            if bus.active:
+                bus.post(BatchCompleted(time=clock.now, step=step,
+                                        num_streams=len(self._streams),
+                                        evicted_rdds=evicted_rdds))
 
     def _ingest(
         self,

@@ -96,8 +96,28 @@ class TestMetricsCollector:
             job = collector.new_job("x", submit)
             job.finish_time = finish
         assert collector.mean_makespan() == 2.0
-        assert collector.percentile_makespan(50) == 3.0
+        # Nearest-rank: ceil(2 * 50/100) = rank 1 -> the lower span.
+        assert collector.percentile_makespan(50) == 1.0
         assert collector.percentile_makespan(0) == 1.0
+
+    def test_percentile_nearest_rank(self):
+        collector = MetricsCollector()
+        for finish in (1.0, 2.0, 3.0, 4.0, 5.0):
+            job = collector.new_job("x", 0.0)
+            job.finish_time = finish
+        # rank = ceil(5 * pct / 100), 1-indexed into the sorted spans.
+        assert collector.percentile_makespan(20) == 1.0
+        assert collector.percentile_makespan(50) == 3.0
+        assert collector.percentile_makespan(90) == 5.0
+        assert collector.percentile_makespan(95) == 5.0
+        assert collector.percentile_makespan(100) == 5.0
+
+    def test_percentile_single_span(self):
+        collector = MetricsCollector()
+        job = collector.new_job("x", 0.0)
+        job.finish_time = 7.0
+        for pct in (0, 1, 50, 99, 100):
+            assert collector.percentile_makespan(pct) == 7.0
 
     def test_empty_summaries(self):
         collector = MetricsCollector()

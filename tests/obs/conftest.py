@@ -1,0 +1,26 @@
+"""Shared workload drivers for the observability tests."""
+
+from __future__ import annotations
+
+from repro import StarkContext
+from repro.cluster import Cluster
+
+
+def make_context(num_workers: int = 4, cores_per_worker: int = 2,
+                 memory_per_worker: float = 1e9,
+                 seed: int = 0) -> StarkContext:
+    """Fresh context on a seeded cluster (StarkContext has no seed kwarg)."""
+    cluster = Cluster(num_workers=num_workers,
+                      cores_per_worker=cores_per_worker,
+                      memory_per_worker=memory_per_worker, seed=seed)
+    return StarkContext(cluster=cluster)
+
+
+def run_small_workload(context: StarkContext) -> None:
+    """A deterministic mini-workload touching cache hits, misses, and a
+    shuffle: a cached RDD counted twice plus one reduce_by_key."""
+    data = [(i % 10, i) for i in range(400)]
+    rdd = context.parallelize(data, num_partitions=4, name="wl").cache()
+    rdd.count()
+    rdd.count()
+    rdd.reduce_by_key(lambda a, b: a + b, name="wl.reduce").count()

@@ -1,0 +1,110 @@
+"""Event dataclasses, serialization round-trips, and the schema."""
+
+import pytest
+
+from repro.engine.metrics import TaskMetrics
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EVENT_TYPES,
+    CacheHit,
+    TaskEnd,
+    TaskStart,
+    event_from_dict,
+    task_events_from_metrics,
+    validate_event_dict,
+)
+
+_SAMPLE_VALUES = {
+    (int,): 3,
+    (int, float): 1.5,
+    (str,): "x",
+    (bool,): True,
+}
+
+
+def make_sample(name):
+    """Construct an event of type ``name`` with schema-typed dummies."""
+    kwargs = {
+        field: _SAMPLE_VALUES[accepted]
+        for field, accepted in EVENT_SCHEMA[name].items()
+    }
+    kwargs["time"] = 1.25
+    return EVENT_TYPES[name](**kwargs)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(EVENT_TYPES))
+    def test_to_dict_validates_and_round_trips(self, name):
+        event = make_sample(name)
+        record = event.to_dict()
+        assert record["type"] == name
+        assert record["time"] == 1.25
+        assert validate_event_dict(record) == []
+        assert event_from_dict(record) == event
+
+    def test_type_property(self):
+        event = CacheHit(time=0.0, worker_id=1, rdd_id=2, partition=3,
+                         size_bytes=10.0)
+        assert event.type == "CacheHit"
+
+
+class TestSchemaValidation:
+    def test_unknown_type(self):
+        assert validate_event_dict({"type": "Nope"}) \
+            == ["unknown event type: 'Nope'"]
+        assert validate_event_dict({}) == ["unknown event type: None"]
+
+    def test_missing_field(self):
+        record = make_sample("CacheMiss").to_dict()
+        record.pop("rdd_id")
+        problems = validate_event_dict(record)
+        assert problems == ["CacheMiss: missing field 'rdd_id'"]
+
+    def test_wrong_type(self):
+        record = make_sample("CacheMiss").to_dict()
+        record["worker_id"] = "zero"
+        assert any("expected int, got str" in p
+                   for p in validate_event_dict(record))
+
+    def test_bool_is_not_int(self):
+        record = make_sample("CacheMiss").to_dict()
+        record["worker_id"] = True
+        assert any("got bool" in p for p in validate_event_dict(record))
+
+    def test_int_accepted_for_float_field(self):
+        record = make_sample("CacheHit").to_dict()
+        record["size_bytes"] = 7
+        assert validate_event_dict(record) == []
+
+    def test_extra_field(self):
+        record = make_sample("JobStart").to_dict()
+        record["bonus"] = 1
+        assert validate_event_dict(record) \
+            == ["JobStart: unexpected field 'bonus'"]
+
+    def test_schema_covers_every_event_type(self):
+        assert set(EVENT_SCHEMA) == set(EVENT_TYPES)
+        for name, schema in EVENT_SCHEMA.items():
+            assert "time" in schema, name
+
+
+class TestTaskEventsFromMetrics:
+    def test_pair_mirrors_metrics(self):
+        tm = TaskMetrics(task_id=5, stage_id=2, job_id=1, partition=3,
+                         worker_id=0, locality="PROCESS_LOCAL",
+                         start_time=1.0, finish_time=3.5,
+                         compute_time=2.0, gc_time=0.25)
+        start, end = task_events_from_metrics(tm)
+        assert isinstance(start, TaskStart)
+        assert isinstance(end, TaskEnd)
+        assert start.time == 1.0
+        assert end.time == 3.5
+        assert end.duration == 2.5
+        assert end.compute_time == 2.0
+        assert end.gc_time == 0.25
+        for event in (start, end):
+            assert event.task_id == 5
+            assert event.stage_id == 2
+            assert event.job_id == 1
+            assert event.worker_id == 0
+            assert event.locality == "PROCESS_LOCAL"

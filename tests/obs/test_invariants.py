@@ -1,0 +1,162 @@
+"""Event-ordering invariants: real streams pass, corrupted ones fail.
+
+The hypothesis test drives randomized workloads (shapes, caching,
+cluster sizes) through a real context and requires the emitted stream to
+satisfy every invariant — the property the observability layer promises
+its consumers.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import EventCollector, check_event_invariants
+from repro.obs.events import JobEnd, JobStart, TaskEnd, TaskStart
+
+from .conftest import make_context, run_small_workload
+
+
+def job_start(t=0.0, job_id=0):
+    return JobStart(time=t, job_id=job_id, description="j")
+
+
+def job_end(t=1.0, job_id=0):
+    return JobEnd(time=t, job_id=job_id, duration=t, num_stages=0,
+                  skipped_stages=0)
+
+
+def task_start(t, task_id=0, stage_id=-1, job_id=0):
+    return TaskStart(time=t, job_id=job_id, stage_id=stage_id,
+                     task_id=task_id, partition=0, worker_id=0,
+                     locality="ANY")
+
+
+def task_end(t, task_id=0, stage_id=-1, job_id=0, duration=0.0):
+    return TaskEnd(
+        time=t, job_id=job_id, stage_id=stage_id, task_id=task_id,
+        partition=0, worker_id=0, locality="ANY", duration=duration,
+        launch_overhead=0.0, cache_read_time=0.0, compute_time=0.0,
+        shuffle_fetch_local_time=0.0, shuffle_fetch_remote_time=0.0,
+        shuffle_write_time=0.0, checkpoint_read_time=0.0,
+        source_read_time=0.0, gc_time=0.0,
+    )
+
+
+class TestViolationsDetected:
+    def test_empty_stream_is_clean(self):
+        assert check_event_invariants([]) == []
+
+    def test_well_formed_minimal_stream(self):
+        events = [job_start(0.0), task_start(0.1), task_end(0.2),
+                  job_end(0.3)]
+        assert check_event_invariants(events) == []
+
+    def test_task_end_without_start(self):
+        problems = check_event_invariants(
+            [job_start(), task_end(0.5), job_end()])
+        assert any("TaskEnd without TaskStart" in p for p in problems)
+
+    def test_task_ends_before_it_starts(self):
+        problems = check_event_invariants(
+            [job_start(0.0), task_start(0.5), task_end(0.2), job_end(1.0)])
+        assert any("ends at" in p for p in problems)
+
+    def test_job_end_without_start(self):
+        problems = check_event_invariants([job_end()])
+        assert any("JobEnd without JobStart" in p for p in problems)
+
+    def test_dangling_job_and_task(self):
+        problems = check_event_invariants([job_start(), task_start(0.1)])
+        assert any("never ended" in p for p in problems)
+        assert any("started but never ended" in p for p in problems)
+
+    def test_double_start_and_double_end(self):
+        problems = check_event_invariants([
+            job_start(0.0), task_start(0.1), task_start(0.1),
+            task_end(0.2), task_end(0.2), job_end(0.3),
+        ])
+        assert any("started twice" in p for p in problems)
+        assert any("ended twice" in p for p in problems)
+
+    def test_bad_timestamp(self):
+        problems = check_event_invariants([job_start(float("nan"), 0)])
+        assert any("bad timestamp" in p for p in problems)
+
+    def test_launch_goes_backwards_within_stage(self):
+        problems = check_event_invariants([
+            job_start(0.0),
+            TaskStart(time=1.0, job_id=0, stage_id=-1, task_id=0,
+                      partition=0, worker_id=0, locality="ANY"),
+        ])
+        # stage -1 (checkpoint pseudo-stage) is exempt...
+        assert not any("moves backwards" in p for p in problems)
+        stream = [
+            job_start(0.0),
+            task_start(1.0, task_id=0, stage_id=3),
+            task_start(0.5, task_id=1, stage_id=3),
+        ]
+        problems = check_event_invariants(stream)
+        # ...but a real stage is not
+        assert any("moves backwards" in p for p in problems)
+
+
+class TestRealStreams:
+    def test_small_workload_stream_is_well_formed(self, sc):
+        collector = EventCollector()
+        sc.event_bus.subscribe(collector)
+        run_small_workload(sc)
+        assert len(collector) > 0
+        assert check_event_invariants(collector.events) == []
+
+    def test_checkpoint_stream_is_well_formed(self, sc):
+        collector = EventCollector()
+        sc.event_bus.subscribe(collector)
+        rdd = sc.parallelize([(i, i) for i in range(100)], num_partitions=4)
+        sc.checkpoint_rdd(rdd)
+        assert check_event_invariants(collector.events) == []
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        num_workers=st.integers(min_value=1, max_value=4),
+        cores=st.integers(min_value=1, max_value=3),
+        num_partitions=st.integers(min_value=1, max_value=8),
+        num_keys=st.integers(min_value=1, max_value=20),
+        records=st.integers(min_value=1, max_value=300),
+        cached=st.booleans(),
+        shuffle=st.booleans(),
+        repeats=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_randomized_workloads_emit_well_formed_streams(
+            self, num_workers, cores, num_partitions, num_keys, records,
+            cached, shuffle, repeats, seed):
+        context = make_context(num_workers=num_workers,
+                               cores_per_worker=cores,
+                               memory_per_worker=1e8, seed=seed)
+        collector = EventCollector()
+        context.event_bus.subscribe(collector)
+        data = [(i % num_keys, i) for i in range(records)]
+        rdd = context.parallelize(data, num_partitions=num_partitions)
+        if cached:
+            rdd = rdd.cache()
+        if shuffle:
+            query = rdd.reduce_by_key(lambda a, b: a + b)
+        else:
+            query = rdd.map(lambda kv: kv[1])
+        for _ in range(repeats):
+            query.count()
+
+        events = collector.events
+        assert check_event_invariants(events) == []
+        # sim timestamps never run backwards within one task's lifecycle
+        ends = {e.task_id: e for e in events if isinstance(e, TaskEnd)}
+        starts = {e.task_id: e for e in events if isinstance(e, TaskStart)}
+        assert set(ends) == set(starts)
+        for task_id, end in ends.items():
+            assert end.time >= starts[task_id].time
+            assert end.duration >= 0
+        # job nesting: every job's task events sit inside its window
+        for job_evt in (e for e in events if isinstance(e, JobEnd)):
+            job_tasks = [e for e in ends.values()
+                         if e.job_id == job_evt.job_id]
+            for t in job_tasks:
+                assert t.time <= job_evt.time + 1e-9

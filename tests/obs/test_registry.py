@@ -1,0 +1,135 @@
+"""MetricsRegistry: counters, gauges, histograms, exports."""
+
+import pytest
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("jobs_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        with pytest.raises(ValueError):
+            c.labels().inc(-1)
+
+    def test_labels(self):
+        c = Counter("hits", label_names=("worker",))
+        c.labels(worker="0").inc(3)
+        c.labels(worker="1").inc()
+        assert c.get(worker="0") == 3
+        assert c.get(worker="1") == 1
+        assert c.get(worker="9") == 0
+        assert c.value == 4
+
+    def test_wrong_labels_rejected(self):
+        c = Counter("hits", label_names=("worker",))
+        with pytest.raises(ValueError):
+            c.inc(1, nope="x")
+        with pytest.raises(ValueError):
+            c.labels()
+
+    def test_render(self):
+        c = Counter("hits", "cache hits", label_names=("worker",))
+        c.inc(2, worker="0")
+        text = "\n".join(c.render())
+        assert "# HELP hits cache hits" in text
+        assert "# TYPE hits counter" in text
+        assert 'hits{worker="0"} 2' in text
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("occupancy")
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.get() == 4
+
+    def test_labels(self):
+        g = Gauge("bytes", label_names=("worker",))
+        g.set(100, worker="0")
+        g.set(50, worker="1")
+        assert g.get(worker="0") == 100
+        assert g.get(worker="1") == 50
+
+
+class TestHistogram:
+    def test_observe_and_snapshot(self):
+        h = Histogram("delay", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(55.5)
+        assert snap["mean"] == pytest.approx(55.5 / 3)
+
+    def test_infinity_bucket_always_present(self):
+        h = Histogram("delay", buckets=(1.0,))
+        assert h.bounds[-1] == float("inf")
+
+    def test_cumulative_render(self):
+        h = Histogram("delay", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        text = "\n".join(h.render())
+        assert 'delay_bucket{le="1"} 1' in text
+        assert 'delay_bucket{le="10"} 2' in text
+        assert 'delay_bucket{le="+Inf"} 2' in text
+        assert "delay_sum 5.5" in text
+        assert "delay_count 2" in text
+
+    def test_unobserved_snapshot(self):
+        h = Histogram("delay")
+        assert h.snapshot() == {"sum": 0.0, "count": 0.0, "mean": 0.0}
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", "help")
+        b = reg.counter("x")
+        assert a is b
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_as_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g", label_names=("w",)).set(7, w="0")
+        reg.histogram("h").observe(1.0)
+        out = reg.as_dict()
+        assert out["c"] == {"": 2.0}
+        assert out["g"] == {'{w="0"}': 7.0}
+        assert out["h_sum"] == {"": 1.0}
+        assert out["h_count"] == {"": 1.0}
+
+    def test_render_prometheus(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "things").inc()
+        reg.gauge("b").set(2)
+        text = reg.render_prometheus()
+        assert text.endswith("\n")
+        assert "# TYPE a_total counter" in text
+        assert "a_total 1" in text
+        assert "# TYPE b gauge" in text
+        assert "b 2" in text
+
+    def test_get_and_families(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        assert reg.get("x") is c
+        assert reg.get("missing") is None
+        assert list(reg.families()) == [c]

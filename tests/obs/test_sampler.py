@@ -1,0 +1,100 @@
+"""UtilizationSampler timelines from synthetic event streams."""
+
+import pytest
+
+from repro.obs import UtilizationSampler
+from repro.obs.events import BlockCached, BlockEvicted, ShuffleFetch, TaskEnd
+
+
+def task_end(worker_id, start, end, task_id=0):
+    return TaskEnd(
+        time=end, job_id=0, stage_id=0, task_id=task_id, partition=0,
+        worker_id=worker_id, locality="ANY", duration=end - start,
+        launch_overhead=0.0, cache_read_time=0.0, compute_time=end - start,
+        shuffle_fetch_local_time=0.0, shuffle_fetch_remote_time=0.0,
+        shuffle_write_time=0.0, checkpoint_read_time=0.0,
+        source_read_time=0.0, gc_time=0.0,
+    )
+
+
+class TestSlotOccupancy:
+    def test_single_worker(self):
+        s = UtilizationSampler()
+        s.on_event(task_end(0, 0.0, 2.0, task_id=0))
+        s.on_event(task_end(0, 1.0, 3.0, task_id=1))
+        assert s.tasks_seen == 2
+        assert s.slot_occupancy(0) == [
+            (0.0, 1.0), (1.0, 2.0), (2.0, 1.0), (3.0, 0.0)]
+
+    def test_cluster_wide_sums_workers(self):
+        s = UtilizationSampler()
+        s.on_event(task_end(0, 0.0, 2.0, task_id=0))
+        s.on_event(task_end(1, 0.0, 2.0, task_id=1))
+        assert s.slot_occupancy() == [(0.0, 2.0), (2.0, 0.0)]
+        assert s.slot_occupancy(0) == [(0.0, 1.0), (2.0, 0.0)]
+        assert s.worker_ids() == [0, 1]
+
+
+class TestCacheBytes:
+    def test_cache_and_evict(self):
+        s = UtilizationSampler()
+        s.on_event(BlockCached(time=1.0, worker_id=0, rdd_id=1, partition=0,
+                               size_bytes=100.0))
+        s.on_event(BlockCached(time=2.0, worker_id=0, rdd_id=1, partition=1,
+                               size_bytes=50.0))
+        s.on_event(BlockEvicted(time=3.0, worker_id=0, rdd_id=1, partition=0,
+                                reason="capacity"))
+        assert s.cache_bytes(0) == [(1.0, 100.0), (2.0, 150.0), (3.0, 50.0)]
+
+    def test_recache_replaces_size(self):
+        s = UtilizationSampler()
+        s.on_event(BlockCached(time=1.0, worker_id=0, rdd_id=1, partition=0,
+                               size_bytes=100.0))
+        s.on_event(BlockCached(time=2.0, worker_id=0, rdd_id=1, partition=0,
+                               size_bytes=80.0))
+        assert s.cache_bytes(0)[-1] == (2.0, 80.0)
+
+    def test_unknown_eviction_ignored(self):
+        s = UtilizationSampler()
+        s.on_event(BlockEvicted(time=1.0, worker_id=0, rdd_id=9, partition=0,
+                                reason="capacity"))
+        assert s.cache_bytes() == []
+
+
+class TestNetwork:
+    def test_in_flight_interval(self):
+        s = UtilizationSampler()
+        s.on_event(ShuffleFetch(time=1.0, worker_id=0, shuffle_id=0,
+                                reduce_id=0, local_bytes=10.0,
+                                remote_bytes=100.0, local_seconds=0.0,
+                                remote_seconds=2.0))
+        assert s.network_in_flight() == [(1.0, 100.0), (3.0, 0.0)]
+
+    def test_local_only_fetch_is_invisible(self):
+        s = UtilizationSampler()
+        s.on_event(ShuffleFetch(time=1.0, worker_id=0, shuffle_id=0,
+                                reduce_id=0, local_bytes=10.0,
+                                remote_bytes=0.0, local_seconds=0.1,
+                                remote_seconds=0.0))
+        assert s.network_in_flight() == []
+
+
+class TestSummaries:
+    def test_resample(self):
+        timeline = [(0.0, 1.0), (1.0, 3.0), (2.0, 0.0)]
+        samples = UtilizationSampler.resample(timeline, 4)
+        assert samples == [1.0, 1.0, 3.0, 3.0]
+        assert UtilizationSampler.resample([], 3) == [0.0, 0.0, 0.0]
+
+    def test_time_weighted_mean(self):
+        timeline = [(0.0, 2.0), (1.0, 0.0)]
+        assert UtilizationSampler.time_weighted_mean(timeline) \
+            == pytest.approx(2.0)
+        assert UtilizationSampler.time_weighted_mean(timeline, t_end=2.0) \
+            == pytest.approx(1.0)
+        assert UtilizationSampler.time_weighted_mean([]) == 0.0
+
+    def test_peak(self):
+        s = UtilizationSampler()
+        assert s.peak([(0.0, 1.0), (1.0, 5.0), (2.0, 0.0)]) == 5.0
+        assert s.peak([]) == 0.0

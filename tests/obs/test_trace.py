@@ -1,0 +1,101 @@
+"""Chrome/Perfetto trace exporter: format validity and slot tracks."""
+
+import json
+
+from repro.obs import ChromeTraceExporter, EventCollector, assign_slots
+from repro.obs.events import TaskEnd
+
+from .conftest import run_small_workload
+
+
+class TestAssignSlots:
+    def test_sequential_spans_share_one_slot(self):
+        assert assign_slots([(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]) \
+            == [0, 0, 0]
+
+    def test_overlapping_spans_open_new_slots(self):
+        assert assign_slots([(0.0, 2.0), (1.0, 3.0), (2.5, 4.0)]) \
+            == [0, 1, 0]
+
+    def test_empty(self):
+        assert assign_slots([]) == []
+
+
+class TestTraceExport(object):
+    def _trace(self, sc, tmp_path):
+        tracer = ChromeTraceExporter()
+        collector = EventCollector()
+        sc.event_bus.subscribe(tracer)
+        sc.event_bus.subscribe(collector)
+        run_small_workload(sc)
+        path = tracer.export(tmp_path / "trace.json")
+        with open(path) as fh:
+            trace = json.load(fh)
+        return trace, collector
+
+    def test_container_shape(self, sc, tmp_path):
+        trace, _ = self._trace(sc, tmp_path)
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        for entry in trace["traceEvents"]:
+            assert entry["ph"] in ("X", "i", "M")
+            if entry["ph"] == "X":
+                assert entry["dur"] >= 0
+                assert entry["ts"] >= 0
+
+    def test_one_span_per_executed_task(self, sc, tmp_path):
+        trace, collector = self._trace(sc, tmp_path)
+        task_spans = [e for e in trace["traceEvents"]
+                      if e.get("cat") == "task"]
+        ends = collector.of_type(TaskEnd)
+        assert len(ends) > 0
+        assert len(task_spans) == len(ends)
+        assert {e["args"]["task_id"] for e in task_spans} \
+            == {t.task_id for t in ends}
+
+    def test_one_named_track_per_worker_slot(self, sc, tmp_path):
+        trace, _ = self._trace(sc, tmp_path)
+        slot_names = {}
+        for e in trace["traceEvents"]:
+            if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] > 0:
+                slot_names[(e["pid"], e["tid"])] = e["args"]["name"]
+        used_tracks = {(e["pid"], e["tid"]) for e in trace["traceEvents"]
+                       if e.get("cat") == "task"}
+        assert used_tracks  # every task track is a named slot
+        assert used_tracks <= set(slot_names)
+        # reconstructed slots never exceed the simulated core count
+        per_worker = {}
+        for pid, tid in used_tracks:
+            per_worker.setdefault(pid, set()).add(tid)
+        for pid, tids in per_worker.items():
+            assert len(tids) <= sc.cluster.get_worker(pid - 1).cores
+
+    def test_phase_subspans_nest_inside_task(self, sc, tmp_path):
+        trace, _ = self._trace(sc, tmp_path)
+        phases = [e for e in trace["traceEvents"] if e.get("cat") == "phase"]
+        assert phases
+        tasks = {e["args"]["task_id"]: e for e in trace["traceEvents"]
+                 if e.get("cat") == "task"}
+        for phase in phases:
+            task = tasks[phase["args"]["task_id"]]
+            assert phase["ts"] >= task["ts"] - 1e-6
+            assert phase["ts"] + phase["dur"] \
+                <= task["ts"] + task["dur"] + 1e-6
+            assert "cname" in phase
+
+    def test_driver_spans_for_jobs_and_stages(self, sc, tmp_path):
+        trace, _ = self._trace(sc, tmp_path)
+        cats = {e.get("cat") for e in trace["traceEvents"]}
+        assert "job" in cats
+        assert "stage" in cats
+        driver = [e for e in trace["traceEvents"]
+                  if e.get("cat") in ("job", "stage")]
+        assert all(e["pid"] == 0 for e in driver)
+
+    def test_include_phases_off(self, sc, tmp_path):
+        tracer = ChromeTraceExporter(include_phases=False)
+        sc.event_bus.subscribe(tracer)
+        run_small_workload(sc)
+        trace = tracer.to_trace()
+        assert not [e for e in trace["traceEvents"]
+                    if e.get("cat") == "phase"]
+        assert [e for e in trace["traceEvents"] if e.get("cat") == "task"]

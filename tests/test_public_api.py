@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.cluster",
     "repro.core",
     "repro.engine",
+    "repro.obs",
     "repro.streaming",
     "repro.workloads",
     "repro.apps",
