@@ -10,12 +10,19 @@ Pass ``--trace-dir DIR`` to drop observability artifacts next to the
 results: every context a benchmark creates writes an ``events-N.jsonl``
 event log plus a Perfetto-loadable ``trace-N.json`` under
 ``DIR/<benchmark node name>/`` (see ``docs/OBSERVABILITY.md``).
+
+Pass ``--bench-json-dir DIR`` to make result-writing experiment drivers
+(``repro.bench.results``) drop machine-readable ``BENCH_<name>.json``
+files under DIR — the numbers CI archives for regression comparison.
 """
 
+import os
 import re
 from pathlib import Path
 
 import pytest
+
+from repro.bench.results import BENCH_DIR_ENV
 
 
 def pytest_addoption(parser):
@@ -24,6 +31,17 @@ def pytest_addoption(parser):
         help="write per-benchmark JSONL event logs + Perfetto traces "
              "under DIR",
     )
+    parser.addoption(
+        "--bench-json-dir", default=None, metavar="DIR",
+        help="write machine-readable BENCH_<name>.json result files "
+             "under DIR",
+    )
+
+
+def pytest_configure(config):
+    bench_dir = config.getoption("--bench-json-dir")
+    if bench_dir is not None:
+        os.environ[BENCH_DIR_ENV] = str(Path(bench_dir).resolve())
 
 
 @pytest.fixture

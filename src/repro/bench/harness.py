@@ -12,9 +12,10 @@ are identical, while Python-side record handling stays fast.
 
 from __future__ import annotations
 
+import math
 import random
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..apps.log_mining import LogMiningApp
@@ -24,6 +25,12 @@ from ..cluster.queueing import JobDriver, LoadResult, find_max_throughput
 from ..core.checkpoint_optimizer import CheckpointOptimizer
 from ..core.edge_checkpoint import EdgeCheckpointer
 from ..core.extendable_partitioner import ExtendablePartitioner
+from ..elastic import (
+    DecommissionReport,
+    POLICY_NAMES,
+    ResourceManager,
+    make_scaling_policy,
+)
 from ..engine.context import StarkConfig, StarkContext
 from ..engine.partitioner import (
     HashPartitioner,
@@ -47,6 +54,7 @@ from .configs import (
     make_context,
     make_setup,
 )
+from .results import write_bench_json
 
 
 def _lines_generator(total_bytes: float, line_bytes: int, num_partitions: int,
@@ -681,6 +689,8 @@ def _build_stream_system(
     groups: int = 4,
     fine_per_group: int = 16,
     seed: int = 5,
+    num_workers: Optional[int] = None,
+    stark_config: Optional[StarkConfig] = None,
 ) -> Tuple[ExperimentSetup, Dict[int, object], TaxiTrace]:
     """Ingest ``num_steps`` merged taxi+twitter timesteps under ``name``.
 
@@ -693,11 +703,15 @@ def _build_stream_system(
     taxi = _stream_taxi(events_per_step, seed=seed)
     trace = MergedTaxiTwitterTrace(taxi)
     key_space = taxi.encoder.key_space()
+    spec = _stream_spec(seed)
+    if num_workers is not None:
+        spec = replace(spec, num_workers=num_workers)
     setup = make_setup(
-        name, _stream_spec(seed),
+        name, spec,
         num_partitions=num_partitions, key_lo=0, key_hi=key_space,
         groups=groups, partitions_per_group=fine_per_group,
-        stark_config=_stream_stark_config(events_per_step),
+        stark_config=stark_config
+        if stark_config is not None else _stream_stark_config(events_per_step),
     )
     sc = setup.context
     steps: Dict[int, object] = {}
@@ -751,6 +765,21 @@ def _stream_query_fn(
     return job
 
 
+def _elastic_stream_config(
+    events_per_step: int,
+    min_workers: Optional[int],
+    max_workers: Optional[int],
+    scale_policy: Optional[str],
+) -> StarkConfig:
+    """Stream StarkConfig carrying the CLI's elastic bounds (validated
+    against the initial cluster size at context construction)."""
+    return replace(
+        _stream_stark_config(events_per_step),
+        min_workers=min_workers, max_workers=max_workers,
+        scale_policy=scale_policy,
+    )
+
+
 def run_fig19(
     configs: Sequence[str] = (SPARK_R, SPARK_H, STARK_E, STARK_H),
     rates: Sequence[float] = (2, 5, 10, 20, 40, 80, 160, 240),
@@ -759,12 +788,19 @@ def run_fig19(
     num_steps: int = 6,
     events_per_step: int = 1_200,
     delay_cap: float = 0.8,
+    min_workers: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    scale_policy: Optional[str] = None,
 ) -> Tuple[List[ThroughputPoint], Dict[str, float]]:
     """Fig 19: mean delay vs arrival rate; throughput at the delay cap.
 
     The first ``warmup_jobs`` delays are discarded: they pay the one-off
     replica/rebalance reconstruction after ingestion (Fig 14's first-job
     effect), while Fig 19 reports steady-state response times.
+
+    With ``scale_policy`` set (one of ``repro.elastic.POLICY_NAMES``),
+    every probe starts at ``min_workers`` and a ResourceManager scales
+    within ``[min_workers, max_workers]`` as the driver submits jobs.
 
     Returns the (config, rate, delay) points and, per config, the largest
     probed rate whose mean delay stayed under ``delay_cap``.
@@ -775,9 +811,20 @@ def run_fig19(
         best_rate = 0.0
         for rate in rates:
             setup, steps, taxi = _build_stream_system(
-                name, num_steps, events_per_step
+                name, num_steps, events_per_step,
+                num_workers=min_workers if scale_policy is not None else None,
+                stark_config=_elastic_stream_config(
+                    events_per_step, min_workers, max_workers, scale_policy),
             )
-            driver = JobDriver(setup.context, seed=int(rate))
+            manager = None
+            if scale_policy is not None:
+                manager = ResourceManager(
+                    setup.context, make_scaling_policy(scale_policy),
+                    min_workers=min_workers or 1, max_workers=max_workers,
+                    slo_delay_cap=delay_cap,
+                )
+            driver = JobDriver(setup.context, seed=int(rate),
+                               resource_manager=manager)
             job = _stream_query_fn(setup, steps, taxi)
             result = driver.run_constant_rate(job, rate, jobs_per_rate)
             result.results = result.results[warmup_jobs:]
@@ -805,12 +852,17 @@ def run_fig20(
     base_events_per_step: int = 800,
     num_partitions: int = 16,
     groups: int = 4,
+    min_workers: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    scale_policy: Optional[str] = None,
 ) -> List[DelayOverTimePoint]:
     """Fig 20: replay a diurnal day; volume doubles at the evening peak.
 
     Stark-E's groups split as step volume grows, spreading each job over
     more executors — the scaling-out the paper credits for beating
-    Stark-H at the peak.
+    Stark-H at the peak.  With ``scale_policy`` set the cluster itself
+    also scales: it starts at ``min_workers`` and a ResourceManager
+    evaluates once per step from the step's job delays.
     """
     out: List[DelayOverTimePoint] = []
     for name in configs:
@@ -818,13 +870,23 @@ def run_fig20(
                             steps_per_day=hours * steps_per_hour)
         trace = MergedTaxiTwitterTrace(taxi)
         key_space = taxi.encoder.key_space()
+        spec = _stream_spec()
+        if scale_policy is not None and min_workers is not None:
+            spec = replace(spec, num_workers=min_workers)
         setup = make_setup(
-            name, _stream_spec(),
+            name, spec,
             num_partitions=num_partitions, key_lo=0, key_hi=key_space,
             groups=groups, partitions_per_group=16,
-            stark_config=_stream_stark_config(base_events_per_step),
+            stark_config=_elastic_stream_config(
+                base_events_per_step, min_workers, max_workers, scale_policy),
         )
         sc = setup.context
+        manager = None
+        if scale_policy is not None:
+            manager = ResourceManager(
+                sc, make_scaling_policy(scale_policy),
+                min_workers=min_workers or 1, max_workers=max_workers,
+            )
         rng = random.Random(41)
         steps: Dict[int, object] = {}
         window = 6
@@ -862,9 +924,265 @@ def run_fig20(
                     region = grouped.filter(lambda kv: lo <= kv[0] <= hi)
                 region.count()
                 delays.append(sc.metrics.last_job().makespan)
+            if manager is not None:
+                for delay in delays:
+                    manager.note_delay(delay)
+                manager.evaluate(pending_jobs=0)
             out.append(DelayOverTimePoint(
                 config=name,
                 hour=step / steps_per_hour,
                 mean_delay=statistics.fmean(delays),
             ))
     return out
+
+
+# ---------------------------------------------------------------------------
+# Elastic diurnal replay (repro.elastic subsystem)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ElasticDiurnalResult:
+    """Autoscaled vs static peak-provisioned replay under one policy."""
+
+    policy: str
+    autoscaled_mean_delay: float
+    autoscaled_p95: float
+    autoscaled_p99: float
+    autoscaled_worker_hours: float
+    static_p95: float
+    static_worker_hours: float
+    shed_jobs: int
+    scale_outs: int
+    scale_ins: int
+    migrated_blocks: int
+    dropped_blocks: int
+    peak_workers: int
+    decommissions: List[DecommissionReport] = field(default_factory=list)
+
+    @property
+    def worker_hours_saved(self) -> float:
+        """Fraction of the static provisioning cost the autoscaler saved."""
+        if self.static_worker_hours <= 0:
+            return 0.0
+        return 1.0 - self.autoscaled_worker_hours / self.static_worker_hours
+
+    @property
+    def lost_zero_blocks(self) -> bool:
+        """True when every decommission migrated its whole cache."""
+        return self.dropped_blocks == 0
+
+
+def _diurnal_job_factor(hour: int, hours: int, peak_factor: float) -> float:
+    """Job-arrival multiplier: nadir at the replay's ends, ``peak_factor``
+    in the middle (the evening peak of the taxi traces)."""
+    if hours <= 1:
+        return peak_factor
+    phase = 2.0 * math.pi * hour / (hours - 1)
+    return 1.0 + (peak_factor - 1.0) * 0.5 * (1.0 - math.cos(phase))
+
+
+def _run_diurnal_replay(
+    scale_policy: Optional[str],
+    hours: int,
+    hour_seconds: float,
+    base_jobs_per_hour: int,
+    peak_factor: float,
+    base_events_per_step: int,
+    start_workers: int,
+    min_workers: int,
+    max_workers: int,
+    num_partitions: int,
+    groups: int,
+    delay_cap: float,
+    max_pending_jobs: Optional[int],
+    seed: int = 7,
+) -> Tuple[LoadResult, float, Optional[ResourceManager], StarkContext]:
+    """One diurnal replay: hourly ingestion + open-loop queries.
+
+    With ``scale_policy`` the cluster starts at ``start_workers`` and a
+    ResourceManager resizes it within ``[min_workers, max_workers]``;
+    without, the cluster stays fixed at ``start_workers`` and its
+    provisioning cost is ``start_workers x elapsed``.
+    """
+    taxi = _stream_taxi(base_events_per_step, peak_to_nadir=peak_factor,
+                        steps_per_day=hours, seed=seed)
+    trace = MergedTaxiTwitterTrace(taxi)
+    key_space = taxi.encoder.key_space()
+    # Generous per-worker memory: the retained window must fit the
+    # *scaled-in* cluster's stores, or graceful decommission has nowhere
+    # to put the victim's blocks (migration never evicts survivors).
+    spec = replace(_stream_spec(seed), num_workers=start_workers,
+                   memory_per_worker=6e9)
+    setup = make_setup(
+        STARK_E, spec,
+        num_partitions=num_partitions, key_lo=0, key_hi=key_space,
+        groups=groups, partitions_per_group=16,
+        stark_config=_elastic_stream_config(
+            base_events_per_step,
+            min_workers if scale_policy is not None else None,
+            max_workers if scale_policy is not None else None,
+            scale_policy),
+    )
+    sc = setup.context
+    manager = None
+    if scale_policy is not None:
+        manager = ResourceManager(
+            sc, make_scaling_policy(scale_policy),
+            min_workers=min_workers, max_workers=max_workers,
+            cooldown_seconds=hour_seconds / 8.0,
+            slo_delay_cap=delay_cap,
+            # One replay hour of occupancy history: long enough to smooth
+            # job gaps, short enough to track the diurnal ramp.
+            occupancy_window=hour_seconds,
+        )
+    driver = JobDriver(sc, seed=seed, resource_manager=manager,
+                       max_pending_jobs=max_pending_jobs)
+    rng = random.Random(seed + 13)
+    clock = sc.cluster.clock
+    load = LoadResult(0.0)
+    steps: Dict[int, object] = {}
+    window = 6
+    assert setup.partitioner is not None
+    partitioner = setup.partitioner
+    for hour in range(hours):
+        hour_start = hour * hour_seconds
+        clock.advance_to(max(clock.now, hour_start))
+        gen = trace.step_generator(hour, partitioner.num_partitions,
+                                   partitioner)
+        base = sc.generated(
+            gen, partitioner.num_partitions, partitioner=partitioner,
+            read_cost="network", name=f"step{hour}",
+        )
+        rdd = base.locality_partition_by(partitioner, "stream").cache()
+        rdd.count()
+        sc.group_manager.report_rdd(rdd)
+        steps[hour] = rdd
+        for old in [s for s in steps if s <= hour - window]:
+            steps.pop(old).unpersist()
+
+        step_ids = tuple(sorted(steps))
+        current = dict(steps)
+
+        def job(arrival: float, index: int, _steps=current,
+                _ids=step_ids) -> float:
+            span = rng.randint(2, min(4, len(_ids))) if len(_ids) >= 2 else 1
+            start = rng.randint(0, len(_ids) - span)
+            chosen = [_steps[s] for s in _ids[start:start + span]]
+            lo, hi = taxi.random_region_query(rng)
+            grouped = (chosen[0].map_values(lambda v: (v,))
+                       if len(chosen) == 1 else chosen[0].cogroup(*chosen[1:]))
+            region = grouped.filter(lambda kv: lo <= kv[0] <= hi)
+            sc.run_job(region, len, description=f"q{index}",
+                       submit_time=arrival)
+            return sc.metrics.last_job().finish_time
+
+        n_jobs = max(1, round(
+            base_jobs_per_hour * _diurnal_job_factor(hour, hours, peak_factor)))
+        first = max(clock.now, hour_start)
+        gap = max(0.0, hour_start + hour_seconds - first) / n_jobs
+        arrivals = [first + (i + 0.5) * gap for i in range(n_jobs)]
+        load.merge(driver.run_arrivals(job, arrivals))
+    clock.advance_to(max(clock.now, hours * hour_seconds))
+    if manager is not None:
+        worker_hours = manager.worker_hours()
+    else:
+        worker_hours = start_workers * clock.now / 3600.0
+    return load, worker_hours, manager, sc
+
+
+def run_elastic_diurnal(
+    policies: Sequence[str] = POLICY_NAMES,
+    hours: int = 12,
+    hour_seconds: float = 30.0,
+    base_jobs_per_hour: int = 70,
+    peak_factor: float = 3.0,
+    base_events_per_step: int = 600,
+    min_workers: int = 2,
+    max_workers: int = 8,
+    num_partitions: int = 16,
+    groups: int = 4,
+    delay_cap: float = 0.8,
+    max_pending_jobs: Optional[int] = 32,
+    write_json: bool = True,
+) -> List[ElasticDiurnalResult]:
+    """Diurnal replay per scaling policy vs a static peak cluster.
+
+    The static baseline holds ``max_workers`` for the whole replay; each
+    autoscaled run starts at ``min_workers`` and lets the policy chase
+    the diurnal load.  The claim under test: autoscaling holds p95 job
+    delay under ``delay_cap`` while spending substantially fewer
+    worker-hours than peak provisioning, and graceful decommission loses
+    zero cached partitions on the way down.
+
+    When ``write_json`` is set (and ``STARK_BENCH_DIR`` names a
+    directory), the full comparison lands in
+    ``BENCH_elastic_diurnal.json``.
+    """
+    static_load, static_wh, _, _ = _run_diurnal_replay(
+        None, hours, hour_seconds, base_jobs_per_hour, peak_factor,
+        base_events_per_step, start_workers=max_workers,
+        min_workers=min_workers, max_workers=max_workers,
+        num_partitions=num_partitions, groups=groups, delay_cap=delay_cap,
+        max_pending_jobs=max_pending_jobs,
+    )
+    results: List[ElasticDiurnalResult] = []
+    for policy in policies:
+        load, worker_hours, manager, sc = _run_diurnal_replay(
+            policy, hours, hour_seconds, base_jobs_per_hour, peak_factor,
+            base_events_per_step, start_workers=min_workers,
+            min_workers=min_workers, max_workers=max_workers,
+            num_partitions=num_partitions, groups=groups,
+            delay_cap=delay_cap, max_pending_jobs=max_pending_jobs,
+        )
+        assert manager is not None
+        results.append(ElasticDiurnalResult(
+            policy=policy,
+            autoscaled_mean_delay=load.mean_delay,
+            autoscaled_p95=load.p95_delay,
+            autoscaled_p99=load.p99_delay,
+            autoscaled_worker_hours=worker_hours,
+            static_p95=static_load.p95_delay,
+            static_worker_hours=static_wh,
+            shed_jobs=load.shed_jobs,
+            scale_outs=manager.scale_outs,
+            scale_ins=manager.scale_ins,
+            migrated_blocks=sum(
+                r.migrated_blocks for r in manager.decommissions),
+            dropped_blocks=sum(
+                r.dropped_blocks for r in manager.decommissions),
+            peak_workers=manager.peak_workers,
+            decommissions=list(manager.decommissions),
+        ))
+    if write_json:
+        write_bench_json("elastic_diurnal", {
+            "config": {
+                "hours": hours, "hour_seconds": hour_seconds,
+                "base_jobs_per_hour": base_jobs_per_hour,
+                "peak_factor": peak_factor,
+                "base_events_per_step": base_events_per_step,
+                "min_workers": min_workers, "max_workers": max_workers,
+                "delay_cap": delay_cap,
+                "max_pending_jobs": max_pending_jobs,
+            },
+            "static": {
+                "p95_delay": static_load.p95_delay,
+                "p99_delay": static_load.p99_delay,
+                "mean_delay": static_load.mean_delay,
+                "worker_hours": static_wh,
+            },
+            "policies": {
+                r.policy: {
+                    "mean_delay": r.autoscaled_mean_delay,
+                    "p95_delay": r.autoscaled_p95,
+                    "p99_delay": r.autoscaled_p99,
+                    "worker_hours": r.autoscaled_worker_hours,
+                    "worker_hours_saved": r.worker_hours_saved,
+                    "shed_jobs": r.shed_jobs,
+                    "scale_outs": r.scale_outs,
+                    "scale_ins": r.scale_ins,
+                    "migrated_blocks": r.migrated_blocks,
+                    "dropped_blocks": r.dropped_blocks,
+                } for r in results
+            },
+        })
+    return results

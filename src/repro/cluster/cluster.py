@@ -72,6 +72,42 @@ class Cluster:
             raise RuntimeError("no alive workers available")
         return min(ids, key=lambda i: (self.workers[i].earliest_free_time(), i))
 
+    # ---- elastic membership -------------------------------------------------
+
+    def add_worker(
+        self,
+        cores: Optional[int] = None,
+        memory_bytes: Optional[float] = None,
+        ready_at: Optional[float] = None,
+    ) -> int:
+        """Provision a new worker; returns its id (max existing + 1).
+
+        ``cores``/``memory_bytes`` default to the shape of the
+        lowest-numbered existing worker (homogeneous fleets).  The new
+        worker's slots are occupied until ``ready_at`` (default: now) —
+        the caller charges the spin-up delay by passing
+        ``now + cost_model.worker_spinup_seconds``.
+        """
+        template = self.workers[min(self.workers)] if self.workers else None
+        if cores is None:
+            cores = template.cores if template is not None else 4
+        if memory_bytes is None:
+            memory_bytes = template.memory_bytes if template is not None else 12e9
+        worker_id = max(self.workers) + 1 if self.workers else 0
+        worker = Worker(worker_id, cores=cores, memory_bytes=memory_bytes)
+        ready = self.clock.now if ready_at is None else ready_at
+        worker.slot_free_times = [ready] * cores
+        self.workers[worker_id] = worker
+        return worker_id
+
+    def remove_worker(self, worker_id: int) -> Worker:
+        """Decommission a worker: drop it from the membership entirely
+        (unlike :meth:`kill_worker`, which keeps a dead entry around for
+        restart).  The caller is responsible for draining/migrating its
+        state first — see ``repro.elastic.ResourceManager``."""
+        self.get_worker(worker_id)  # raise the friendly KeyError
+        return self.workers.pop(worker_id)
+
     # ---- failure injection --------------------------------------------------
 
     def kill_worker(self, worker_id: int) -> None:

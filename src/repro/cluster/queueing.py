@@ -15,18 +15,39 @@ second the system could handle when keeping the delay below 800 ms".
 
 from __future__ import annotations
 
+import heapq
+import math
 import random
 import statistics
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
 
+from ..obs.events import JobShed
 from .events import SimClock
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..elastic.manager import ResourceManager
     from ..engine.context import StarkContext
 
 #: Signature of a job thunk: (arrival_time, job_index) -> finish_time.
 JobFn = Callable[[float, int], float]
+
+
+def nearest_rank(sorted_values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample.
+
+    The smallest value with at least ``pct`` percent of the sample at or
+    below it, i.e. rank ``ceil(n * pct / 100)``.  (Truncating
+    ``int(n * pct / 100)`` over-shoots by one whole rank whenever
+    ``n * pct`` divides evenly — p95 of twenty samples returned the
+    maximum.)  Shared by ``MetricsCollector.percentile_makespan`` and
+    :class:`LoadResult`.
+    """
+    if not sorted_values:
+        return 0.0
+    rank = math.ceil(len(sorted_values) * pct / 100.0)
+    idx = min(len(sorted_values) - 1, max(0, rank - 1))
+    return sorted_values[idx]
 
 
 @dataclass
@@ -47,6 +68,13 @@ class LoadResult:
 
     rate_jobs_per_sec: float
     results: List[ArrivalResult] = field(default_factory=list)
+    #: Jobs rejected by admission control (``max_pending_jobs``).
+    shed_jobs: int = 0
+
+    @property
+    def offered_jobs(self) -> int:
+        """Arrivals offered to the system: completed + shed."""
+        return len(self.results) + self.shed_jobs
 
     @property
     def mean_delay(self) -> float:
@@ -54,24 +82,91 @@ class LoadResult:
             return 0.0
         return statistics.fmean(r.delay for r in self.results)
 
+    def delay_percentile(self, pct: float) -> float:
+        """Nearest-rank percentile of the response-time sample."""
+        return nearest_rank(sorted(r.delay for r in self.results), pct)
+
     @property
     def p95_delay(self) -> float:
-        if not self.results:
-            return 0.0
-        delays = sorted(r.delay for r in self.results)
-        return delays[min(len(delays) - 1, int(len(delays) * 0.95))]
+        return self.delay_percentile(95.0)
+
+    @property
+    def p99_delay(self) -> float:
+        return self.delay_percentile(99.0)
 
     @property
     def max_delay(self) -> float:
         return max((r.delay for r in self.results), default=0.0)
 
+    def merge(self, other: "LoadResult") -> None:
+        """Fold another run's records in (multi-window experiments)."""
+        self.results.extend(other.results)
+        self.shed_jobs += other.shed_jobs
+
 
 class JobDriver:
-    """Submits jobs open-loop and records response times."""
+    """Submits jobs open-loop and records response times.
 
-    def __init__(self, context: "StarkContext", seed: int = 0) -> None:
+    Two optional elasticity hooks (``repro.elastic``):
+
+    * ``max_pending_jobs`` bounds the in-system job count (submitted,
+      not yet finished).  An arrival finding the queue at the bound is
+      *shed* — counted in ``LoadResult.shed_jobs`` and announced as a
+      :class:`~repro.obs.events.JobShed` event — so saturation degrades
+      to rejected jobs instead of unbounded queueing delay.
+    * ``resource_manager`` is consulted at every arrival (scaling
+      decisions between jobs) and told every completion (feeding the
+      latency-SLO policy's response-time window).
+    """
+
+    def __init__(
+        self,
+        context: "StarkContext",
+        seed: int = 0,
+        resource_manager: Optional["ResourceManager"] = None,
+        max_pending_jobs: Optional[int] = None,
+    ) -> None:
+        if max_pending_jobs is not None and max_pending_jobs < 1:
+            raise ValueError(
+                f"max_pending_jobs must be at least 1: {max_pending_jobs}")
         self.context = context
         self.rng = random.Random(seed)
+        self.resource_manager = resource_manager
+        self.max_pending_jobs = max_pending_jobs
+        #: Finish times of submitted jobs still in the system (min-heap);
+        #: survives across run_* calls so multi-window replays carry
+        #: their backlog over.
+        self._in_flight: List[float] = []
+        self._job_index = 0
+
+    def pending_jobs(self, now: float) -> int:
+        """Jobs submitted but not finished at ``now``."""
+        while self._in_flight and self._in_flight[0] <= now:
+            heapq.heappop(self._in_flight)
+        return len(self._in_flight)
+
+    def _submit(self, out: LoadResult, job: JobFn, t: float) -> None:
+        clock = self.context.cluster.clock
+        clock.advance_to(max(clock.now, t))
+        pending = self.pending_jobs(t)
+        if self.resource_manager is not None:
+            # Evaluate at the arrival's own timestamp: the clock frontier
+            # already sits at the last finish, where backlog reads zero.
+            self.resource_manager.evaluate(pending_jobs=pending, now=t)
+        index = self._job_index
+        self._job_index += 1
+        if self.max_pending_jobs is not None and pending >= self.max_pending_jobs:
+            out.shed_jobs += 1
+            bus = self.context.event_bus
+            if bus.active:
+                bus.post(JobShed(time=t, job_index=index,
+                                 pending_jobs=pending))
+            return
+        finish = job(t, index)
+        heapq.heappush(self._in_flight, finish)
+        out.results.append(ArrivalResult(arrival=t, finish=finish))
+        if self.resource_manager is not None:
+            self.resource_manager.on_job_completed(t, finish)
 
     def run_constant_rate(
         self,
@@ -92,25 +187,20 @@ class JobDriver:
         clock = self.context.cluster.clock
         t = start_time if start_time is not None else clock.now
         out = LoadResult(rate_jobs_per_sec)
-        for i in range(num_jobs):
+        for _ in range(num_jobs):
             gap = (
                 self.rng.expovariate(rate_jobs_per_sec)
                 if poisson else 1.0 / rate_jobs_per_sec
             )
             t += gap
-            clock.advance_to(max(clock.now, t))
-            finish = job(t, i)
-            out.results.append(ArrivalResult(arrival=t, finish=finish))
+            self._submit(out, job, t)
         return out
 
     def run_arrivals(self, job: JobFn, arrivals: Sequence[float]) -> LoadResult:
         """Submit one job per explicit arrival timestamp (trace replay)."""
-        clock = self.context.cluster.clock
         out = LoadResult(rate_jobs_per_sec=0.0)
-        for i, t in enumerate(sorted(arrivals)):
-            clock.advance_to(max(clock.now, t))
-            finish = job(t, i)
-            out.results.append(ArrivalResult(arrival=t, finish=finish))
+        for t in sorted(arrivals):
+            self._submit(out, job, t)
         return out
 
 

@@ -263,6 +263,22 @@ class GroupManager:
         leaf = state.tree.group_of_partition(partition)
         return list(state.placement.get(leaf.group_id, []))
 
+    def remove_executor(self, worker_id: int) -> None:
+        """Purge a decommissioned executor from every group placement.
+
+        Groups whose executor set empties are re-homed via
+        :meth:`_least_loaded_executor`, mirroring how splits place their
+        new child — so group locality survives scale-in.
+        """
+        for state in self._state.values():
+            for group_id, executors in state.placement.items():
+                if worker_id in executors:
+                    executors.remove(worker_id)
+        for state in self._state.values():
+            for group_id, executors in state.placement.items():
+                if not executors:
+                    executors.append(self._least_loaded_executor({worker_id}))
+
     def add_group_replica(self, namespace: str, partition: int,
                           worker_id: int) -> None:
         state = self._state.get(namespace)

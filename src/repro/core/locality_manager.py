@@ -158,6 +158,33 @@ class LocalityManager:
         if worker_id in executors and len(executors) > 1:
             executors.remove(worker_id)
 
+    def remove_executor(self, worker_id: int) -> None:
+        """Purge a decommissioned executor from every placement.
+
+        A collection partition whose placement empties is re-homed onto
+        the least-loaded alive worker (fewest placements after the
+        purge), so preferred locations never dangle on a worker that no
+        longer exists.
+        """
+        alive = [
+            w for w in self.context.cluster.alive_worker_ids()
+            if w != worker_id
+        ]
+        load: Dict[int, int] = {w: 0 for w in alive}
+        for ns in self._namespaces.values():
+            for executors in ns.placement.values():
+                for w in executors:
+                    if w in load:
+                        load[w] += 1
+        for ns in self._namespaces.values():
+            for pid, executors in ns.placement.items():
+                if worker_id in executors:
+                    executors.remove(worker_id)
+                if not executors and alive:
+                    home = min(alive, key=lambda w: (load[w], w))
+                    executors.append(home)
+                    load[home] += 1
+
     def replica_count(self, name: str, partition: int) -> int:
         return len(self._require(name).placement.get(partition, []))
 

@@ -1,0 +1,226 @@
+"""Autoscaling policies: cluster-size recommendations from load signals.
+
+Each policy is a pure function of a :class:`ClusterSnapshot` — the
+:class:`~repro.elastic.manager.ResourceManager` assembles the snapshot
+(backlog from worker slot free-times, occupancy from the
+``UtilizationSampler`` timelines, response times from the job driver)
+and applies the returned :class:`PolicyDecision` subject to the
+``min_workers``/``max_workers`` bounds and a cooldown.
+
+Three signal families, mirroring the knobs real autoscalers expose:
+
+* :class:`BacklogPolicy` — queued work per slot (Spark's
+  ``dynamicAllocation`` pending-task heuristic);
+* :class:`UtilizationPolicy` — time-weighted slot occupancy against a
+  target band (CPU-target autoscaling);
+* :class:`LatencySLOPolicy` — recent p95 response time against the
+  800 ms delay cap the paper's Fig 19/20 experiments hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+Timeline = List[Tuple[float, float]]
+
+#: Policy names accepted by :func:`make_scaling_policy` (and the CLI's
+#: ``--scale-policy`` flag).
+POLICY_NAMES: Tuple[str, ...] = ("backlog", "utilization", "latency")
+
+
+def windowed_mean(timeline: Timeline, start: float, end: float) -> float:
+    """Time-weighted mean of a step timeline over ``[start, end]``.
+
+    The timeline is ``(time, level)`` change points (see
+    ``repro.obs.sampler``); the level before the first point is 0.
+    """
+    if end <= start:
+        return 0.0
+    total = 0.0
+    level = 0.0
+    t = start
+    for time, value in timeline:
+        if time <= start:
+            level = value
+            continue
+        if time >= end:
+            break
+        total += level * (time - t)
+        t = time
+        level = value
+    total += level * (end - t)
+    return total / (end - start)
+
+
+@dataclass(frozen=True)
+class ClusterSnapshot:
+    """Load signals a policy decides from (one scaling evaluation)."""
+
+    #: Simulated time of the evaluation.
+    time: float
+    #: Current alive-worker count.
+    alive_workers: int
+    #: Total task slots across alive workers.
+    total_slots: int
+    #: Jobs submitted but not yet finished (admission-control queue).
+    pending_jobs: int
+    #: Queued slot-seconds beyond ``time`` across all alive workers.
+    backlog_seconds: float
+    #: Time-weighted busy-slot count over the recent occupancy window.
+    slot_occupancy: float
+    #: Nearest-rank p95 of the recent job response times (0 when none).
+    recent_p95_delay: float
+    #: The delay SLO the latency policy protects (seconds).
+    slo_delay_cap: float
+
+    @property
+    def backlog_per_slot(self) -> float:
+        return self.backlog_seconds / max(1, self.total_slots)
+
+    @property
+    def occupancy_fraction(self) -> float:
+        return self.slot_occupancy / max(1, self.total_slots)
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """Recommended worker-count change; ``delta`` may be clamped by the
+    manager's ``min_workers``/``max_workers`` bounds before applying."""
+
+    delta: int
+    reason: str
+
+    @property
+    def action(self) -> str:
+        if self.delta > 0:
+            return "scale_out"
+        if self.delta < 0:
+            return "scale_in"
+        return "hold"
+
+
+HOLD = PolicyDecision(0, "within band")
+
+
+class ScalingPolicy:
+    """Base class: subclasses override :meth:`decide`."""
+
+    name = "hold"
+
+    def decide(self, snapshot: ClusterSnapshot) -> PolicyDecision:
+        raise NotImplementedError
+
+
+class BacklogPolicy(ScalingPolicy):
+    """Scale on queued work per slot.
+
+    Above ``high_backlog`` queued seconds per slot, add workers
+    (proportionally: one worker per ``high_backlog`` of excess, capped at
+    ``max_step``).  Scale-in is deliberately slower than scale-out:
+    instantaneous backlog reads zero the moment the last queued task
+    clears, so shrinking on it alone thrashes.  A worker is only removed
+    when backlog is below ``low_backlog``, the pending queue is empty,
+    *and* the time-weighted occupancy over the sampler window is under
+    ``low_occupancy`` — a sustained-idle signal, not a gap between jobs.
+    """
+
+    name = "backlog"
+
+    def __init__(self, high_backlog: float = 0.5, low_backlog: float = 0.05,
+                 low_occupancy: float = 0.4, max_step: int = 4) -> None:
+        if high_backlog <= low_backlog:
+            raise ValueError(
+                f"high_backlog ({high_backlog}) must exceed "
+                f"low_backlog ({low_backlog})")
+        self.high_backlog = high_backlog
+        self.low_backlog = low_backlog
+        self.low_occupancy = low_occupancy
+        self.max_step = max_step
+
+    def decide(self, snapshot: ClusterSnapshot) -> PolicyDecision:
+        pressure = snapshot.backlog_per_slot
+        if pressure > self.high_backlog:
+            step = min(self.max_step, max(1, int(pressure / self.high_backlog)))
+            return PolicyDecision(
+                step, f"backlog {pressure:.2f}s/slot > {self.high_backlog}s")
+        if (pressure < self.low_backlog and snapshot.pending_jobs == 0
+                and snapshot.occupancy_fraction < self.low_occupancy):
+            return PolicyDecision(
+                -1, f"backlog {pressure:.2f}s/slot < {self.low_backlog}s, "
+                    f"occupancy {snapshot.occupancy_fraction:.0%}")
+        return HOLD
+
+
+class UtilizationPolicy(ScalingPolicy):
+    """Scale toward a slot-occupancy target band.
+
+    Uses the time-weighted occupancy the manager computes from the
+    ``UtilizationSampler`` slot timeline: above ``high`` fraction busy,
+    add a worker; below ``low``, remove one.
+    """
+
+    name = "utilization"
+
+    def __init__(self, high: float = 0.85, low: float = 0.30) -> None:
+        if not 0.0 < low < high <= 1.0:
+            raise ValueError(f"need 0 < low < high <= 1: low={low} high={high}")
+        self.high = high
+        self.low = low
+
+    def decide(self, snapshot: ClusterSnapshot) -> PolicyDecision:
+        occ = snapshot.occupancy_fraction
+        if occ > self.high:
+            return PolicyDecision(1, f"occupancy {occ:.0%} > {self.high:.0%}")
+        if occ < self.low and snapshot.pending_jobs == 0:
+            return PolicyDecision(-1, f"occupancy {occ:.0%} < {self.low:.0%}")
+        return HOLD
+
+
+class LatencySLOPolicy(ScalingPolicy):
+    """Scale when the recent p95 response time nears the delay SLO.
+
+    Scale-out triggers at ``headroom`` of the cap (act *before* the SLO
+    breaks); scale-in requires both a comfortable p95 (below
+    ``relax_margin`` of the cap) and sustained low occupancy, so
+    shrinking never itself causes a breach.
+    """
+
+    name = "latency"
+
+    def __init__(self, headroom: float = 0.75, relax_margin: float = 0.6,
+                 low_occupancy: float = 0.4) -> None:
+        if not 0.0 < relax_margin < headroom <= 1.0:
+            raise ValueError(
+                f"need 0 < relax_margin < headroom <= 1: "
+                f"headroom={headroom} relax_margin={relax_margin}")
+        self.headroom = headroom
+        self.relax_margin = relax_margin
+        self.low_occupancy = low_occupancy
+
+    def decide(self, snapshot: ClusterSnapshot) -> PolicyDecision:
+        cap = snapshot.slo_delay_cap
+        p95 = snapshot.recent_p95_delay
+        if p95 > self.headroom * cap:
+            return PolicyDecision(
+                1, f"p95 {p95 * 1e3:.0f}ms > {self.headroom:.0%} of "
+                   f"{cap * 1e3:.0f}ms SLO")
+        if (p95 and p95 < self.relax_margin * cap
+                and snapshot.occupancy_fraction < self.low_occupancy
+                and snapshot.pending_jobs == 0):
+            return PolicyDecision(
+                -1, f"p95 {p95 * 1e3:.0f}ms < {self.relax_margin:.0%} of SLO, "
+                    f"occupancy {snapshot.occupancy_fraction:.0%}")
+        return HOLD
+
+
+def make_scaling_policy(name: str) -> ScalingPolicy:
+    """Build a policy by CLI name (one of :data:`POLICY_NAMES`)."""
+    if name == "backlog":
+        return BacklogPolicy()
+    if name == "utilization":
+        return UtilizationPolicy()
+    if name == "latency":
+        return LatencySLOPolicy()
+    raise ValueError(
+        f"unknown scaling policy {name!r}; expected one of {POLICY_NAMES}")

@@ -129,8 +129,11 @@ class BlockStore:
 EvictionListener = Callable[[int, BlockId], None]
 
 #: ``listener(worker_id, block_id, reason)`` where reason is one of
-#: ``"capacity"`` | ``"explicit"`` | ``"worker_lost"`` — the channel the
-#: observability layer turns into ``BlockEvicted`` events.
+#: ``"capacity"`` | ``"explicit"`` | ``"worker_lost"`` | ``"migrated"`` —
+#: the channel the observability layer turns into ``BlockEvicted``
+#: events.  ``"migrated"`` marks the source-side removal of a block that
+#: was copied to another store first (graceful decommission), i.e. *not*
+#: a loss of cached state.
 BlockEventListener = Callable[[int, BlockId, str], None]
 
 
@@ -237,6 +240,71 @@ class BlockManagerMaster:
 
     def total_cached_bytes(self) -> float:
         return sum(store.used_bytes for store in self.stores.values())
+
+    # ---- elastic membership ---------------------------------------------------
+
+    def register_worker(
+        self,
+        worker_id: int,
+        capacity_bytes: float,
+        policy: Optional[CachePolicy] = None,
+    ) -> None:
+        """Add a block store for a newly provisioned worker.
+
+        Idempotent: re-registering an existing worker (e.g. a restart
+        after a kill, where the store object survived) is a no-op, so
+        callers need not distinguish brand-new from returning workers.
+        """
+        if worker_id in self.stores:
+            return
+        self.stores[worker_id] = BlockStore(worker_id, capacity_bytes, policy=policy)
+
+    def deregister_worker(self, worker_id: int) -> List[BlockId]:
+        """Remove a decommissioned worker's store entirely.
+
+        Any blocks still resident are dropped as ``"worker_lost"`` (the
+        decommission protocol migrates blocks out *first*; leftovers mean
+        the migration budget ran out and lineage recovery is the
+        fallback).  Returns the dropped block ids.
+        """
+        lost = self.lose_worker(worker_id)
+        del self.stores[worker_id]
+        return lost
+
+    def migrate_block(self, block_id: BlockId, src: int, dst: int) -> bool:
+        """Copy a cached block from ``src`` to ``dst``, then drop the
+        source replica.
+
+        The insert happens *before* the source removal so the block never
+        has zero locations mid-migration.  The source-side removal is
+        reported with reason ``"migrated"`` (not a capacity eviction — it
+        must not count against cache-pressure metrics).  Returns False
+        without touching ``src`` when ``dst`` rejects the block (too
+        large, or its own evictions would be needed and the put still
+        cannot fit it).
+        """
+        if dst == src:
+            return False
+        block = self.stores[src].peek(block_id)
+        if block is None:
+            return False
+        if block_id in self.stores[dst]:
+            # Already replicated at the destination; just drop the source.
+            self._remove_migrated_source(block_id, src)
+            return True
+        copy = Block(block_id=block.block_id, records=block.records,
+                     size_bytes=block.size_bytes)
+        evicted = self.put(dst, copy)
+        if evicted and evicted[0] is copy and block_id not in self.stores[dst]:
+            return False  # destination rejected it
+        self._remove_migrated_source(block_id, src)
+        return True
+
+    def _remove_migrated_source(self, block_id: BlockId, src: int) -> None:
+        if self.stores[src].remove(block_id) is not None:
+            self._drop_location(block_id, src)
+            self._notify_evicted(src, block_id)
+            self._notify_block_event(src, block_id, "migrated")
 
     # ---- invalidation ---------------------------------------------------------
 

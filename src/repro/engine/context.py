@@ -87,6 +87,40 @@ class StarkConfig:
     #: (``CacheManager.expect``) drains to zero.  Only RDDs with explicit
     #: declarations are ever dropped.
     cache_auto_unpersist: bool = False
+    #: Elastic sizing bounds (``repro.elastic``): the autoscaler never
+    #: shrinks the cluster below ``min_workers`` nor grows it beyond
+    #: ``max_workers``.  ``None`` leaves the respective side unbounded.
+    min_workers: Optional[int] = None
+    max_workers: Optional[int] = None
+    #: Autoscaling policy name — one of ``repro.elastic.POLICY_NAMES``
+    #: ("backlog", "utilization", "latency") — or ``None`` for a static
+    #: cluster.  Benchmarks use this to build a ``ResourceManager``.
+    scale_policy: Optional[str] = None
+
+    def validate_elastic(self, initial_workers: int) -> None:
+        """Check the elastic bounds against an initial cluster size.
+
+        Requires ``min_workers <= initial_workers <= max_workers`` (for
+        whichever bounds are set) and positive bounds; raises
+        ``ValueError`` on nonsense so the CLI rejects bad flag
+        combinations up front.
+        """
+        lo, hi = self.min_workers, self.max_workers
+        if lo is not None and lo < 1:
+            raise ValueError(f"min_workers must be at least 1: {lo}")
+        if hi is not None and hi < 1:
+            raise ValueError(f"max_workers must be at least 1: {hi}")
+        if lo is not None and hi is not None and lo > hi:
+            raise ValueError(
+                f"min_workers ({lo}) exceeds max_workers ({hi})")
+        if lo is not None and initial_workers < lo:
+            raise ValueError(
+                f"initial cluster size ({initial_workers}) is below "
+                f"min_workers ({lo})")
+        if hi is not None and initial_workers > hi:
+            raise ValueError(
+                f"initial cluster size ({initial_workers}) exceeds "
+                f"max_workers ({hi})")
 
 
 class StarkContext:
@@ -102,6 +136,8 @@ class StarkContext:
         memory_per_worker: float = 12e9,
     ) -> None:
         self.config = config or StarkConfig()
+        self.config.validate_elastic(
+            len(cluster) if cluster is not None else num_workers)
         self.cluster = cluster or Cluster(
             num_workers=num_workers,
             cores_per_worker=cores_per_worker,
@@ -166,6 +202,18 @@ class StarkContext:
                 time=self.cluster.clock.now, worker_id=worker_id,
                 rdd_id=block_id[0], partition=block_id[1], reason=reason,
             ))
+
+    def register_worker(self, worker_id: int) -> None:
+        """Wire a (newly added or restarted) cluster worker into the
+        driver-side state: give it an empty block store sized by
+        ``storage_memory_fraction``.  Idempotent — re-registering a
+        worker whose store survived a kill/restart cycle is a no-op."""
+        worker = self.cluster.get_worker(worker_id)
+        self.block_manager_master.register_worker(
+            worker_id,
+            worker.memory_bytes * self.config.storage_memory_fraction,
+            policy=self.cache_manager.policy_for_worker(worker_id),
+        )
 
     # ---- registries ------------------------------------------------------------
 

@@ -75,7 +75,15 @@ class FailureInjector:
         )
 
     def restart_worker(self, worker_id: int) -> None:
+        """Bring a killed worker back with an empty cache.
+
+        The restarted executor re-registers with the block manager master
+        (a no-op when its store object survived the kill, which is the
+        common case) and its slots free at the current simulated time, so
+        it is immediately schedulable again.
+        """
         self.context.cluster.restart_worker(worker_id)
+        self.context.register_worker(worker_id)
 
     def measure_recovery(
         self,

@@ -9,11 +9,11 @@ series over arrival rate or wall time (Figs 19/20).
 from __future__ import annotations
 
 import itertools
-import math
 import statistics
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from ..cluster.queueing import nearest_rank
 from ..obs.registry import MetricsRegistry
 
 
@@ -178,20 +178,9 @@ class MetricsCollector:
         return statistics.fmean(spans) if spans else 0.0
 
     def percentile_makespan(self, pct: float) -> float:
-        """Nearest-rank percentile of the job makespans.
-
-        The nearest-rank method: the smallest span with at least
-        ``pct`` percent of the sample at or below it, i.e. rank
-        ``ceil(n * pct / 100)``.  (Truncating ``int(n * pct / 100)``
-        over-shoots by one whole rank whenever ``n * pct`` divides
-        evenly — p50 of two samples returned the *maximum*.)
-        """
-        spans = sorted(self.makespans())
-        if not spans:
-            return 0.0
-        rank = math.ceil(len(spans) * pct / 100.0)
-        idx = min(len(spans) - 1, max(0, rank - 1))
-        return spans[idx]
+        """Nearest-rank percentile of the job makespans (see
+        :func:`repro.cluster.queueing.nearest_rank`)."""
+        return nearest_rank(sorted(self.makespans()), pct)
 
     def total_tasks(self) -> int:
         return sum(len(j.tasks) for j in self.jobs)

@@ -38,6 +38,7 @@ from .events import (
     BatchSubmitted,
     BlockCached,
     BlockEvicted,
+    BlocksMigrated,
     CacheHit,
     CacheMiss,
     CheckpointWritten,
@@ -46,13 +47,17 @@ from .events import (
     Event,
     FailureInjected,
     JobEnd,
+    JobShed,
     JobStart,
     LineageRecovered,
+    ScalingDecision,
     ShuffleFetch,
     StageCompleted,
     StageSubmitted,
     TaskEnd,
     TaskStart,
+    WorkerDecommissioned,
+    WorkerProvisioned,
     event_from_dict,
     validate_event_dict,
 )
@@ -132,6 +137,7 @@ __all__ = [
     "BatchSubmitted",
     "BlockCached",
     "BlockEvicted",
+    "BlocksMigrated",
     "CacheHit",
     "CacheMiss",
     "CheckpointWritten",
@@ -146,16 +152,20 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JobEnd",
+    "JobShed",
     "JobStart",
     "JsonlEventLog",
     "LineageRecovered",
     "MetricsRegistry",
+    "ScalingDecision",
     "ShuffleFetch",
     "StageCompleted",
     "StageSubmitted",
     "TaskEnd",
     "TaskStart",
     "UtilizationSampler",
+    "WorkerDecommissioned",
+    "WorkerProvisioned",
     "add_context_observer",
     "assign_slots",
     "check_event_invariants",

@@ -127,8 +127,9 @@ class BlockCached(Event):
 @dataclass(frozen=True)
 class BlockEvicted(Event):
     """A block left a store: ``reason`` is one of ``"capacity"`` (the
-    eviction policy chose a victim), ``"explicit"`` (unpersist), or
-    ``"worker_lost"``."""
+    eviction policy chose a victim), ``"explicit"`` (unpersist),
+    ``"worker_lost"``, or ``"migrated"`` (graceful decommission moved it
+    to another executor, where a matching ``BlockCached`` follows)."""
 
     worker_id: int
     rdd_id: int
@@ -187,6 +188,65 @@ class LineageRecovered(Event):
     worker_id: int
     baseline_delay: float
     recovery_delay: float
+
+
+# ---- elasticity ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkerProvisioned(Event):
+    """A scale-out added an executor; its slots open at ``ready_at``
+    (``time`` + the cost model's spin-up delay)."""
+
+    worker_id: int
+    cores: int
+    ready_at: float
+    spinup_seconds: float
+    alive_workers: int
+
+
+@dataclass(frozen=True)
+class WorkerDecommissioned(Event):
+    """A scale-in removed an executor after draining its slots and
+    migrating its cached blocks (``dropped_blocks`` counts the ones the
+    migration budget forced back onto lineage recovery)."""
+
+    worker_id: int
+    migrated_blocks: int
+    dropped_blocks: int
+    drain_seconds: float
+    alive_workers: int
+
+
+@dataclass(frozen=True)
+class BlocksMigrated(Event):
+    """Aggregate of one decommission's cached-block migration off
+    ``worker_id``."""
+
+    worker_id: int
+    num_blocks: int
+    total_bytes: float
+    migration_seconds: float
+
+
+@dataclass(frozen=True)
+class JobShed(Event):
+    """Admission control rejected an arriving job: the pending queue was
+    at its bound, so the job was shed instead of queued."""
+
+    job_index: int
+    pending_jobs: int
+
+
+@dataclass(frozen=True)
+class ScalingDecision(Event):
+    """A scaling policy acted: ``action`` is ``"scale_out"`` or
+    ``"scale_in"``, ``delta`` the applied worker-count change."""
+
+    policy: str
+    action: str
+    delta: int
+    alive_workers: int
+    reason: str
 
 
 # ---- streaming -------------------------------------------------------------

@@ -30,18 +30,23 @@ from .events import (
     BatchSubmitted,
     BlockCached,
     BlockEvicted,
+    BlocksMigrated,
     CacheHit,
     CacheMiss,
     CheckpointWritten,
     Event,
     FailureInjected,
     JobEnd,
+    JobShed,
     JobStart,
     LineageRecovered,
+    ScalingDecision,
     ShuffleFetch,
     StageCompleted,
     StageSubmitted,
     TaskEnd,
+    WorkerDecommissioned,
+    WorkerProvisioned,
 )
 
 _US = 1e6  # simulated seconds -> trace microseconds
@@ -115,6 +120,10 @@ class ChromeTraceExporter:
         self._driver_spans: List[Dict[str, Any]] = []
         self._open_stages: Dict[Tuple[int, int], StageSubmitted] = {}
         self._open_jobs: Dict[int, JobStart] = {}
+        #: (time, alive worker count) samples for the dynamic cluster-size
+        #: counter track (fed by provision/decommission events).
+        self._cluster_size: List[Tuple[float, int]] = []
+        self._saw_scaling = False
 
     # ---- listener ----------------------------------------------------------
 
@@ -167,6 +176,43 @@ class ChromeTraceExporter:
                           "failure",
                           {"recovery_delay": event.recovery_delay},
                           scope="g")
+        elif isinstance(event, WorkerProvisioned):
+            self._cluster_size.append((event.time, event.alive_workers))
+            self._instant(event.time, event.worker_id, "worker provisioned",
+                          "elastic",
+                          {"cores": event.cores, "ready_at": event.ready_at,
+                           "spinup_seconds": event.spinup_seconds},
+                          scope="g")
+        elif isinstance(event, WorkerDecommissioned):
+            self._cluster_size.append((event.time, event.alive_workers))
+            self._instant(event.time, event.worker_id,
+                          "worker decommissioned", "elastic",
+                          {"migrated_blocks": event.migrated_blocks,
+                           "dropped_blocks": event.dropped_blocks,
+                           "drain_seconds": event.drain_seconds},
+                          scope="g")
+        elif isinstance(event, BlocksMigrated):
+            self._instant(event.time, event.worker_id,
+                          f"migrated {event.num_blocks} blocks", "elastic",
+                          {"total_bytes": event.total_bytes,
+                           "migration_seconds": event.migration_seconds})
+        elif isinstance(event, JobShed):
+            self._instants.append({
+                "name": f"shed job {event.job_index}", "ph": "i",
+                "ts": event.time * _US, "pid": DRIVER_PID, "tid": 1,
+                "s": "p", "cat": "elastic",
+                "args": {"pending_jobs": event.pending_jobs},
+            })
+        elif isinstance(event, ScalingDecision):
+            self._saw_scaling = True
+            self._instants.append({
+                "name": f"{event.action} ({event.policy})", "ph": "i",
+                "ts": event.time * _US, "pid": DRIVER_PID, "tid": 3,
+                "s": "p", "cat": "elastic",
+                "args": {"delta": event.delta,
+                         "alive_workers": event.alive_workers,
+                         "reason": event.reason},
+            })
         elif isinstance(event, CheckpointWritten):
             self._instants.append({
                 "name": f"checkpoint rdd_{event.rdd_id}", "ph": "i",
@@ -200,6 +246,13 @@ class ChromeTraceExporter:
 
         for instant in self._instants:
             trace_events.append(dict(instant))
+        # Dynamic cluster-size counter track (Perfetto renders "C" events
+        # as a step chart): one sample per membership change.
+        for time, alive in self._cluster_size:
+            trace_events.append({
+                "name": "cluster size", "ph": "C", "ts": time * _US,
+                "pid": DRIVER_PID, "args": {"alive workers": alive},
+            })
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
     def export(self, path: Union[str, Path]) -> Path:
@@ -234,6 +287,10 @@ class ChromeTraceExporter:
             {"name": "thread_name", "ph": "M", "pid": DRIVER_PID, "tid": 2,
              "args": {"name": "stages"}},
         ]
+        if self._saw_scaling:
+            events.append({"name": "thread_name", "ph": "M",
+                           "pid": DRIVER_PID, "tid": 3,
+                           "args": {"name": "scaling"}})
         workers: Dict[int, int] = {}
         for task in self._tasks:
             spans = workers.get(task.worker_id)

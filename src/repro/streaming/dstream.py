@@ -25,6 +25,7 @@ from ..engine.rdd import RDD
 from ..obs.events import BatchCompleted, BatchSubmitted
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..elastic.manager import ResourceManager
     from ..engine.context import StarkContext
 
 ReceiverFn = Callable[[int, int], Callable[[int], list]]
@@ -131,6 +132,7 @@ class StreamingContext:
         context: "StarkContext",
         batch_seconds: float = 300.0,
         retention_steps: int = 36,
+        resource_manager: Optional["ResourceManager"] = None,
     ) -> None:
         if batch_seconds <= 0:
             raise ValueError(f"batch interval must be positive: {batch_seconds}")
@@ -142,6 +144,12 @@ class StreamingContext:
         self.current_step = 0
         self._streams: List[DStream] = []
         self._receivers: List[tuple] = []  # (dstream, receiver, partitions, partitioner, namespace, cache)
+        #: Optional elastic hook: each completed batch feeds its
+        #: processing delay to the manager (the latency-SLO signal) and
+        #: triggers one scaling evaluation between batches.
+        self.resource_manager = resource_manager
+        #: Per-step batch processing delays (simulated seconds).
+        self.batch_delays: List[float] = []
 
     # ---- building the pipeline -----------------------------------------------------
 
@@ -177,6 +185,7 @@ class StreamingContext:
         clock = self.context.cluster.clock
         for _ in range(steps):
             step = self.current_step
+            submitted = clock.now
             if bus.active:
                 bus.post(BatchSubmitted(time=clock.now, step=step))
             for (stream, receiver, parts, partitioner, namespace, cache) \
@@ -193,6 +202,11 @@ class StreamingContext:
                 bus.post(BatchCompleted(time=clock.now, step=step,
                                         num_streams=len(self._streams),
                                         evicted_rdds=evicted_rdds))
+            delay = clock.now - submitted
+            self.batch_delays.append(delay)
+            if self.resource_manager is not None:
+                self.resource_manager.note_delay(delay)
+                self.resource_manager.evaluate(pending_jobs=0)
 
     def _ingest(
         self,

@@ -78,8 +78,20 @@ class TestLoadResult:
         assert self.make([1.0, 3.0]).mean_delay == 2.0
 
     def test_p95(self):
+        # Nearest-rank: the smallest delay with >= 95% of the sample at
+        # or below it — delays 0..99 give 94.0 (95 values <= 94.0).
         result = self.make([float(i) for i in range(100)])
-        assert result.p95_delay == 95.0
+        assert result.p95_delay == 94.0
+
+    def test_p99(self):
+        result = self.make([float(i) for i in range(100)])
+        assert result.p99_delay == 98.0
+
+    def test_p95_small_sample_not_max(self):
+        # The old truncation indexing returned the maximum for p50 of
+        # two samples; nearest-rank must return the lower one.
+        result = self.make([1.0, 9.0])
+        assert result.delay_percentile(50.0) == 1.0
 
     def test_max(self):
         assert self.make([1.0, 7.0, 2.0]).max_delay == 7.0
@@ -88,7 +100,17 @@ class TestLoadResult:
         empty = LoadResult(1.0)
         assert empty.mean_delay == 0.0
         assert empty.p95_delay == 0.0
+        assert empty.p99_delay == 0.0
         assert empty.max_delay == 0.0
+
+    def test_merge_and_offered(self):
+        a = self.make([1.0, 2.0])
+        b = self.make([3.0])
+        b.shed_jobs = 2
+        a.merge(b)
+        assert len(a.results) == 3
+        assert a.shed_jobs == 2
+        assert a.offered_jobs == 5
 
 
 class TestFindMaxThroughput:
@@ -115,3 +137,95 @@ class TestFindMaxThroughput:
             return result
 
         assert find_max_throughput(run, delay_cap=0.8) == 0.0
+
+
+class TestAdmissionControl:
+    """max_pending_jobs: bounded queue with load shedding."""
+
+    def synthetic_driver(self, sc, bound):
+        return JobDriver(sc, max_pending_jobs=bound)
+
+    def test_sheds_beyond_bound(self):
+        sc = StarkContext(num_workers=1)
+        driver = self.synthetic_driver(sc, 2)
+        # Every job takes 10 s; arrivals 1 s apart: the first two are
+        # admitted, the rest find the queue full.
+        result = driver.run_arrivals(lambda t, i: t + 10.0,
+                                     [0.0, 1.0, 2.0, 3.0, 4.0])
+        assert len(result.results) == 2
+        assert result.shed_jobs == 3
+        assert result.offered_jobs == 5
+
+    def test_queue_drains_and_readmits(self):
+        sc = StarkContext(num_workers=1)
+        driver = self.synthetic_driver(sc, 1)
+        result = driver.run_arrivals(lambda t, i: t + 1.0,
+                                     [0.0, 0.5, 2.0])
+        # t=0 admitted (finishes 1.0), t=0.5 shed, t=2.0 admitted.
+        assert len(result.results) == 2
+        assert result.shed_jobs == 1
+
+    def test_shed_event_posted(self):
+        from repro import obs
+
+        sc = StarkContext(num_workers=1)
+        collector = obs.EventCollector()
+        sc.event_bus.subscribe(collector)
+        driver = self.synthetic_driver(sc, 1)
+        driver.run_arrivals(lambda t, i: t + 10.0, [0.0, 1.0, 2.0])
+        shed = collector.of_type(obs.JobShed)
+        assert len(shed) == 2
+        assert [e.job_index for e in shed] == [1, 2]
+        assert all(e.pending_jobs == 1 for e in shed)
+
+    def test_bound_must_be_positive(self):
+        sc = StarkContext(num_workers=1)
+        with pytest.raises(ValueError):
+            JobDriver(sc, max_pending_jobs=0)
+
+    def test_unbounded_by_default(self):
+        sc = StarkContext(num_workers=1)
+        driver = JobDriver(sc)
+        result = driver.run_arrivals(lambda t, i: t + 100.0,
+                                     [float(i) for i in range(10)])
+        assert result.shed_jobs == 0
+        assert len(result.results) == 10
+
+
+class TestResourceManagerHooks:
+    class StubManager:
+        def __init__(self):
+            self.evaluations = []
+            self.completions = []
+
+        def evaluate(self, pending_jobs=0, now=None):
+            self.evaluations.append((pending_jobs, now))
+
+        def on_job_completed(self, arrival, finish):
+            self.completions.append((arrival, finish))
+
+    def test_evaluate_called_at_arrival_time(self):
+        sc = StarkContext(num_workers=1)
+        stub = self.StubManager()
+        driver = JobDriver(sc, resource_manager=stub)
+        driver.run_arrivals(lambda t, i: t + 5.0, [1.0, 2.0])
+        assert [now for _, now in stub.evaluations] == [1.0, 2.0]
+        # The second arrival sees the first job still in flight.
+        assert [p for p, _ in stub.evaluations] == [0, 1]
+
+    def test_completions_fed_back(self):
+        sc = StarkContext(num_workers=1)
+        stub = self.StubManager()
+        driver = JobDriver(sc, resource_manager=stub)
+        driver.run_arrivals(lambda t, i: t + 5.0, [1.0])
+        assert stub.completions == [(1.0, 6.0)]
+
+    def test_shed_jobs_do_not_report_completion(self):
+        sc = StarkContext(num_workers=1)
+        stub = self.StubManager()
+        driver = JobDriver(sc, resource_manager=stub,
+                           max_pending_jobs=1)
+        driver.run_arrivals(lambda t, i: t + 10.0, [0.0, 1.0])
+        # Both arrivals evaluated for scaling, only one completed.
+        assert len(stub.evaluations) == 2
+        assert len(stub.completions) == 1

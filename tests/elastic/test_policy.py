@@ -1,0 +1,147 @@
+"""Tests for the autoscaling policies (pure snapshot -> decision)."""
+
+import pytest
+
+from repro.elastic import (
+    BacklogPolicy,
+    ClusterSnapshot,
+    LatencySLOPolicy,
+    POLICY_NAMES,
+    UtilizationPolicy,
+    make_scaling_policy,
+    windowed_mean,
+)
+
+
+def snap(backlog=0.0, occupancy=0.0, p95=0.0, pending=0,
+         workers=4, slots=8, cap=0.8):
+    return ClusterSnapshot(
+        time=100.0, alive_workers=workers, total_slots=slots,
+        pending_jobs=pending, backlog_seconds=backlog,
+        slot_occupancy=occupancy, recent_p95_delay=p95, slo_delay_cap=cap,
+    )
+
+
+class TestWindowedMean:
+    def test_empty_timeline(self):
+        assert windowed_mean([], 0.0, 10.0) == 0.0
+
+    def test_flat_level(self):
+        assert windowed_mean([(0.0, 4.0)], 0.0, 10.0) == pytest.approx(4.0)
+
+    def test_step_change_weighted(self):
+        # Level 2 for the first half, 6 for the second: mean 4.
+        timeline = [(0.0, 2.0), (5.0, 6.0)]
+        assert windowed_mean(timeline, 0.0, 10.0) == pytest.approx(4.0)
+
+    def test_level_before_first_point_is_zero(self):
+        assert windowed_mean([(5.0, 8.0)], 0.0, 10.0) == pytest.approx(4.0)
+
+    def test_points_outside_window_set_entry_level(self):
+        timeline = [(0.0, 2.0), (20.0, 100.0)]
+        assert windowed_mean(timeline, 5.0, 15.0) == pytest.approx(2.0)
+
+    def test_degenerate_window(self):
+        assert windowed_mean([(0.0, 3.0)], 5.0, 5.0) == 0.0
+
+
+class TestSnapshotProperties:
+    def test_backlog_per_slot(self):
+        assert snap(backlog=16.0, slots=8).backlog_per_slot == 2.0
+
+    def test_occupancy_fraction(self):
+        assert snap(occupancy=4.0, slots=8).occupancy_fraction == 0.5
+
+    def test_zero_slots_guard(self):
+        s = snap(backlog=5.0, occupancy=5.0, slots=0)
+        assert s.backlog_per_slot == 5.0
+        assert s.occupancy_fraction == 5.0
+
+
+class TestBacklogPolicy:
+    def test_scale_out_above_high(self):
+        policy = BacklogPolicy(high_backlog=0.5)
+        decision = policy.decide(snap(backlog=8.0, slots=8))  # 1.0 s/slot
+        assert decision.delta > 0
+        assert decision.action == "scale_out"
+
+    def test_proportional_step_capped(self):
+        policy = BacklogPolicy(high_backlog=0.5, max_step=4)
+        # 10 s/slot of backlog: 20x the threshold, capped at max_step.
+        assert policy.decide(snap(backlog=80.0, slots=8)).delta == 4
+        assert policy.decide(snap(backlog=8.0, slots=8)).delta == 2
+
+    def test_hold_within_band(self):
+        policy = BacklogPolicy(high_backlog=0.5, low_backlog=0.05)
+        assert policy.decide(snap(backlog=2.0, slots=8)).delta == 0
+
+    def test_scale_in_needs_idle_occupancy(self):
+        policy = BacklogPolicy(low_occupancy=0.4)
+        # No backlog but the cluster is busy: hold, don't thrash.
+        busy = snap(backlog=0.0, occupancy=6.0, slots=8)
+        assert policy.decide(busy).delta == 0
+        idle = snap(backlog=0.0, occupancy=1.0, slots=8)
+        assert policy.decide(idle).delta == -1
+        assert policy.decide(idle).action == "scale_in"
+
+    def test_scale_in_blocked_by_pending_jobs(self):
+        policy = BacklogPolicy()
+        assert policy.decide(snap(pending=3)).delta == 0
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            BacklogPolicy(high_backlog=0.1, low_backlog=0.2)
+
+
+class TestUtilizationPolicy:
+    def test_scale_out_above_target(self):
+        policy = UtilizationPolicy(high=0.85)
+        assert policy.decide(snap(occupancy=7.5, slots=8)).delta == 1
+
+    def test_scale_in_below_target(self):
+        policy = UtilizationPolicy(low=0.30)
+        assert policy.decide(snap(occupancy=1.0, slots=8)).delta == -1
+
+    def test_hold_in_band(self):
+        policy = UtilizationPolicy()
+        assert policy.decide(snap(occupancy=4.0, slots=8)).delta == 0
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            UtilizationPolicy(high=0.2, low=0.5)
+        with pytest.raises(ValueError):
+            UtilizationPolicy(high=1.5)
+
+
+class TestLatencySLOPolicy:
+    def test_scale_out_near_cap(self):
+        policy = LatencySLOPolicy(headroom=0.75)
+        assert policy.decide(snap(p95=0.7, cap=0.8)).delta == 1
+
+    def test_hold_below_headroom(self):
+        policy = LatencySLOPolicy(headroom=0.75, relax_margin=0.6)
+        busy = snap(p95=0.5, occupancy=6.0, slots=8, cap=0.8)
+        assert policy.decide(busy).delta == 0
+
+    def test_scale_in_comfortable_and_idle(self):
+        policy = LatencySLOPolicy(relax_margin=0.6, low_occupancy=0.4)
+        comfy = snap(p95=0.1, occupancy=1.0, slots=8, cap=0.8)
+        assert policy.decide(comfy).delta == -1
+
+    def test_no_scale_in_without_delay_history(self):
+        policy = LatencySLOPolicy()
+        assert policy.decide(snap(p95=0.0, occupancy=0.0)).delta == 0
+
+    def test_invalid_margins(self):
+        with pytest.raises(ValueError):
+            LatencySLOPolicy(headroom=0.5, relax_margin=0.6)
+
+
+class TestFactory:
+    def test_all_names(self):
+        for name in POLICY_NAMES:
+            assert make_scaling_policy(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_scaling_policy("nope")

@@ -188,3 +188,86 @@ class TestFailureSchedule:
             FailureEvent(time=1.0, worker_id=1),
         ])
         assert [e.time for e in schedule.events] == [1.0, 5.0]
+
+
+class TestRestartPath:
+    """kill -> restart -> rerun: the restarted executor re-registers with
+    an empty cache, becomes schedulable, and driver-side cache
+    bookkeeping stays consistent."""
+
+    def cached_victim(self, sc):
+        rdd = sc.parallelize(make_pairs(200), 8).cache()
+        rdd.count()
+        victim = next(
+            w for w in sc.cluster.alive_worker_ids()
+            if sc.block_manager_master.stores[w].used_bytes > 0)
+        return rdd, victim
+
+    def test_restart_reregisters_empty_store(self, sc):
+        rdd, victim = self.cached_victim(sc)
+        injector = FailureInjector(sc)
+        injector.kill_worker(victim)
+        injector.restart_worker(victim)
+        bmm = sc.block_manager_master
+        store = bmm.stores[victim]
+        assert store.used_bytes == 0
+        worker = sc.cluster.get_worker(victim)
+        assert store.capacity_bytes == pytest.approx(
+            worker.memory_bytes * sc.config.storage_memory_fraction)
+        # No stale location entries survive the kill.
+        for pid in range(rdd.num_partitions):
+            assert victim not in bmm.locations((rdd.rdd_id, pid))
+
+    def test_restarted_worker_is_schedulable(self, sc):
+        _, victim = self.cached_victim(sc)
+        injector = FailureInjector(sc)
+        injector.kill_worker(victim)
+        injector.restart_worker(victim)
+        restart_time = sc.cluster.clock.now
+        assert victim in sc.cluster.alive_worker_ids()
+        # A wide job (more partitions than the other workers' slots)
+        # must land tasks on the restarted executor.
+        wide = sc.parallelize(make_pairs(1600), 16)
+        assert wide.count() == 1600
+        worker = sc.cluster.get_worker(victim)
+        assert max(worker.slot_free_times) > restart_time
+
+    def test_rerun_recaches_on_survivors_and_restartee(self, sc):
+        rdd, victim = self.cached_victim(sc)
+        injector = FailureInjector(sc)
+        injector.kill_worker(victim)
+        injector.restart_worker(victim)
+        assert rdd.count() == 200
+        bmm = sc.block_manager_master
+        for pid in range(rdd.num_partitions):
+            assert bmm.locations((rdd.rdd_id, pid))
+
+    def test_tracker_consistent_across_kill_restart_rerun(self, sc):
+        rdd, victim = self.cached_victim(sc)
+        tracker = sc.cache_manager.tracker
+        tracker.expect(rdd.rdd_id, uses=2)
+        assert tracker.declared(rdd.rdd_id) == 2
+        injector = FailureInjector(sc)
+        injector.kill_worker(victim)
+        injector.restart_worker(victim)
+        # A kill/restart cycle must not leak or drop references.
+        assert tracker.declared(rdd.rdd_id) == 2
+        rdd.count()  # consumes one declared use
+        assert tracker.declared(rdd.rdd_id) == 1
+        # No pending references linger once the job completed.
+        assert tracker.ref_count(rdd.rdd_id) == 1
+
+    def test_policy_binding_survives_restart(self, sc):
+        _, victim = self.cached_victim(sc)
+        store = sc.block_manager_master.stores[victim]
+        policy_before = store.policy
+        injector = FailureInjector(sc)
+        injector.kill_worker(victim)
+        injector.restart_worker(victim)
+        # The store object (and its policy) survives the cycle, but the
+        # policy's bookkeeping is wiped along with the blocks.
+        assert sc.block_manager_master.stores[victim] is store
+        assert store.policy is policy_before
+        assert type(store.policy) is type(
+            sc.cache_manager.policy_for_worker(victim))
+        assert len(store.policy) == 0

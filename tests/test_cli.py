@@ -67,3 +67,32 @@ class TestMain:
     def test_unknown_cache_policy_rejected(self):
         with pytest.raises(SystemExit):
             main(["--cache-policy", "belady", "list"])
+
+
+class TestElasticCli:
+    def test_elastic_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["elastic"])
+        assert args.min_workers == 2
+        assert args.max_workers == 8
+        assert sorted(args.policies) == ["backlog", "latency", "utilization"]
+        assert args.delay_cap == 0.8
+
+    def test_scaling_flags_on_load_figures(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["fig20", "--scale-policy", "latency",
+             "--min-workers", "2", "--max-workers", "6"])
+        assert args.scale_policy == "latency"
+        assert args.min_workers == 2
+        assert args.max_workers == 6
+
+    def test_unknown_scale_policy_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig19", "--scale-policy", "nope"])
+
+    def test_bad_bounds_exit_with_error(self, capsys):
+        code = main(["elastic", "--min-workers", "6", "--max-workers", "2"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
