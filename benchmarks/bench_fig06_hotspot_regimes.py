@@ -7,7 +7,6 @@ partitioning can stay balanced.  We regenerate the three regimes from
 the synthetic trace and quantify both properties.
 """
 
-import statistics
 
 from repro.bench.reporting import print_table
 from repro.workloads.taxi import TaxiTrace, TaxiTraceConfig

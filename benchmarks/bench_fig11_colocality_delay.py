@@ -5,7 +5,6 @@ Spark-H/Stark-H gap grows with N (Stark ~5x faster at N=5; the paper's
 headline "reduces the job makespan by 4X").
 """
 
-import statistics
 
 from repro.bench.harness import run_colocality
 from repro.bench.reporting import print_comparison, print_table

@@ -10,7 +10,6 @@ Run:  python examples/log_diagnosis.py
 
 import random
 
-from repro import StarkContext
 from repro.apps.log_mining import LogMiningApp
 from repro.bench.configs import ClusterSpec, make_setup
 from repro.workloads.wikipedia import WikipediaTrace, WikipediaTraceConfig

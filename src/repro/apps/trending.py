@@ -20,7 +20,7 @@ checkpointing matter (§IV-D, Figs 17/18).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..engine.partitioner import HashPartitioner, Partitioner

@@ -14,7 +14,7 @@ Plus the checkpointing variants of §IV-D: **Stark-1** (exact optimum),
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..cluster.cluster import Cluster

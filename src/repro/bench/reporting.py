@@ -11,7 +11,7 @@ plain-text format that survives pytest capture:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 
 def format_table(

@@ -35,7 +35,7 @@ from __future__ import annotations
 import itertools
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 BlockId = Tuple[int, int]  # (rdd_id, partition_index)
 

@@ -231,6 +231,38 @@ def _cmd_elastic(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_speculation(args: argparse.Namespace) -> int:
+    off, on = harness.run_speculation_tail(
+        num_jobs=args.jobs,
+        num_partitions=args.partitions,
+        transient_rate=args.straggler_rate,
+        transient_duration=args.straggler_duration,
+        transient_factor=args.straggler_factor,
+        speculation_multiplier=args.multiplier,
+        speculation_quantile=args.quantile,
+        seed=args.seed,
+    )
+    print_table(
+        "Speculative execution vs straggler tail (identical slowdowns)",
+        ["speculation", "mean (ms)", "p95 (ms)", "p99 (ms)",
+         "mean job (ms)", "straggled", "copies", "killed"],
+        [[str(r.speculation), r.mean_task_delay * 1000,
+          r.p95_task_delay * 1000, r.p99_task_delay * 1000,
+          r.mean_makespan * 1000, f"{r.straggler_incidence:.1%}",
+          r.speculative_copies, r.killed_copies]
+         for r in (off, on)],
+        floatfmt="{:.3f}",
+    )
+    print_comparison("p99 task delay", "spec off", off.p99_task_delay,
+                     "spec on", on.p99_task_delay)
+    if on.results_digest != off.results_digest:
+        print("RESULT MISMATCH: speculation changed job outputs")
+        return 1
+    print("job results identical across both arms "
+          f"(sha256 {on.results_digest[:12]}…)")
+    return 0
+
+
 # ---- canned traceable workloads ------------------------------------------------
 
 
@@ -416,6 +448,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig20": _cmd_fig20,
     "cache": _cmd_cache,
     "elastic": _cmd_elastic,
+    "speculation": _cmd_speculation,
     "trace": _cmd_trace,
     "events": _cmd_events,
 }
@@ -524,6 +557,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-pending-jobs", type=int, default=32,
                    help="admission-control bound; arrivals beyond it are "
                         "shed (0 disables)")
+
+    p = sub.add_parser(
+        "speculation",
+        help="straggler tail with speculative execution off vs on")
+    p.add_argument("--jobs", type=int, default=10)
+    p.add_argument("--partitions", type=int, default=32)
+    p.add_argument("--straggler-rate", type=float, default=3.0,
+                   help="transient slowdown windows per worker per "
+                        "simulated second")
+    p.add_argument("--straggler-duration", type=float, default=0.1,
+                   help="length of each slowdown window (simulated s)")
+    p.add_argument("--straggler-factor", type=float, default=8.0,
+                   help="how many times slower work progresses inside a "
+                        "window")
+    p.add_argument("--multiplier", type=float, default=1.3,
+                   help="speculate when running time exceeds this "
+                        "multiple of the median task duration")
+    p.add_argument("--quantile", type=float, default=0.5,
+                   help="fraction of the taskset that must finish before "
+                        "speculation may fire")
+    p.add_argument("--seed", type=int, default=11)
 
     p = sub.add_parser("cache", help="compare block-store eviction policies")
     p.add_argument("--policies", nargs="+", choices=POLICY_NAMES,

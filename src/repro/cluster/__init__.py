@@ -1,13 +1,14 @@
 """Simulated cluster substrate: workers, clock, cost model, queueing."""
 
 from .cluster import Cluster
-from .cost_model import CostModel, RecordSizer
+from .cost_model import CostModel, HeterogeneityModel, RecordSizer
 from .events import EventHandle, EventQueue, SimClock
 from .worker import Worker
 
 __all__ = [
     "Cluster",
     "CostModel",
+    "HeterogeneityModel",
     "RecordSizer",
     "EventHandle",
     "EventQueue",

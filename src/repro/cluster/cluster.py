@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from .cost_model import CostModel, RecordSizer
+from .cost_model import CostModel, HeterogeneityModel, RecordSizer
 from .events import EventQueue, SimClock
 from .worker import Worker
 
@@ -107,6 +107,21 @@ class Cluster:
         state first — see ``repro.elastic.ResourceManager``."""
         self.get_worker(worker_id)  # raise the friendly KeyError
         return self.workers.pop(worker_id)
+
+    # ---- heterogeneity ------------------------------------------------------
+
+    def apply_heterogeneity(self, model: HeterogeneityModel) -> None:
+        """Sample per-worker speeds and transient slowdown windows from
+        ``model`` using the cluster's seeded RNG.
+
+        Idempotent in distribution (each call resamples); call once after
+        construction, before running workloads.  The identity model leaves
+        every worker untouched.
+        """
+        for wid in sorted(self.workers):
+            worker = self.workers[wid]
+            worker.speed = model.sample_speed(self.rng)
+            worker.slowdowns = model.sample_slowdowns(self.rng)
 
     # ---- failure injection --------------------------------------------------
 

@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
 
 from ..obs.events import JobShed
-from .events import SimClock
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..elastic.manager import ResourceManager

@@ -6,11 +6,18 @@ a local disk holding shuffle map outputs.  Slot occupancy is tracked as
 per-slot *free times* in simulated seconds — the scheduler assigns a task
 to a slot by picking the earliest-free slot and pushing its free time
 forward by the task duration.
+
+Workers are heterogeneous: a constant ``speed`` multiplier (>= 1 means
+slower hardware) and a list of transient ``slowdowns`` windows
+``(start, end, factor)`` — GC pauses, noisy neighbours — stretch a
+task's *wall* duration beyond its nominal work
+(:meth:`Worker.wall_duration`).  Defaults are the identity, so a
+homogeneous cluster behaves exactly as before.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 
@@ -22,12 +29,17 @@ class Worker:
     cores: int = 4
     memory_bytes: float = 12e9
     hostname: str = ""
+    #: Constant wall-time multiplier: 1.0 is nominal, 2.0 runs everything
+    #: twice as slowly.
+    speed: float = 1.0
 
     def __post_init__(self) -> None:
         if self.cores <= 0:
             raise ValueError(f"worker needs at least one core: {self.cores}")
         if self.memory_bytes <= 0:
             raise ValueError(f"worker needs positive memory: {self.memory_bytes}")
+        if self.speed < 1.0:
+            raise ValueError(f"worker speed multiplier must be >= 1: {self.speed}")
         if not self.hostname:
             self.hostname = f"worker-{self.worker_id}"
         # Absolute simulated time at which each slot becomes idle.
@@ -36,6 +48,11 @@ class Worker:
         # Shuffle map outputs persisted on this worker's local disk:
         # (shuffle_id, map_partition, reduce_partition) -> size_bytes.
         self.shuffle_disk: Dict[Tuple[int, int, int], float] = {}
+        # Transient slowdown windows (start, end, factor), factor >= 1.
+        self.slowdowns: List[Tuple[float, float, float]] = []
+        # Per-worker task failure probability; None defers to the
+        # config-level ``task_failure_prob``.
+        self.failure_prob: Optional[float] = None
 
     # ---- slot management --------------------------------------------------
 
@@ -68,6 +85,48 @@ class Worker:
         begin = max(not_before, free)
         finish = self.occupy_slot(slot, begin, duration)
         return begin, finish
+
+    def wall_duration(self, begin: float, work_seconds: float) -> float:
+        """Wall-clock seconds to complete ``work_seconds`` of nominal work
+        starting at ``begin`` on this worker.
+
+        The constant ``speed`` multiplier stretches all work; transient
+        ``slowdowns`` windows stretch whatever portion of the run overlaps
+        them by their factor (piecewise integration, so a task that
+        straddles a window pays the slowdown only for the overlap).  On a
+        nominal worker with no windows this is the identity.
+        """
+        if work_seconds <= 0:
+            return 0.0
+        wall = work_seconds * self.speed
+        if not self.slowdowns:
+            return wall
+        t = begin
+        remaining = wall
+        for start, end, factor in sorted(self.slowdowns):
+            if remaining <= 0 or end <= t:
+                continue
+            if start > t:
+                gap = start - t
+                if remaining <= gap:
+                    t += remaining
+                    remaining = 0.0
+                    break
+                t = start
+                remaining -= gap
+            # Inside the window work progresses ``factor`` times slower.
+            progress = (end - t) / factor
+            if remaining <= progress:
+                t += remaining * factor
+                remaining = 0.0
+                break
+            t = end
+            remaining -= progress
+        result = (t + remaining) - begin
+        # Tasks that never touched a window must pay exactly ``wall`` —
+        # the piecewise walk above leaves ~1e-18 of float residue that
+        # would otherwise masquerade as straggler time.
+        return wall if abs(result - wall) < 1e-12 else result
 
     def pending_work_until(self, now: float) -> float:
         """Total queued seconds of slot occupancy beyond ``now``."""

@@ -25,7 +25,7 @@ lineage grows (Fig 18).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Set, TYPE_CHECKING
 
 from .flow import INF, FlowNetwork
 

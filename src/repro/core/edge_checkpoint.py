@@ -16,10 +16,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, TYPE_CHECKING
 
-from .checkpoint_optimizer import CheckpointDecision, CheckpointOptimizer, LineageNode
+from .checkpoint_optimizer import CheckpointOptimizer, LineageNode
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ..engine.context import StarkContext
     from ..engine.rdd import RDD
 
 

@@ -15,7 +15,7 @@ un-co-partitioned (that would reintroduce shuffles, defeating the point).
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ..engine.partitioner import Partitioner, StaticRangePartitioner
 

@@ -13,7 +13,7 @@ Tested against ``networkx.maximum_flow`` as an oracle.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Set
 
 INF = float("inf")
 

@@ -21,7 +21,7 @@ Invariants maintained (and property-tested):
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, List, Optional
 
 
 class GroupTreeError(ValueError):

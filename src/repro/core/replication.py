@@ -19,7 +19,7 @@ replicates collection partitions *on demand*:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover

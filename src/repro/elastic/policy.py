@@ -20,7 +20,7 @@ Three signal families, mirroring the knobs real autoscalers expose:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 Timeline = List[Tuple[float, float]]
 

@@ -8,7 +8,7 @@ The store tracks cumulative written bytes, the quantity Fig 18 plots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 

@@ -21,9 +21,10 @@ CheckpointOptimizer (§III-D1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, Tuple, TYPE_CHECKING
 
 from ..obs.events import BlockCached, CacheHit, CacheMiss, ShuffleFetch
+from .fault_tolerance import FetchFailedError
 from .metrics import TaskMetrics
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -64,10 +65,14 @@ class EvalContext:
     """
 
     def __init__(self, context: "StarkContext", worker_id: int,
-                 metrics: TaskMetrics) -> None:
+                 metrics: TaskMetrics, commit_effects: bool = True) -> None:
         self.context = context
         self.worker_id = worker_id
         self.metrics = metrics
+        #: False for attempts pre-sampled to fail: time is still charged,
+        #: but nothing durable happens — no map-output registration, no
+        #: shuffle files, no cache inserts.
+        self.commit_effects = commit_effects
         self._memo: Dict[Tuple[int, int], list] = {}
         self._recompute_depth = 0
 
@@ -177,6 +182,8 @@ class EvalContext:
         """
         ctx = self.context
         model = ctx.cost_model
+        config = ctx.config
+        rng = ctx.cluster.rng
         outputs = ctx.map_output_tracker.outputs_for_reduce(dep.shuffle_id, pid)
         records: list = []
         local_bytes = remote_bytes = 0.0
@@ -188,6 +195,20 @@ class EvalContext:
                 local_bytes += out.size_bytes
                 local_seconds += disk
             else:
+                # Without an external shuffle service a dead (or removed)
+                # executor's local disk is unreachable: stale map outputs
+                # surface as fetch failures, not silent successes.
+                if not config.external_shuffle_service:
+                    server = ctx.cluster.workers.get(out.worker_id)
+                    if server is None or not server.alive:
+                        raise FetchFailedError(
+                            dep.shuffle_id, -1, out.worker_id,
+                            "map output on dead executor")
+                if config.fetch_failure_prob > 0 \
+                        and rng.random() < config.fetch_failure_prob:
+                    raise FetchFailedError(
+                        dep.shuffle_id, -1, out.worker_id,
+                        "transient fetch failure")
                 remote = disk + model.network_cost(out.size_bytes)
                 self.metrics.shuffle_fetch_remote_time += remote
                 remote_bytes += out.size_bytes
@@ -241,6 +262,8 @@ class EvalContext:
             model.serde_cost(total_bytes) + model.disk_write_cost(total_bytes)
         )
         self.metrics.shuffle_bytes_written += total_bytes
+        if not self.commit_effects:
+            return
         worker = ctx.cluster.get_worker(self.worker_id)
         for rpid, (size, _) in sized.items():
             worker.shuffle_disk[(dep.shuffle_id, map_pid, rpid)] = size
@@ -253,6 +276,8 @@ class EvalContext:
     def _cache_block(self, rdd: "RDD", pid: int, records: list) -> None:
         from .block_manager import Block
 
+        if not self.commit_effects:
+            return
         ctx = self.context
         # Cached blocks live deserialized on the heap: bigger than their
         # serialized (disk/shuffle) form by the memory-overhead factor.

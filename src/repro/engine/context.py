@@ -17,7 +17,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 from ..cache.manager import CacheManager
 from ..cache.policy import DEFAULTS as CACHE_DEFAULTS
 from ..cluster.cluster import Cluster
-from ..cluster.cost_model import CostModel, RecordSizer
+from ..cluster.cost_model import CostModel
 from ..obs import log as obs_log
 from ..obs import notify_context_created
 from ..obs.bus import EventBus
@@ -32,7 +32,7 @@ from .block_manager import BlockManagerMaster
 from .checkpoint import CheckpointStore
 from .compute import EvalContext, RDDStats
 from .dag_scheduler import DAGScheduler
-from .metrics import MetricsCollector, TaskMetrics
+from .metrics import MetricsCollector
 from .partitioner import Partitioner
 from .shuffle import MapOutputTracker
 from .sources import GeneratedRDD, ParallelCollectionRDD, TextFileRDD
@@ -97,6 +97,73 @@ class StarkConfig:
     #: cluster.  Benchmarks use this to build a ``ResourceManager``.
     scale_policy: Optional[str] = None
 
+    # -- straggler mitigation / task-level fault tolerance (see
+    #    docs/FAULT_TOLERANCE.md) ------------------------------------------
+
+    #: Enable speculative execution (``spark.speculation``).
+    speculation: bool = False
+    #: A running task is speculatable once its running time exceeds this
+    #: multiple of the taskset's median successful duration.
+    speculation_multiplier: float = 1.5
+    #: ... and at least this fraction of the taskset has finished.
+    speculation_quantile: float = 0.75
+    #: Abort the job after this many failed attempts of one task
+    #: (``spark.task.maxFailures``).
+    max_task_failures: int = 4
+    #: Base of the exponential retry backoff (simulated seconds).
+    task_retry_backoff: float = 0.5
+    #: Multiplicative jitter fraction on the backoff (0 disables).
+    task_retry_jitter: float = 0.2
+    #: Abort the job after this many attempts of one stage
+    #: (fetch-failure resubmissions; ``spark.stage.maxConsecutiveAttempts``).
+    max_stage_attempts: int = 4
+    #: Failures of one stage's tasks on one executor before that executor
+    #: is excluded from the stage's offers.
+    max_failures_per_executor_stage: int = 2
+    #: Total failures on one executor before it is excluded from all
+    #: offers.
+    max_failures_per_executor: int = 4
+    #: Blacklist entries expire this many simulated seconds after
+    #: tripping, restoring eligibility.
+    blacklist_timeout: float = 60.0
+    #: When True (default, matching the paper's persistent shuffle
+    #: storage), dead executors' committed map outputs stay fetchable.
+    #: When False, fetching from a dead/removed executor raises a
+    #: FetchFailed and the DAG scheduler regenerates the outputs.
+    external_shuffle_service: bool = True
+    #: Per-attempt transient task failure probability.
+    task_failure_prob: float = 0.0
+    #: Per-remote-fetch transient failure probability.
+    fetch_failure_prob: float = 0.0
+
+    def validate_fault_tolerance(self) -> None:
+        """Reject nonsense fault-tolerance knobs up front (CLI guard)."""
+        if self.speculation_multiplier <= 1.0:
+            raise ValueError(
+                "speculation_multiplier must exceed 1: "
+                f"{self.speculation_multiplier}")
+        if not 0.0 < self.speculation_quantile <= 1.0:
+            raise ValueError(
+                f"speculation_quantile must be in (0, 1]: "
+                f"{self.speculation_quantile}")
+        if self.max_task_failures < 1:
+            raise ValueError(
+                f"max_task_failures must be at least 1: "
+                f"{self.max_task_failures}")
+        if self.max_stage_attempts < 1:
+            raise ValueError(
+                f"max_stage_attempts must be at least 1: "
+                f"{self.max_stage_attempts}")
+        if self.task_retry_backoff < 0 or self.task_retry_jitter < 0:
+            raise ValueError("retry backoff/jitter must be >= 0")
+        if self.blacklist_timeout < 0:
+            raise ValueError(
+                f"blacklist_timeout must be >= 0: {self.blacklist_timeout}")
+        for name in ("task_failure_prob", "fetch_failure_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability: {p}")
+
     def validate_elastic(self, initial_workers: int) -> None:
         """Check the elastic bounds against an initial cluster size.
 
@@ -136,6 +203,7 @@ class StarkContext:
         memory_per_worker: float = 12e9,
     ) -> None:
         self.config = config or StarkConfig()
+        self.config.validate_fault_tolerance()
         self.config.validate_elastic(
             len(cluster) if cluster is not None else num_workers)
         self.cluster = cluster or Cluster(

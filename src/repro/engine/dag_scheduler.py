@@ -18,11 +18,18 @@ Faithful to Spark's DAGScheduler where the paper depends on it:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 from ..obs import log as obs_log
-from ..obs.events import JobEnd, JobStart, StageCompleted, StageSubmitted
+from ..obs.events import (
+    JobEnd,
+    JobStart,
+    StageCompleted,
+    StageResubmitted,
+    StageSubmitted,
+)
 from .dependency import NarrowDependency, ShuffleDependency
+from .fault_tolerance import FetchFailedError
 from .metrics import JobMetrics
 from .stage import Stage
 from .task import (
@@ -220,8 +227,69 @@ class DAGScheduler:
         job: JobMetrics,
         start_time: float,
         action: Callable[[list], Any],
+        only_partitions: Optional[set] = None,
+    ) -> float:
+        """Run ``stage``, resubmitting on fetch failures.
+
+        A :class:`FetchFailedError` from the taskset means some parent
+        map output could not be served.  Spark's response, mirrored here:
+        unregister the failing executor's outputs for that shuffle, re-run
+        the parent map stage for exactly the now-missing partitions, then
+        resubmit this stage — at most ``max_stage_attempts`` times.
+        """
+        config = self.context.config
+        tracker = self.context.map_output_tracker
+        bus = self.context.event_bus
+        attempt = 1
+        start = start_time
+        while True:
+            try:
+                return self._run_stage_attempt(
+                    stage, job, start, action, only_partitions)
+            except FetchFailedError as exc:
+                if attempt >= config.max_stage_attempts:
+                    raise
+                attempt += 1
+                failed_at = max(start, getattr(exc, "failed_at", start))
+                tracker.remove_outputs_for_shuffle_on_worker(
+                    exc.shuffle_id, exc.worker_id)
+                if bus.active:
+                    bus.post(StageResubmitted(
+                        time=failed_at, job_id=job.job_id,
+                        stage_id=stage.stage_id, attempt=attempt,
+                        shuffle_id=exc.shuffle_id, reason=exc.reason))
+                logger.debug(
+                    "stage %d fetch-failed (shuffle %d via worker %d); "
+                    "resubmitting as attempt %d",
+                    stage.stage_id, exc.shuffle_id, exc.worker_id, attempt)
+                parent_finish = failed_at
+                parent = self._shuffle_stages.get(exc.shuffle_id)
+                if parent is not None and not tracker.is_shuffle_complete(
+                        exc.shuffle_id):
+                    missing = set(
+                        tracker.missing_map_partitions(exc.shuffle_id))
+                    parent_finish = self._run_stage(
+                        parent, job, failed_at, action,
+                        only_partitions=missing)
+                start = max(start, parent_finish)
+
+    def _run_stage_attempt(
+        self,
+        stage: Stage,
+        job: JobMetrics,
+        start_time: float,
+        action: Callable[[list], Any],
+        only_partitions: Optional[set] = None,
     ) -> float:
         tasks = self._create_tasks(stage, job, action)
+        if only_partitions is not None:
+            kept: List[Task] = []
+            for task in tasks:
+                if any(p in only_partitions for p in task.partitions):
+                    kept.append(task)
+                else:
+                    self.context.metrics.discard_task_metrics(task.metrics)
+            tasks = kept or tasks
         for task in tasks:
             task.preferred_workers = self._preferred_workers(stage.rdd, task)
         bus = self.context.event_bus

@@ -50,7 +50,30 @@ class FailureInjector:
         self.context = context
 
     def kill_worker(self, worker_id: int, lose_disk: bool = False) -> RecoveryReport:
-        """Kill ``worker_id``; returns a partial report (no delays)."""
+        """Kill ``worker_id``; returns a partial report (no delays).
+
+        Shuffle-output semantics are two orthogonal switches:
+
+        * ``lose_disk=False`` (process loss): the executor dies but its
+          local disk survives.  Map outputs stay registered in the
+          :class:`~repro.engine.shuffle.MapOutputTracker` *and* on the
+          worker's ``shuffle_disk`` — a consistent pair.  Whether they
+          are still *servable* is decided at fetch time by
+          ``StarkConfig.external_shuffle_service``: ``True`` (default)
+          models a node-local shuffle service that keeps serving them;
+          ``False`` makes reducers raise
+          :class:`~repro.engine.fault_tolerance.FetchFailedError`, which
+          escalates to DAG-scheduler stage resubmission.
+        * ``lose_disk=True`` (machine loss): outputs are unregistered
+          and the disk cleared together, so the tracker never advertises
+          data that no longer exists.  The DAG scheduler sees the
+          missing map partitions up front and recomputes them
+          proactively — no fetch failures fire.
+
+        Keeping registration and disk state in lockstep is what makes
+        ``measure_recovery`` meaningful under either shuffle-service
+        mode; see ``docs/FAULT_TOLERANCE.md``.
+        """
         context = self.context
         context.cluster.kill_worker(worker_id)
         lost_blocks = context.block_manager_master.lose_worker(worker_id)

@@ -1,0 +1,140 @@
+"""Task-level fault tolerance: fetch failures, retry backoff, blacklists.
+
+Spark distinguishes two failure classes and so do we:
+
+* **Task failures** (an attempt dies mid-run — OOM, bad disk, flaky JVM):
+  the task scheduler retries the task on another executor with
+  exponential backoff + jitter, up to ``max_task_failures`` attempts;
+  repeated failures on the same executor trip the per-stage and then the
+  app-level blacklist (:class:`BlacklistTracker`).
+* **Fetch failures** (a reduce task cannot pull a map output — the
+  serving executor died and there is no external shuffle service):
+  :class:`FetchFailedError` aborts the whole taskset and escalates to the
+  DAG scheduler, which unregisters the lost outputs, re-runs the parent
+  map stage, and resubmits the failed stage (bounded by
+  ``max_stage_attempts``).  Fetch failures do *not* count against the
+  task's own failure budget — the task did nothing wrong.
+
+See ``docs/FAULT_TOLERANCE.md`` for the state machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class FetchFailedError(RuntimeError):
+    """A shuffle fetch could not be served; carries enough context for
+    the DAG scheduler to regenerate the lost map outputs."""
+
+    def __init__(self, shuffle_id: int, map_partition: int,
+                 worker_id: int, reason: str) -> None:
+        super().__init__(
+            f"fetch failed: shuffle {shuffle_id} map {map_partition} "
+            f"from worker {worker_id} ({reason})")
+        self.shuffle_id = shuffle_id
+        self.map_partition = map_partition
+        self.worker_id = worker_id
+        self.reason = reason
+        #: Stamped by the task scheduler with the failing attempt's
+        #: finish time, so the DAG scheduler resubmits from there.
+        self.failed_at: float = 0.0
+
+
+def retry_backoff(base: float, attempt: int, jitter: float,
+                  rand: float) -> float:
+    """Exponential backoff before retry ``attempt`` (1-based), with a
+    multiplicative jitter term fed by ``rand`` in [0, 1)."""
+    if base <= 0:
+        return 0.0
+    return base * (2.0 ** (attempt - 1)) * (1.0 + jitter * rand)
+
+
+@dataclass
+class _BlacklistState:
+    failures: int = 0
+    until: float = 0.0  # executor is blacklisted while now < until
+
+
+@dataclass
+class BlacklistTracker:
+    """Failure counters with timed blacklist expiry.
+
+    Mirrors Spark's two-level scheme: an executor that fails
+    ``max_failures_per_executor_stage`` attempts of one stage is excluded
+    from that stage's offers; ``max_failures_per_executor`` total
+    failures exclude it from *all* offers.  Both expire
+    ``blacklist_timeout`` simulated seconds after the blacklisting
+    failure, restoring eligibility (transient problems — a full disk, a
+    hot neighbour — clear themselves).
+    """
+
+    max_failures_per_executor_stage: int = 2
+    max_failures_per_executor: int = 4
+    blacklist_timeout: float = 60.0
+
+    _per_stage: Dict[Tuple[int, int], _BlacklistState] = field(
+        default_factory=dict)
+    _per_executor: Dict[int, _BlacklistState] = field(default_factory=dict)
+
+    def record_failure(
+        self, worker_id: int, stage_id: int, now: float,
+    ) -> List[Tuple[int, int, int, float]]:
+        """Count one task failure on ``worker_id`` for ``stage_id``.
+
+        Returns newly-tripped blacklist entries as
+        ``(worker_id, scope_stage_id, failures, until)`` tuples, where
+        ``scope_stage_id`` is -1 for the app-level blacklist — the caller
+        turns them into ``ExecutorBlacklisted`` events.
+        """
+        tripped: List[Tuple[int, int, int, float]] = []
+        stage_state = self._per_stage.setdefault(
+            (worker_id, stage_id), _BlacklistState())
+        stage_state.failures += 1
+        if stage_state.failures == self.max_failures_per_executor_stage:
+            stage_state.until = now + self.blacklist_timeout
+            tripped.append((worker_id, stage_id, stage_state.failures,
+                            stage_state.until))
+        exec_state = self._per_executor.setdefault(
+            worker_id, _BlacklistState())
+        exec_state.failures += 1
+        if exec_state.failures == self.max_failures_per_executor:
+            exec_state.until = now + self.blacklist_timeout
+            tripped.append((worker_id, -1, exec_state.failures,
+                            exec_state.until))
+        return tripped
+
+    def is_blacklisted(self, worker_id: int, stage_id: int,
+                       now: float) -> bool:
+        """Is ``worker_id`` excluded from offers for ``stage_id`` at
+        ``now``?  Expired entries no longer exclude (and their failure
+        counts reset, so an executor must misbehave again to re-trip)."""
+        exec_state = self._per_executor.get(worker_id)
+        if exec_state is not None and self._active(exec_state, now):
+            return True
+        stage_state = self._per_stage.get((worker_id, stage_id))
+        return stage_state is not None and self._active(stage_state, now)
+
+    def blacklisted_until(self, worker_id: int, stage_id: int,
+                          now: float) -> float:
+        """Latest active blacklist expiry covering ``(worker, stage)`` at
+        ``now``; 0.0 when the executor is eligible."""
+        until = 0.0
+        exec_state = self._per_executor.get(worker_id)
+        if exec_state is not None and self._active(exec_state, now):
+            until = max(until, exec_state.until)
+        stage_state = self._per_stage.get((worker_id, stage_id))
+        if stage_state is not None and self._active(stage_state, now):
+            until = max(until, stage_state.until)
+        return until
+
+    def _active(self, state: _BlacklistState, now: float) -> bool:
+        if state.until <= 0.0:
+            return False
+        if now >= state.until:
+            # Timed expiry: restore eligibility and forgive the history.
+            state.until = 0.0
+            state.failures = 0
+            return False
+        return True

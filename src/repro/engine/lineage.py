@@ -11,10 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, TYPE_CHECKING
 
-from .dependency import NarrowDependency, ShuffleDependency
+from .dependency import ShuffleDependency
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .context import StarkContext
     from .rdd import RDD
 
 

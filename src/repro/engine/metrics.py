@@ -11,7 +11,7 @@ from __future__ import annotations
 import itertools
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
 
 from ..cluster.queueing import nearest_rank
 from ..obs.registry import MetricsRegistry
@@ -30,6 +30,12 @@ class TaskMetrics:
     locality: str = "ANY"
     start_time: float = 0.0
     finish_time: float = 0.0
+    #: 0 for the first attempt, incremented per retry of the same task.
+    attempt: int = 0
+    #: True for the clone launched by speculative execution.
+    speculative: bool = False
+    #: "success" | "failed" | "killed" (speculation loser) | "fetch_failed".
+    status: str = "success"
 
     launch_overhead: float = 0.0
     cache_read_time: float = 0.0
@@ -52,6 +58,11 @@ class TaskMetrics:
     #: Work charged rebuilding partitions of *cached* RDDs that missed
     #: (the Spark-1.3 miss penalty); subset of the other time fields.
     recompute_time: float = 0.0
+    #: Extra wall seconds beyond the nominal work: the worker's constant
+    #: slowness plus any transient slowdown windows the run overlapped
+    #: (``Worker.wall_duration``).  Included in :meth:`work_time` so that
+    #: ``duration == work_time()`` and slot occupancy stay consistent.
+    straggler_time: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -72,7 +83,24 @@ class TaskMetrics:
             + self.checkpoint_read_time
             + self.source_read_time
             + self.gc_time
+            + self.straggler_time
         )
+
+    def scale_charges(self, fraction: float) -> None:
+        """Scale every charged time field by ``fraction`` in place.
+
+        Used to truncate an attempt that was cancelled (speculation loser)
+        or died mid-run: the slot is only occupied for the truncated time,
+        and ``work_time()`` remains consistent with it.
+        """
+        for name in (
+            "launch_overhead", "cache_read_time", "compute_time",
+            "shuffle_fetch_local_time", "shuffle_fetch_remote_time",
+            "shuffle_write_time", "checkpoint_read_time",
+            "source_read_time", "gc_time", "recompute_time",
+            "straggler_time",
+        ):
+            setattr(self, name, getattr(self, name) * fraction)
 
 
 @dataclass
@@ -162,6 +190,48 @@ class MetricsCollector:
         job.tasks.append(tm)
         self._tasks_total.inc()
         return tm
+
+    def new_attempt_metrics(
+        self,
+        original: TaskMetrics,
+        attempt: int,
+        speculative: bool = False,
+    ) -> TaskMetrics:
+        """Fresh metrics for a retry or speculative copy of a task.
+
+        Each attempt gets its own :class:`TaskMetrics` (a re-run must not
+        double-charge the original's time fields); it joins the owning
+        job's task list so event/metric reconciliation keeps holding —
+        every attempt emits exactly one TaskStart/TaskEnd pair.
+        """
+        tm = TaskMetrics(
+            task_id=next(self._task_ids),
+            stage_id=original.stage_id,
+            job_id=original.job_id,
+            partition=original.partition,
+            group_id=original.group_id,
+            attempt=attempt,
+            speculative=speculative,
+        )
+        job = self._job_by_id(original.job_id)
+        job.tasks.append(tm)
+        self._tasks_total.inc()
+        return tm
+
+    def discard_task_metrics(self, tm: TaskMetrics) -> None:
+        """Drop metrics for a task that never launched (its taskset was
+        aborted by a fetch failure before the task ran)."""
+        job = self._job_by_id(tm.job_id)
+        try:
+            job.tasks.remove(tm)
+        except ValueError:
+            pass
+
+    def _job_by_id(self, job_id: int) -> JobMetrics:
+        for job in reversed(self.jobs):
+            if job.job_id == job_id:
+                return job
+        raise KeyError(f"unknown job id {job_id}")
 
     # ---- summaries -------------------------------------------------------------
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
 
-from .partitioner import HashPartitioner, Partitioner, RangePartitioner
+from .partitioner import Partitioner, RangePartitioner
 from .rdd import RDD
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -19,12 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TYPE_CHECKING
 
-from .dependency import (
-    Dependency,
-    NarrowDependency,
-    OneToOneDependency,
-    ShuffleDependency,
-)
+from .dependency import Dependency, NarrowDependency, ShuffleDependency
 from .partitioner import Partitioner
 
 if TYPE_CHECKING:  # pragma: no cover

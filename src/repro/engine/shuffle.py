@@ -16,7 +16,7 @@ penalty well defined.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 
 @dataclass
@@ -130,6 +130,26 @@ class MapOutputTracker:
         for key in doomed:
             del self._outputs[key]
         return doomed
+
+    def remove_outputs_for_shuffle_on_worker(
+        self, shuffle_id: int, worker_id: int,
+    ) -> List[int]:
+        """Invalidate one shuffle's map outputs served by ``worker_id``.
+
+        The scoped variant the DAG scheduler uses on a ``FetchFailed``:
+        only the failing executor's outputs of the failing shuffle are
+        dropped, so resubmission re-runs exactly the lost map partitions.
+        Returns the map partitions removed.
+        """
+        doomed = [
+            key
+            for key, buckets in self._outputs.items()
+            if key[0] == shuffle_id
+            and any(o.worker_id == worker_id for o in buckets.values())
+        ]
+        for key in doomed:
+            del self._outputs[key]
+        return sorted(key[1] for key in doomed)
 
     def unregister_shuffle(self, shuffle_id: int) -> None:
         self._outputs = {k: v for k, v in self._outputs.items() if k[0] != shuffle_id}

@@ -52,19 +52,33 @@ class Task:
         """Primary partition (first of the group for group tasks)."""
         return self.partitions[0]
 
-    def run(self, context: "StarkContext", worker_id: int) -> float:
+    def run(
+        self,
+        context: "StarkContext",
+        worker_id: int,
+        metrics: Optional[TaskMetrics] = None,
+        commit_effects: bool = True,
+    ) -> float:
         """Execute on ``worker_id``; return the simulated duration.
 
         The duration is the sum of all charged costs plus launch overhead
         and the GC surcharge; the caller (task scheduler) is responsible
         for slot occupancy and start/finish stamping.
+
+        ``metrics`` charges a different :class:`TaskMetrics` than the
+        task's own — retries and speculative copies each get a fresh one
+        so re-execution never double-charges.  ``commit_effects=False``
+        runs the task without durable side effects (no map-output
+        registration, no cache inserts): the scheduler uses it for
+        attempts it has pre-sampled to fail.
         """
         model = context.cost_model
-        tm = self.metrics
+        tm = metrics if metrics is not None else self.metrics
         tm.worker_id = worker_id
         tm.launch_overhead += model.task_launch_overhead
 
-        ctx = EvalContext(context, worker_id, tm)
+        ctx = EvalContext(context, worker_id, tm,
+                          commit_effects=commit_effects)
         self._execute(context, ctx)
 
         # GC surcharge: heap pressure = cached bytes + this task's working
@@ -122,7 +136,7 @@ class ResultTask(Task):
         per_partition = []
         for pid in self.partitions:
             records = ctx.evaluate(self.stage.rdd, pid)
-            self.metrics.output_records += len(records)
+            ctx.metrics.output_records += len(records)
             per_partition.append(self.action(records))
         self.result = per_partition
 

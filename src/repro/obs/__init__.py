@@ -45,7 +45,9 @@ from .events import (
     EVENT_SCHEMA,
     EVENT_TYPES,
     Event,
+    ExecutorBlacklisted,
     FailureInjected,
+    FetchFailed,
     JobEnd,
     JobShed,
     JobStart,
@@ -53,8 +55,11 @@ from .events import (
     ScalingDecision,
     ShuffleFetch,
     StageCompleted,
+    StageResubmitted,
     StageSubmitted,
     TaskEnd,
+    TaskRetried,
+    TaskSpeculated,
     TaskStart,
     WorkerDecommissioned,
     WorkerProvisioned,
@@ -148,7 +153,9 @@ __all__ = [
     "Event",
     "EventBus",
     "EventCollector",
+    "ExecutorBlacklisted",
     "FailureInjected",
+    "FetchFailed",
     "Gauge",
     "Histogram",
     "JobEnd",
@@ -160,8 +167,11 @@ __all__ = [
     "ScalingDecision",
     "ShuffleFetch",
     "StageCompleted",
+    "StageResubmitted",
     "StageSubmitted",
     "TaskEnd",
+    "TaskRetried",
+    "TaskSpeculated",
     "TaskStart",
     "UtilizationSampler",
     "WorkerDecommissioned",

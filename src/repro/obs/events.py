@@ -88,6 +88,8 @@ class TaskStart(Event):
     partition: int
     worker_id: int
     locality: str
+    attempt: int = 0
+    speculative: bool = False
 
 
 @dataclass(frozen=True)
@@ -112,6 +114,12 @@ class TaskEnd(Event):
     checkpoint_read_time: float
     source_read_time: float
     gc_time: float
+    #: Wall seconds lost to worker slowness / transient slowdown windows.
+    straggler_time: float = 0.0
+    attempt: int = 0
+    speculative: bool = False
+    #: "success" | "failed" | "killed" | "fetch_failed".
+    status: str = "success"
 
 
 # ---- cache traffic ---------------------------------------------------------
@@ -188,6 +196,77 @@ class LineageRecovered(Event):
     worker_id: int
     baseline_delay: float
     recovery_delay: float
+
+
+# ---- straggler mitigation / task-level fault tolerance ---------------------
+
+@dataclass(frozen=True)
+class TaskSpeculated(Event):
+    """The scheduler cloned a slow-running task onto another executor:
+    the original has been running ``running_for`` seconds against a
+    taskset median of ``median_duration``."""
+
+    job_id: int
+    stage_id: int
+    task_id: int
+    partition: int
+    original_worker_id: int
+    speculative_worker_id: int
+    running_for: float
+    median_duration: float
+
+
+@dataclass(frozen=True)
+class TaskRetried(Event):
+    """A task attempt failed on ``worker_id``; the task re-enters the
+    pending queue after ``backoff`` seconds of exponential backoff."""
+
+    job_id: int
+    stage_id: int
+    task_id: int
+    partition: int
+    worker_id: int
+    attempt: int
+    backoff: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class ExecutorBlacklisted(Event):
+    """An executor crossed a failure threshold and is excluded from
+    offers until ``until`` (``stage_id`` is -1 for the app-level
+    blacklist, otherwise the per-stage one)."""
+
+    worker_id: int
+    stage_id: int
+    failures: int
+    until: float
+
+
+@dataclass(frozen=True)
+class FetchFailed(Event):
+    """A reduce task could not fetch a map output from ``worker_id``;
+    escalates to the DAG scheduler for parent-stage resubmission."""
+
+    job_id: int
+    stage_id: int
+    task_id: int
+    shuffle_id: int
+    map_partition: int
+    worker_id: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class StageResubmitted(Event):
+    """A fetch failure forced the stage to re-run (attempt ``attempt``)
+    after regenerating the lost parent map outputs."""
+
+    job_id: int
+    stage_id: int
+    attempt: int
+    shuffle_id: int
+    reason: str
 
 
 # ---- elasticity ------------------------------------------------------------
@@ -332,6 +411,8 @@ def task_events_from_metrics(tm: Any) -> Tuple[TaskStart, TaskEnd]:
         time=tm.start_time, job_id=tm.job_id, stage_id=tm.stage_id,
         task_id=tm.task_id, partition=tm.partition,
         worker_id=tm.worker_id, locality=tm.locality,
+        attempt=getattr(tm, "attempt", 0),
+        speculative=getattr(tm, "speculative", False),
     )
     end = TaskEnd(
         time=tm.finish_time, job_id=tm.job_id, stage_id=tm.stage_id,
@@ -347,6 +428,10 @@ def task_events_from_metrics(tm: Any) -> Tuple[TaskStart, TaskEnd]:
         checkpoint_read_time=tm.checkpoint_read_time,
         source_read_time=tm.source_read_time,
         gc_time=tm.gc_time,
+        straggler_time=getattr(tm, "straggler_time", 0.0),
+        attempt=getattr(tm, "attempt", 0),
+        speculative=getattr(tm, "speculative", False),
+        status=getattr(tm, "status", "success"),
     )
     return start, end
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import io
 import json
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from .events import Event, event_from_dict, validate_event_dict
 

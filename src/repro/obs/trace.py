@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Sequence, Tuple, Union
 
 from .events import (
     BatchCompleted,
@@ -35,7 +35,9 @@ from .events import (
     CacheMiss,
     CheckpointWritten,
     Event,
+    ExecutorBlacklisted,
     FailureInjected,
+    FetchFailed,
     JobEnd,
     JobShed,
     JobStart,
@@ -43,8 +45,11 @@ from .events import (
     ScalingDecision,
     ShuffleFetch,
     StageCompleted,
+    StageResubmitted,
     StageSubmitted,
     TaskEnd,
+    TaskRetried,
+    TaskSpeculated,
     WorkerDecommissioned,
     WorkerProvisioned,
 )
@@ -65,6 +70,7 @@ PHASE_COLORS = {
     "checkpoint_read": "rail_idle",
     "source_read": "rail_load",
     "gc": "terrible",
+    "straggler": "bad",
 }
 
 TASK_PHASES: Tuple[Tuple[str, str], ...] = (
@@ -78,6 +84,7 @@ TASK_PHASES: Tuple[Tuple[str, str], ...] = (
     ("compute_time", "compute"),
     ("shuffle_write_time", "shuffle_write"),
     ("gc_time", "gc"),
+    ("straggler_time", "straggler"),
 )
 
 _SLOT_EPS = 1e-9
@@ -176,6 +183,42 @@ class ChromeTraceExporter:
                           "failure",
                           {"recovery_delay": event.recovery_delay},
                           scope="g")
+        elif isinstance(event, TaskSpeculated):
+            self._instant(event.time, event.speculative_worker_id,
+                          f"speculate task {event.task_id}", "speculation",
+                          {"original_worker_id": event.original_worker_id,
+                           "running_for": event.running_for,
+                           "median_duration": event.median_duration})
+        elif isinstance(event, TaskRetried):
+            self._instant(event.time, event.worker_id,
+                          f"retry task {event.task_id} "
+                          f"(attempt {event.attempt})", "retry",
+                          {"backoff": event.backoff,
+                           "reason": event.reason})
+        elif isinstance(event, ExecutorBlacklisted):
+            self._instant(event.time, event.worker_id,
+                          "executor blacklisted", "blacklist",
+                          {"stage_id": event.stage_id,
+                           "failures": event.failures,
+                           "until": event.until},
+                          scope="g")
+        elif isinstance(event, FetchFailed):
+            self._instant(event.time, event.worker_id,
+                          f"fetch failed (shuffle {event.shuffle_id})",
+                          "failure",
+                          {"task_id": event.task_id,
+                           "reason": event.reason},
+                          scope="g")
+        elif isinstance(event, StageResubmitted):
+            self._instants.append({
+                "name": f"resubmit stage {event.stage_id} "
+                        f"(attempt {event.attempt})", "ph": "i",
+                "ts": event.time * _US, "pid": DRIVER_PID, "tid": 2,
+                "s": "p", "cat": "failure",
+                "args": {"job_id": event.job_id,
+                         "shuffle_id": event.shuffle_id,
+                         "reason": event.reason},
+            })
         elif isinstance(event, WorkerProvisioned):
             self._cluster_size.append((event.time, event.alive_workers))
             self._instant(event.time, event.worker_id, "worker provisioned",
@@ -315,9 +358,12 @@ class ChromeTraceExporter:
     def _task_events(self, task: TaskEnd, slot: int) -> List[Dict[str, Any]]:
         pid = task.worker_id + 1
         start = task.time - task.duration
+        suffix = " [spec]" if task.speculative else ""
+        if task.status != "success":
+            suffix += f" [{task.status}]"
         events = [{
             "name": f"task {task.task_id} "
-                    f"(s{task.stage_id} p{task.partition})",
+                    f"(s{task.stage_id} p{task.partition}){suffix}",
             "cat": "task", "ph": "X", "ts": start * _US,
             "dur": max(task.duration, 0.0) * _US, "pid": pid, "tid": slot,
             "args": {
@@ -325,6 +371,8 @@ class ChromeTraceExporter:
                 "task_id": task.task_id, "partition": task.partition,
                 "locality": task.locality, "gc_time": task.gc_time,
                 "compute_time": task.compute_time,
+                "attempt": task.attempt, "speculative": task.speculative,
+                "status": task.status,
             },
         }]
         if not self.include_phases:

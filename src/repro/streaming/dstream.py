@@ -18,7 +18,7 @@ module reproduces that layering:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 from ..engine.partitioner import Partitioner
 from ..engine.rdd import RDD

@@ -15,7 +15,7 @@ so the log-mining jobs (grep a keyword, count matches) work unchanged.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..cluster.cost_model import SimStr

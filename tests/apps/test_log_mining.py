@@ -6,7 +6,6 @@ import pytest
 
 from repro import StarkContext
 from repro.apps.log_mining import LogMiningApp
-from repro.engine.partitioner import HashPartitioner
 from repro.workloads.wikipedia import WikipediaTrace, WikipediaTraceConfig
 
 

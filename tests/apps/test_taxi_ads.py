@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro import StarkContext
 from repro.apps.taxi_ads import Campaign, TaxiAdsApp
 from repro.core.extendable_partitioner import ExtendablePartitioner
 from repro.engine.partitioner import StaticRangePartitioner

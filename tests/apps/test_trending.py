@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import StarkContext
 from repro.apps.trending import TrendingApp
 from repro.workloads.distributions import seeded_rng
 

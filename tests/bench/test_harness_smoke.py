@@ -5,7 +5,6 @@ in ``benchmarks/``; here we verify the drivers execute and their outputs
 are structurally sound, quickly.
 """
 
-import pytest
 
 from repro.bench.harness import (
     run_colocality,

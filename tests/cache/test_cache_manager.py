@@ -4,8 +4,10 @@ wired into a real StarkContext running real jobs."""
 import pytest
 
 from repro.cache.admission import AdmissionController
-from repro.cache.policy import DEFAULTS, set_default_admission_min_cost, \
-    set_default_policy
+from repro.cache.policy import (
+    set_default_admission_min_cost,
+    set_default_policy,
+)
 from repro.cluster.cost_model import SimStr
 from repro.engine.context import StarkConfig, StarkContext
 

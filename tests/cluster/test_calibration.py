@@ -5,7 +5,6 @@ These pin the simulated-time calibration documented in
 would silently re-scale every benchmark) fail loudly.
 """
 
-import pytest
 
 from repro import StarkContext
 from repro.cluster.cost_model import CostModel, SimStr

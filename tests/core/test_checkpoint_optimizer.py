@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro import StarkContext
-from repro.core.checkpoint_optimizer import CheckpointOptimizer, LineageNode
+from repro.core.checkpoint_optimizer import CheckpointOptimizer
 from repro.core.edge_checkpoint import EdgeCheckpointer
 from repro.engine.partitioner import HashPartitioner
 

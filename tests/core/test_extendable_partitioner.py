@@ -1,7 +1,7 @@
 """Tests for the extendable partitioner."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.extendable_partitioner import ExtendablePartitioner
 from repro.engine.partitioner import HashPartitioner, StaticRangePartitioner

@@ -1,7 +1,6 @@
 """Tests for the GroupManager: size accounting, split/merge triggers,
 placement maintenance, and group tasks."""
 
-import pytest
 
 from repro import StarkConfig, StarkContext
 from repro.core.extendable_partitioner import ExtendablePartitioner

@@ -1,6 +1,5 @@
 """Property-based tests: GroupManager invariants under random workloads."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import StarkConfig, StarkContext

@@ -1,7 +1,6 @@
 """Tests for Minimum-Contention-First scheduling and contention-aware
 replication (§III-C3)."""
 
-import pytest
 
 from repro import StarkConfig, StarkContext
 from repro.core.mcf_scheduler import MinimumContentionFirstPolicy

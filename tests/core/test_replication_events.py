@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import StarkConfig, StarkContext
+from repro import StarkContext
 from repro.engine.block_manager import Block
 from repro.engine.partitioner import HashPartitioner
 

@@ -1,6 +1,5 @@
 """Tests for stage construction, skipping, and result assembly."""
 
-import pytest
 
 from repro.engine.partitioner import HashPartitioner
 

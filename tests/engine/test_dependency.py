@@ -1,6 +1,5 @@
 """Tests for dependency types and grouped dependencies."""
 
-import pytest
 
 from repro.engine.dependency import (
     GroupedDependency,

@@ -1,6 +1,5 @@
 """Tests for grouped task execution (GroupResultTask / GroupShuffleMapTask)."""
 
-import pytest
 
 from repro import StarkConfig, StarkContext
 from repro.cluster.cost_model import SimStr

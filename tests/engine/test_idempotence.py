@@ -8,7 +8,6 @@ the model-based hypothesis suite) plus broader repeats.
 
 from collections import Counter
 
-import pytest
 
 from repro import StarkContext
 from repro.engine.partitioner import HashPartitioner

@@ -7,7 +7,6 @@ the paper builds its argument on.
 3. Co-located collections cogroup without any shuffle fetch.
 """
 
-import pytest
 
 from repro import StarkConfig, StarkContext
 from repro.engine.partitioner import HashPartitioner

@@ -9,10 +9,9 @@ the suite: whatever the schedulers do, results may never change.
 
 from collections import Counter, defaultdict
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import StarkConfig, StarkContext
+from repro import StarkContext
 from repro.engine.partitioner import HashPartitioner
 
 

@@ -10,9 +10,7 @@ hypothesis produces, the scheduler must never violate:
 * correctness — results are independent of scheduling.
 """
 
-from collections import Counter
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import StarkConfig, StarkContext

@@ -1,6 +1,5 @@
 """Tests for source RDD cost charging and transform partitioner rules."""
 
-import pytest
 
 from repro import StarkContext
 from repro.cluster.cost_model import SimStr

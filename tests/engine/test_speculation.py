@@ -1,0 +1,165 @@
+"""Speculative execution invariants.
+
+The load-bearing guarantees: a speculative copy never lands on the
+original attempt's executor, job results are identical with speculation
+on or off (first successful copy wins, the loser is cancelled), and the
+default configuration launches no extra attempts at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import StarkConfig, StarkContext
+from repro.cluster.cluster import Cluster
+from repro.cluster.cost_model import HeterogeneityModel
+
+
+def spec_context(seed: int = 7, *, num_workers: int = 4,
+                 slow_fraction: float = 0.25, slow_speed: float = 6.0,
+                 **config_kwargs) -> StarkContext:
+    config = StarkConfig(
+        speculation=True, speculation_multiplier=1.2,
+        speculation_quantile=0.5, **config_kwargs)
+    cluster = Cluster(num_workers=num_workers, cores_per_worker=2,
+                      memory_per_worker=1e9, seed=seed)
+    sc = StarkContext(cluster=cluster, config=config)
+    sc.cluster.apply_heterogeneity(HeterogeneityModel(
+        slow_worker_fraction=slow_fraction, slow_worker_speed=slow_speed))
+    return sc
+
+
+def run_map_job(sc: StarkContext, n: int = 400, partitions: int = 16):
+    rdd = sc.parallelize(list(range(n)), partitions).map(lambda x: x * 3)
+    return rdd.collect()
+
+
+class TestSpeculationInvariants:
+    def test_spec_copies_launch_on_slow_cluster(self):
+        sc = spec_context()
+        run_map_job(sc)
+        job = sc.metrics.last_job()
+        spec = [t for t in job.tasks if t.speculative]
+        assert spec, "a 6x-slow worker must trigger speculation"
+
+    def test_spec_copy_never_on_original_executor(self):
+        sc = spec_context()
+        for _ in range(3):
+            run_map_job(sc)
+        for job in sc.metrics.jobs:
+            by_partition = {}
+            for t in job.tasks:
+                by_partition.setdefault((t.stage_id, t.partition),
+                                        []).append(t)
+            for attempts in by_partition.values():
+                originals = [t for t in attempts if not t.speculative]
+                for t in attempts:
+                    if t.speculative:
+                        assert t.worker_id not in {
+                            o.worker_id for o in originals}
+
+    def test_exactly_one_success_per_partition(self):
+        sc = spec_context()
+        run_map_job(sc)
+        job = sc.metrics.last_job()
+        by_partition = {}
+        for t in job.tasks:
+            by_partition.setdefault((t.stage_id, t.partition), []).append(t)
+        for attempts in by_partition.values():
+            assert sum(1 for t in attempts if t.status == "success") == 1
+
+    def test_loser_is_killed_and_charged_partially(self):
+        sc = spec_context()
+        run_map_job(sc)
+        job = sc.metrics.last_job()
+        killed = [t for t in job.tasks if t.status == "killed"]
+        spec = [t for t in job.tasks if t.speculative]
+        assert len(killed) == len(spec)  # every race has exactly one loser
+        for t in killed:
+            assert t.finish_time <= max(
+                x.finish_time for x in job.tasks if x.status == "success"
+            ) + 1e-9
+            assert t.duration >= 0
+
+    def test_no_extra_attempts_by_default(self, sc):
+        run_map_job(sc)
+        job = sc.metrics.last_job()
+        assert all(t.attempt == 0 and not t.speculative for t in job.tasks)
+        assert sorted(t.partition for t in job.tasks) == list(range(16))
+
+    def test_slot_capacity_respected_with_speculation(self):
+        sc = spec_context()
+        run_map_job(sc)
+        job = sc.metrics.last_job()
+        by_worker = {}
+        for t in job.tasks:
+            by_worker.setdefault(t.worker_id, []).append(t)
+        for wid, tasks in by_worker.items():
+            cores = sc.cluster.get_worker(wid).cores
+            events = []
+            for t in tasks:
+                if t.finish_time > t.start_time:
+                    events.append((t.start_time, 1))
+                    events.append((t.finish_time, -1))
+            events.sort()
+            running = 0
+            for _, delta in events:
+                running += delta
+                assert running <= cores
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       num_keys=st.integers(2, 20),
+       partitions=st.integers(2, 12))
+def test_results_identical_spec_on_off(seed, num_keys, partitions):
+    """Property: over random shuffle DAGs on a heterogeneous cluster,
+    speculation never changes job results."""
+    outputs = []
+    for speculation in (False, True):
+        config = StarkConfig(speculation=speculation,
+                             speculation_multiplier=1.2,
+                             speculation_quantile=0.5)
+        cluster = Cluster(num_workers=4, cores_per_worker=2,
+                          memory_per_worker=1e9, seed=seed)
+        sc = StarkContext(cluster=cluster, config=config)
+        sc.cluster.apply_heterogeneity(HeterogeneityModel(
+            slow_worker_fraction=0.3, slow_worker_speed=5.0))
+        data = [((seed + i) % num_keys, i) for i in range(300)]
+        rdd = sc.parallelize(data, partitions)
+        reduced = rdd.map(lambda kv: (kv[0], kv[1] + 1)) \
+                     .reduce_by_key(lambda a, b: a + b)
+        outputs.append(sorted(reduced.collect()))
+    assert outputs[0] == outputs[1]
+
+
+class TestHeterogeneityModel:
+    def test_speed_multiplier_slows_wall_time(self):
+        fast = StarkContext(num_workers=1, cores_per_worker=1,
+                            memory_per_worker=1e9)
+        slow = StarkContext(num_workers=1, cores_per_worker=1,
+                            memory_per_worker=1e9)
+        slow.cluster.get_worker(0).speed = 4.0
+        for sc in (fast, slow):
+            sc.parallelize(list(range(200)), 4).count()
+        assert slow.metrics.last_job().makespan > \
+            fast.metrics.last_job().makespan * 3.0
+
+    def test_transient_window_charges_straggler_time(self):
+        sc = StarkContext(num_workers=1, cores_per_worker=1,
+                          memory_per_worker=1e9)
+        sc.cluster.get_worker(0).slowdowns = [(0.0, 1000.0, 10.0)]
+        sc.parallelize(list(range(200)), 4).count()
+        job = sc.metrics.last_job()
+        assert all(t.straggler_time > 0 for t in job.tasks)
+        for t in job.tasks:
+            assert t.duration == pytest.approx(t.work_time())
+
+    def test_validation_rejects_bad_model(self):
+        with pytest.raises(ValueError):
+            HeterogeneityModel(slow_worker_speed=0.5)
+        with pytest.raises(ValueError):
+            HeterogeneityModel(slow_worker_fraction=1.5)
+        with pytest.raises(ValueError):
+            HeterogeneityModel(transient_factor=0.0)

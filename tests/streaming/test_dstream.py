@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import StarkContext
 from repro.engine.partitioner import HashPartitioner
 from repro.streaming import StreamingContext
 from repro.workloads.distributions import seeded_rng

@@ -4,7 +4,7 @@ import random
 import statistics
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.workloads.distributions import (
     Hotspot,
