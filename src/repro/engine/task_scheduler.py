@@ -32,7 +32,11 @@ On top of delay scheduling sits the straggler/fault layer
 * **Retry with backoff + blacklisting** — an attempt pre-sampled to fail
   charges a fraction of its work, then re-enters the queue after
   exponential backoff with jitter; executors accumulating failures trip
-  the per-stage and app-level blacklists (timed expiry).
+  the per-stage and app-level blacklists (timed expiry).  Retries avoid
+  workers the task already failed on and blacklisted executors — except
+  as a last resort: when *every* offered worker is excluded, the task
+  launches anyway rather than deadlock (``max_task_failures`` still
+  bounds the attempts).
 * **Fetch-failure escalation** — a ``FetchFailedError`` aborts the
   taskset and propagates to the DAG scheduler for parent-stage
   resubmission.
@@ -340,17 +344,21 @@ class TaskScheduler:
             new_finish = max(loser.start, at)
             if new_finish < loser.finish - _EPSILON:
                 worker = cluster.get_worker(loser.worker_id)
-                # Only reclaim if nothing was scheduled after it on the
-                # same slot (the free time still matches our finish).
+                # Only reclaim (and rescale the charges) if nothing was
+                # scheduled after it on the same slot — the free time
+                # still matches our finish.  Otherwise the slot stays
+                # occupied to the original finish, so the charges must
+                # too: scaling them down would make charged work_time
+                # diverge from slot occupancy.
                 if abs(worker.slot_free_times[loser.slot]
                        - loser.finish) <= 1e-6:
                     worker.slot_free_times[loser.slot] = new_finish
-                span = loser.finish - loser.start
-                fraction = (new_finish - loser.start) / span if span > 0 \
-                    else 0.0
-                loser.metrics.scale_charges(fraction)
-                loser.finish = new_finish
-                loser.metrics.finish_time = new_finish
+                    span = loser.finish - loser.start
+                    fraction = (new_finish - loser.start) / span \
+                        if span > 0 else 0.0
+                    loser.metrics.scale_charges(fraction)
+                    loser.finish = new_finish
+                    loser.metrics.finish_time = new_finish
             loser.metrics.status = "killed"
 
         def process_completions(up_to: float) -> bool:
@@ -469,9 +477,15 @@ class TaskScheduler:
             clone = launch_attempt(state, worker_id, launch_at, locality,
                                    speculative=True)
             last_launch = launch_at
-            # Resolve the race now (virtual time: both finishes are known):
-            # first successful copy wins, the other is cancelled.
-            if clone.metrics.status == "success":
+            # Resolve the race now (virtual time: both finishes are
+            # known): when *both* copies will succeed, the first to
+            # finish wins and the other is cancelled.  An attempt that
+            # is going to fail is never truncated — marking it "killed"
+            # would skip its failure path (retry/blacklist accounting)
+            # and, worse, truncating a successful clone against a doomed
+            # original would leave the task with no successful attempt.
+            if clone.metrics.status == "success" \
+                    and original.metrics.status == "success":
                 if clone.finish < original.finish:
                     truncate(original, clone.finish)
                 else:
@@ -542,6 +556,12 @@ class TaskScheduler:
                             w, stage_id, now)
                     ] if (state.failed_workers
                           or self._blacklist_tracker is not None) else offers
+                    # Last-resort fallback (documented in
+                    # docs/FAULT_TOLERANCE.md): when *every* offered
+                    # worker is excluded — the task failed on all of
+                    # them, or all are blacklisted — launch anyway
+                    # rather than deadlock; max_task_failures still
+                    # bounds the damage.
                     chosen_worker = self.remote_policy.choose_worker(
                         self.context, task, eligible or offers, now
                     )

@@ -109,6 +109,33 @@ class TestSpeculationInvariants:
                 assert running <= cores
 
 
+class TestSpeculationRacingFailures:
+    """Regression: when the original attempt is pre-sampled to fail and
+    the successful clone finishes at/after it, the race resolution must
+    not cancel the clone — the task would end with no successful
+    attempt and consumers taking min(finish of successes) would crash.
+    The seeds below all hit that interleaving before the fix."""
+
+    @pytest.mark.parametrize("seed", [12, 32, 49, 70])
+    def test_every_partition_succeeds_under_task_failures(self, seed):
+        sc = spec_context(seed, num_workers=6, task_failure_prob=0.15)
+        rdd = sc.parallelize(list(range(400)), 24).map(lambda x: x * 3)
+        assert sorted(rdd.collect()) == [x * 3 for x in range(400)]
+        job = sc.metrics.last_job()
+        by_partition = {}
+        for t in job.tasks:
+            by_partition.setdefault((t.stage_id, t.partition),
+                                    []).append(t)
+        assert len(by_partition) == 24
+        for attempts in by_partition.values():
+            assert sum(1 for t in attempts
+                       if t.status == "success") == 1
+            # A failed attempt is never truncated: its retry/blacklist
+            # path must run.
+            assert all(t.status in ("success", "failed", "killed")
+                       for t in attempts)
+
+
 @settings(max_examples=15, deadline=None)
 @given(seed=st.integers(0, 10_000),
        num_keys=st.integers(2, 20),
