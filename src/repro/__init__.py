@@ -43,7 +43,16 @@ from .cache import (
     ReferenceTracker,
     make_policy,
 )
-from .cluster import Cluster, CostModel, EventQueue, RecordSizer, SimClock, Worker
+from .cluster import (
+    Cluster,
+    CostModel,
+    EventQueue,
+    RecordSizer,
+    SimClock,
+    SimKernel,
+    TIME_EPS,
+    Worker,
+)
 from .core import (
     CheckpointOptimizer,
     EdgeCheckpointer,
@@ -95,6 +104,8 @@ __all__ = [
     "ReferenceTracker",
     "ReplicationManager",
     "SimClock",
+    "SimKernel",
+    "TIME_EPS",
     "make_policy",
     "StarkConfig",
     "StarkContext",

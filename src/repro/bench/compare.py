@@ -135,12 +135,28 @@ def load_bench_dir(directory: Path) -> Dict[str, Dict[str, float]]:
 
 
 def compare_dirs(baseline_dir: Path, current_dir: Path,
-                 threshold: float) -> Tuple[List[Delta], List[str]]:
-    """All deltas plus a list of problems (missing files/metrics)."""
+                 threshold: float,
+                 only: Optional[List[str]] = None,
+                 ) -> Tuple[List[Delta], List[str]]:
+    """All deltas plus a list of problems (missing files/metrics).
+
+    ``only`` restricts the comparison to the named benchmarks — used by
+    jobs that run a subset of the suite (the sim-kernel smoke job) so
+    absent results for the other baselines don't read as failures.
+    Naming a benchmark with no baseline is itself a problem.
+    """
     baselines = load_bench_dir(baseline_dir)
     currents = load_bench_dir(current_dir)
     deltas: List[Delta] = []
     problems: List[str] = []
+    if only is not None:
+        for name in only:
+            if name not in baselines:
+                problems.append(
+                    f"--only names benchmark '{name}' but "
+                    f"{baseline_dir} has no BENCH_{name}.json")
+        baselines = {k: v for k, v in baselines.items() if k in only}
+        currents = {k: v for k, v in currents.items() if k in only}
     if not baselines:
         problems.append(f"no BENCH_*.json baselines under {baseline_dir}")
     for bench, base_metrics in baselines.items():
@@ -170,10 +186,13 @@ def markdown_table(deltas: List[Delta], tracked_only: bool = True) -> str:
     return "\n".join(lines)
 
 
-def update_baselines(baseline_dir: Path, current_dir: Path) -> List[str]:
+def update_baselines(baseline_dir: Path, current_dir: Path,
+                     only: Optional[List[str]] = None) -> List[str]:
     baseline_dir.mkdir(parents=True, exist_ok=True)
     copied = []
     for path in sorted(current_dir.glob("BENCH_*.json")):
+        if only is not None and path.stem[len("BENCH_"):] not in only:
+            continue
         shutil.copyfile(path, baseline_dir / path.name)
         copied.append(path.name)
     return copied
@@ -191,13 +210,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default 0.15 = 15%%)")
     parser.add_argument("--table-out", type=Path, default=None,
                         help="also write the markdown delta table here")
+    parser.add_argument("--only", type=str, default=None,
+                        help="comma-separated benchmark names; compare "
+                             "(or --update-baselines) just these")
     parser.add_argument("--update-baselines", action="store_true",
                         help="copy the current BENCH_*.json files over "
                              "the baselines and exit")
     args = parser.parse_args(argv)
+    only = ([name.strip() for name in args.only.split(",") if name.strip()]
+            if args.only is not None else None)
 
     if args.update_baselines:
-        copied = update_baselines(args.baseline_dir, args.current_dir)
+        copied = update_baselines(args.baseline_dir, args.current_dir,
+                                  only=only)
         for name in copied:
             print(f"updated {args.baseline_dir / name}")
         if not copied:
@@ -207,7 +232,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     deltas, problems = compare_dirs(args.baseline_dir, args.current_dir,
-                                    args.threshold)
+                                    args.threshold, only=only)
     table = markdown_table(deltas)
     print(f"## Benchmark regression gate (threshold "
           f"{args.threshold:.0%})\n")

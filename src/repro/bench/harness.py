@@ -1099,9 +1099,10 @@ def run_fig20(
                 region.count()
                 delays.append(sc.metrics.last_job().makespan)
             if manager is not None:
+                # Feed the latency-SLO window; scaling itself fires on
+                # the manager's periodic kernel timer between jobs.
                 for delay in delays:
                     manager.note_delay(delay)
-                manager.evaluate(pending_jobs=0)
             out.append(DelayOverTimePoint(
                 config=name,
                 hour=step / steps_per_hour,
@@ -1212,7 +1213,7 @@ def _run_diurnal_replay(
     driver = JobDriver(sc, seed=seed, resource_manager=manager,
                        max_pending_jobs=max_pending_jobs)
     rng = random.Random(seed + 13)
-    clock = sc.cluster.clock
+    kernel = sc.cluster.kernel
     load = LoadResult(0.0)
     steps: Dict[int, object] = {}
     window = 6
@@ -1220,7 +1221,8 @@ def _run_diurnal_replay(
     partitioner = setup.partitioner
     for hour in range(hours):
         hour_start = hour * hour_seconds
-        clock.advance_to(max(clock.now, hour_start))
+        kernel.advance_to(max(kernel.now, hour_start))
+        kernel.pump()
         gen = trace.step_generator(hour, partitioner.num_partitions,
                                    partitioner)
         base = sc.generated(
@@ -1252,15 +1254,15 @@ def _run_diurnal_replay(
 
         n_jobs = max(1, round(
             base_jobs_per_hour * _diurnal_job_factor(hour, hours, peak_factor)))
-        first = max(clock.now, hour_start)
+        first = max(kernel.now, hour_start)
         gap = max(0.0, hour_start + hour_seconds - first) / n_jobs
         arrivals = [first + (i + 0.5) * gap for i in range(n_jobs)]
         load.merge(driver.run_arrivals(job, arrivals))
-    clock.advance_to(max(clock.now, hours * hour_seconds))
+    kernel.run_until(max(kernel.now, hours * hour_seconds))
     if manager is not None:
         worker_hours = manager.worker_hours()
     else:
-        worker_hours = start_workers * clock.now / 3600.0
+        worker_hours = start_workers * kernel.now / 3600.0
     return load, worker_hours, manager, sc
 
 

@@ -1,8 +1,15 @@
-"""Simulated cluster substrate: workers, clock, cost model, queueing."""
+"""Simulated cluster substrate: workers, kernel, cost model, queueing."""
 
 from .cluster import Cluster
 from .cost_model import CostModel, HeterogeneityModel, RecordSizer
-from .events import EventHandle, EventQueue, SimClock
+from .events import (
+    EventHandle,
+    EventQueue,
+    SimClock,
+    SimKernel,
+    TIME_EPS,
+    TimerHandle,
+)
 from .worker import Worker
 
 __all__ = [
@@ -13,5 +20,8 @@ __all__ = [
     "EventHandle",
     "EventQueue",
     "SimClock",
+    "SimKernel",
+    "TIME_EPS",
+    "TimerHandle",
     "Worker",
 ]

@@ -6,16 +6,21 @@ import random
 from typing import Dict, List, Optional, Sequence
 
 from .cost_model import CostModel, HeterogeneityModel, RecordSizer
-from .events import EventQueue, SimClock
+from .events import SimKernel
 from .worker import Worker
 
 
 class Cluster:
-    """A set of :class:`Worker` executors sharing a clock and cost model.
+    """A set of :class:`Worker` executors sharing a kernel and cost model.
 
     The paper's testbed runs 40 Spark workers; the default here matches
     that, scaled down in cores/RAM so that laptop-scale workloads exercise
     the same memory-pressure regimes.
+
+    All time and slot state is owned by the cluster's
+    :class:`~repro.cluster.events.SimKernel` (``self.kernel``); the
+    ``clock`` and ``events`` attributes are views of it kept for
+    compatibility (``events`` *is* the kernel).
     """
 
     def __init__(
@@ -29,8 +34,11 @@ class Cluster:
     ) -> None:
         if num_workers <= 0:
             raise ValueError(f"cluster needs at least one worker: {num_workers}")
-        self.clock = SimClock()
-        self.events = EventQueue(self.clock)
+        self.kernel = SimKernel()
+        self.clock = self.kernel.clock
+        #: The kernel doubles as the event queue (one heap for arrivals,
+        #: failures, timers and batch ticks).
+        self.events = self.kernel
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.sizer = sizer if sizer is not None else RecordSizer()
         self.rng = random.Random(seed)
@@ -38,6 +46,8 @@ class Cluster:
             wid: Worker(wid, cores=cores_per_worker, memory_bytes=memory_per_worker)
             for wid in range(num_workers)
         }
+        for worker in self.workers.values():
+            self.kernel.register_worker(worker)
 
     # ---- views -------------------------------------------------------------
 
@@ -65,12 +75,14 @@ class Cluster:
 
     def earliest_free_worker(self, candidates: Optional[Sequence[int]] = None) -> int:
         """Worker (among ``candidates`` or all alive) whose next slot frees
-        soonest; ties broken by id for determinism."""
+        soonest; ties broken by id for determinism.  O(workers): each
+        per-worker minimum is the kernel's cached earliest-free slot."""
         ids = list(candidates) if candidates is not None else self.alive_worker_ids()
         ids = [i for i in ids if self.workers[i].alive]
         if not ids:
             raise RuntimeError("no alive workers available")
-        return min(ids, key=lambda i: (self.workers[i].earliest_free_time(), i))
+        kernel = self.kernel
+        return min(ids, key=lambda i: (kernel.earliest_free_time(self.workers[i]), i))
 
     # ---- elastic membership -------------------------------------------------
 
@@ -96,7 +108,7 @@ class Cluster:
         worker_id = max(self.workers) + 1 if self.workers else 0
         worker = Worker(worker_id, cores=cores, memory_bytes=memory_bytes)
         ready = self.clock.now if ready_at is None else ready_at
-        worker.slot_free_times = [ready] * cores
+        self.kernel.register_worker(worker, ready_at=ready)
         self.workers[worker_id] = worker
         return worker_id
 
@@ -105,7 +117,8 @@ class Cluster:
         (unlike :meth:`kill_worker`, which keeps a dead entry around for
         restart).  The caller is responsible for draining/migrating its
         state first — see ``repro.elastic.ResourceManager``."""
-        self.get_worker(worker_id)  # raise the friendly KeyError
+        worker = self.get_worker(worker_id)
+        self.kernel.deregister_worker(worker)
         return self.workers.pop(worker_id)
 
     # ---- heterogeneity ------------------------------------------------------
@@ -126,15 +139,16 @@ class Cluster:
     # ---- failure injection --------------------------------------------------
 
     def kill_worker(self, worker_id: int) -> None:
-        self.get_worker(worker_id).kill(self.clock.now)
+        self.kernel.kill_worker(self.get_worker(worker_id))
 
     def restart_worker(self, worker_id: int) -> None:
-        self.get_worker(worker_id).restart(self.clock.now)
+        self.kernel.restart_worker(self.get_worker(worker_id))
 
     # ---- lifecycle -----------------------------------------------------------
 
     def reset(self) -> None:
-        """Reset clock and all workers (between experiments)."""
-        self.clock.reset()
+        """Reset kernel (clock + heap) and all workers (between experiments)."""
+        self.kernel.reset()
         for w in self.workers.values():
-            w.reset()
+            self.kernel.reset_worker(w)
+            w.shuffle_disk.clear()

@@ -1,32 +1,79 @@
-"""Discrete-event simulation core.
+"""SimKernel: the discrete-event simulation core and single time authority.
 
 The engine charges *simulated* time for every physical effect (CPU work,
 disk and network transfers, GC pauses, task launches).  Simulated time is
-kept in floating-point **seconds**.  Two small primitives are enough for
-the whole system:
+kept in floating-point **seconds** and owned by exactly one place — the
+kernel in this module.  Three layers build on each other:
 
 ``SimClock``
     A monotonically advancing clock.  Components read it to timestamp
-    metrics and advance it when they know how long an operation took.
+    metrics; only the kernel moves it.
 
 ``EventQueue``
-    A priority queue of timestamped callbacks used by the open-loop
-    drivers (job arrival processes, failure injectors, stream sources).
-    The task scheduler itself uses slot free-time bookkeeping rather than
-    per-task events, which is equivalent and much faster for the job
-    shapes in the paper (stages of independent tasks).
+    A priority queue of timestamped callbacks with deterministic
+    tie-breaking: events at the same instant fire in insertion order
+    (a global sequence number breaks ties).  Popping an event advances
+    the shared clock to the event's time.
+
+``SimKernel``
+    The queue plus everything else that used to mutate time-indexed
+    state from the outside: the worker slot ledger (every write to
+    ``Worker.slot_free_times`` goes through kernel APIs, which also
+    maintain a cached earliest-free-slot index per worker), periodic
+    timers (:meth:`SimKernel.every`) for time-triggered policies such as
+    autoscaler evaluation, and worker kill/restart/decommission.
+
+Two kinds of events share the heap:
+
+* **Regular events** — job arrivals, armed failures, streaming batch
+  ticks.  ``run_all`` drains these.
+* **Daemon events** — self-rescheduling housekeeping such as periodic
+  policy timers.  They fire whenever simulated time passes them, but
+  never *keep the simulation alive* on their own: ``run_all`` stops once
+  only daemon events remain (otherwise a periodic timer would spin the
+  drain loop forever).
+
+The task scheduler remains an *analytic* executor: it computes task
+start/finish times against per-slot free times rather than scheduling
+one event per task, which is equivalent and much faster for the job
+shapes in the paper (stages of independent tasks).  Crucially, all its
+slot mutations are kernel transactions, so there is a single consistent
+ledger of "when is this core busy" that timers and policies can query at
+any simulated instant — the property that lets autoscaling run on
+periodic timers instead of piggybacking on job arrivals.
+
+Determinism: given the same seed and configuration, the kernel's event
+order is a pure function of (time, sequence number), both derived
+deterministically from the simulation itself — no wall-clock, no id()
+ordering, no set iteration.  ``docs/SIMULATION.md`` documents the
+guarantee and its test (`tests/cluster/test_determinism.py`).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .worker import Worker
+
+#: The single time-comparison tolerance of the simulator (seconds).
+#: Used for "is this slot free yet", "did the clock move backwards",
+#: slot-boundary merging in the observability layer, and the scheduler's
+#: arithmetic guards.  One epsilon, one module — callers import it from
+#: here instead of scattering magic 1e-9/1e-12 constants.
+TIME_EPS = 1e-9
 
 
 class SimClock:
-    """A monotonically advancing simulated clock (seconds)."""
+    """A monotonically advancing simulated clock (seconds).
+
+    Only the kernel module mutates the clock; everything else reads
+    ``now`` (enforced by ``tests/cluster/test_kernel_authority.py``).
+    """
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
@@ -43,7 +90,7 @@ class SimClock:
         Moving backwards is a programming error and raises ``ValueError``;
         advancing to the current time is a no-op.
         """
-        if t < self._now - 1e-12:
+        if t < self._now - TIME_EPS:
             raise ValueError(f"clock cannot move backwards: {t} < {self._now}")
         self._now = max(self._now, t)
         return self._now
@@ -66,16 +113,24 @@ class _ScheduledEvent:
     seq: int
     callback: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
+    #: Daemon events (periodic timers) fire when time passes them but do
+    #: not keep ``run_all`` alive on their own.
+    daemon: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`EventQueue.schedule`, allows cancellation."""
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, queue: "EventQueue") -> None:
         self._event = event
+        self._queue = queue
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            if not self._event.daemon and not self._event.fired:
+                self._queue._live_regular -= 1
 
     @property
     def cancelled(self) -> bool:
@@ -89,32 +144,43 @@ class EventHandle:
 class EventQueue:
     """Priority queue of timestamped callbacks sharing a :class:`SimClock`.
 
-    Events scheduled for the same instant fire in insertion order.
+    Events scheduled for the same instant fire in insertion order (the
+    global sequence number is the deterministic tie-break).
     """
 
     def __init__(self, clock: Optional[SimClock] = None) -> None:
         self.clock = clock if clock is not None else SimClock()
         self._heap: List[_ScheduledEvent] = []
         self._seq = itertools.count()
+        #: Non-cancelled, non-daemon events still on the heap.
+        self._live_regular = 0
+        #: True while run_until/run_all is popping events; lets
+        #: :meth:`SimKernel.pump` no-op instead of re-entering the loop.
+        self._running = False
 
     def __len__(self) -> int:
         return sum(1 for e in self._heap if not e.cancelled)
 
-    def schedule(self, time: float, callback: Callable[[], Any]) -> EventHandle:
+    def schedule(self, time: float, callback: Callable[[], Any],
+                 daemon: bool = False) -> EventHandle:
         """Schedule ``callback`` to run at absolute simulated ``time``."""
-        if time < self.clock.now - 1e-12:
+        if time < self.clock.now - TIME_EPS:
             raise ValueError(
                 f"cannot schedule event in the past: {time} < now={self.clock.now}"
             )
-        event = _ScheduledEvent(time=time, seq=next(self._seq), callback=callback)
+        event = _ScheduledEvent(time=time, seq=next(self._seq),
+                                callback=callback, daemon=daemon)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        if not daemon:
+            self._live_regular += 1
+        return EventHandle(event, self)
 
-    def schedule_in(self, delay: float, callback: Callable[[], Any]) -> EventHandle:
+    def schedule_in(self, delay: float, callback: Callable[[], Any],
+                    daemon: bool = False) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative: {delay}")
-        return self.schedule(self.clock.now + delay, callback)
+        return self.schedule(self.clock.now + delay, callback, daemon=daemon)
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
@@ -127,6 +193,9 @@ class EventQueue:
         if not self._heap:
             return False
         event = heapq.heappop(self._heap)
+        event.fired = True
+        if not event.daemon:
+            self._live_regular -= 1
         # An event may fire late when the clock was advanced past its
         # timestamp by other components (the virtual-time task scheduler
         # does this); never move the clock backwards.
@@ -138,27 +207,278 @@ class EventQueue:
         """Run events with ``time <= end_time``; return how many ran.
 
         The clock is left at ``end_time`` (or further, if a callback
-        advanced it) even when the queue drains early.
+        advanced it) even when the queue drains early.  Daemon events due
+        by ``end_time`` fire too — time passing is exactly their trigger.
         """
         count = 0
-        while True:
-            next_time = self.peek_time()
-            if next_time is None or next_time > end_time:
-                break
-            self.step()
-            count += 1
+        prev, self._running = self._running, True
+        try:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                self.step()
+                count += 1
+        finally:
+            self._running = prev
         self.clock.advance_to(max(end_time, self.clock.now))
         return count
 
     def run_all(self, max_events: int = 10_000_000) -> int:
-        """Drain the queue entirely; guard against runaway loops."""
+        """Drain all regular events; guard against runaway loops.
+
+        Daemon events due before the last regular event fire along the
+        way, but once only daemons remain the drain stops — a periodic
+        timer must not keep the simulation alive forever.
+        """
         count = 0
-        while self.step():
-            count += 1
-            if count >= max_events:
-                raise RuntimeError(f"event queue did not drain after {max_events} events")
+        prev, self._running = self._running, True
+        try:
+            while self._live_regular > 0:
+                if not self.step():
+                    break
+                count += 1
+                if count >= max_events:
+                    raise RuntimeError(
+                        f"event queue did not drain after {max_events} events")
+        finally:
+            self._running = prev
         return count
 
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+
+
+class TimerHandle:
+    """Cancellable handle for a periodic timer (:meth:`SimKernel.every`)."""
+
+    def __init__(self, interval: float, callback: Callable[[float], Any]) -> None:
+        self.interval = interval
+        self.callback = callback
+        self.cancelled = False
+        #: Nominal time of the next tick (the value passed to the callback).
+        self.next_time: Optional[float] = None
+        self._event: Optional[EventHandle] = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+
+
+class SimKernel(EventQueue):
+    """The single authority over simulated time and worker slot state.
+
+    On top of the event heap this adds:
+
+    * **Time authority** — :attr:`now`, :meth:`advance_to`,
+      :meth:`advance_by` and :meth:`pump`.  Components that used to poke
+      the clock directly go through these; ``pump`` fires every event due
+      at or before the current frontier and is safe to call from inside a
+      running event loop (it no-ops, the outer loop is already pumping).
+    * **Periodic timers** — :meth:`every` schedules a self-rescheduling
+      daemon event.  The callback receives the tick's *nominal* time,
+      which may trail the clock frontier when jobs ran ahead; because
+      slot free times are absolute, load signals can still be measured
+      retroactively at the nominal instant.  When the frontier has raced
+      more than one interval ahead, missed ticks are coalesced (the
+      timer skips forward on its nominal grid) unless ``catch_up=True``.
+    * **The worker slot ledger** — every mutation of
+      ``Worker.slot_free_times`` (occupy, truncate, kill, restart,
+      provision) is a kernel transaction, which lets the kernel keep a
+      cached ``(free_time, slot)`` minimum per worker.  The cache turns
+      the scheduler's hot earliest-free-slot query from O(cores) into
+      O(1) amortized and ``Cluster.earliest_free_worker`` from
+      O(workers x cores) into O(workers).
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        super().__init__(clock)
+        self._workers: Dict[int, "Worker"] = {}
+        #: worker_id -> (free_time, slot) of its earliest-free slot, or
+        #: ``None`` when dirty (recomputed lazily on next query).
+        self._earliest: Dict[int, Optional[Tuple[float, int]]] = {}
+
+    # ---- time authority -----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def advance_to(self, t: float) -> float:
+        """Advance the clock to absolute time ``t`` (see SimClock)."""
+        return self.clock.advance_to(t)
+
+    def advance_by(self, dt: float) -> float:
+        """Advance the clock by ``dt`` seconds."""
+        return self.clock.advance_by(dt)
+
+    def pump(self) -> int:
+        """Fire every event due at or before the current frontier.
+
+        No-ops (returns 0) when called re-entrantly from inside a running
+        event loop — the outer ``run_until``/``run_all`` is already
+        delivering due events, and recursing would nest job execution.
+        """
+        if self._running:
+            return 0
+        return self.run_until(self.clock.now)
+
+    def reset(self, t: float = 0.0) -> None:
+        """Reset clock and heap between independent experiments.
+
+        Pending events and timers are discarded; registered workers stay
+        registered (reset their slots with :meth:`reset_worker`).
+        """
+        self.clock.reset(t)
+        self._heap.clear()
+        self._live_regular = 0
+        self._running = False
+
+    # ---- periodic timers ----------------------------------------------------
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[float], Any],
+        start: Optional[float] = None,
+        catch_up: bool = False,
+    ) -> TimerHandle:
+        """Fire ``callback(nominal_tick_time)`` every ``interval`` seconds.
+
+        The first tick is at ``start`` (default: one interval from now).
+        Ticks stay on the nominal grid ``start + k*interval``; a tick the
+        frontier has already passed fires immediately with its nominal
+        time, and — unless ``catch_up`` — ticks the frontier skipped by
+        more than one whole interval are coalesced into the next grid
+        point.  Timers are daemon events: they never keep ``run_all``
+        alive on their own.  Returns a cancellable :class:`TimerHandle`.
+        """
+        if interval <= 0:
+            raise ValueError(f"timer interval must be positive: {interval}")
+        handle = TimerHandle(interval, callback)
+
+        def arm(t: float) -> None:
+            def fire() -> None:
+                if handle.cancelled:
+                    return
+                nxt = t + interval
+                if not catch_up and self.clock.now - nxt > TIME_EPS:
+                    missed = math.ceil((self.clock.now - t) / interval)
+                    nxt = t + missed * interval
+                arm(nxt)
+                callback(t)
+
+            handle.next_time = t
+            handle._event = self.schedule(max(t, self.clock.now), fire,
+                                          daemon=True)
+
+        arm(self.clock.now + interval if start is None else start)
+        return handle
+
+    # ---- the worker slot ledger ---------------------------------------------
+
+    def register_worker(self, worker: "Worker",
+                        ready_at: Optional[float] = None) -> None:
+        """Attach a worker to the kernel's slot ledger.
+
+        With ``ready_at``, the worker's slots are occupied until that
+        time (provisioning spin-up); otherwise its current slot state is
+        adopted as-is.
+        """
+        if ready_at is not None:
+            worker.alive = True
+            worker.slot_free_times = [float(ready_at)] * worker.cores
+        self._workers[worker.worker_id] = worker
+        worker._kernel = self
+        self._earliest[worker.worker_id] = None
+
+    def deregister_worker(self, worker: "Worker") -> None:
+        """Detach a worker (decommission); its slot state is frozen."""
+        self._workers.pop(worker.worker_id, None)
+        self._earliest.pop(worker.worker_id, None)
+        worker._kernel = None
+
+    def occupy_slot(self, worker: "Worker", slot: int, start: float,
+                    duration: float) -> float:
+        """Charge ``duration`` of occupancy to ``slot`` starting no
+        earlier than ``start``; return the finish time."""
+        if not worker.alive:
+            raise RuntimeError(f"worker {worker.worker_id} is dead")
+        if duration < 0:
+            raise ValueError(f"task duration must be non-negative: {duration}")
+        begin = max(start, worker.slot_free_times[slot])
+        finish = begin + duration
+        worker.slot_free_times[slot] = finish
+        cached = self._earliest.get(worker.worker_id)
+        if cached is not None and cached[1] == slot:
+            # The cached minimum just moved; recompute lazily.
+            self._earliest[worker.worker_id] = None
+        return finish
+
+    def run_on_earliest_slot(self, worker: "Worker", not_before: float,
+                             duration: float) -> Tuple[float, float]:
+        """Occupy the worker's earliest-free slot; returns (start, finish)."""
+        slot, free = self.earliest_free_slot(worker)
+        begin = max(not_before, free)
+        return begin, self.occupy_slot(worker, slot, begin, duration)
+
+    def slot_free_time(self, worker: "Worker", slot: int) -> float:
+        return worker.slot_free_times[slot]
+
+    def set_slot_free_time(self, worker: "Worker", slot: int, t: float) -> None:
+        """Overwrite one slot's free time (speculation truncates the
+        losing attempt; tests preload load shapes)."""
+        worker.slot_free_times[slot] = t
+        if worker.worker_id in self._earliest:
+            self._earliest[worker.worker_id] = None
+
+    def earliest_free_slot(self, worker: "Worker") -> Tuple[int, float]:
+        """``(slot, free_time)`` of the worker's earliest-free slot —
+        O(1) when the cached minimum is clean."""
+        cached = self._earliest.get(worker.worker_id)
+        if cached is None:
+            times = worker.slot_free_times
+            slot = min(range(worker.cores), key=times.__getitem__)
+            cached = (times[slot], slot)
+            if worker.worker_id in self._earliest:
+                self._earliest[worker.worker_id] = cached
+        return cached[1], cached[0]
+
+    def earliest_free_time(self, worker: "Worker") -> float:
+        return self.earliest_free_slot(worker)[1]
+
+    # ---- worker lifecycle ---------------------------------------------------
+
+    def kill_worker(self, worker: "Worker") -> None:
+        """Fail a worker: running tasks are lost, disk state survives a
+        restart but cached blocks do not (the block manager tracks those)."""
+        worker.alive = False
+        worker.slot_free_times = [float("inf")] * worker.cores
+        if worker.worker_id in self._earliest:
+            self._earliest[worker.worker_id] = (float("inf"), 0)
+
+    def restart_worker(self, worker: "Worker",
+                       at: Optional[float] = None) -> None:
+        """Bring a worker back with cold caches; slots open at ``at``
+        (default: the current frontier)."""
+        at = self.clock.now if at is None else at
+        worker.alive = True
+        worker.slot_free_times = [at] * worker.cores
+        if worker.worker_id in self._earliest:
+            self._earliest[worker.worker_id] = (at, 0)
+
+    def reset_worker(self, worker: "Worker", at: float = 0.0) -> None:
+        """Return a worker's slot state to pristine (between experiments)."""
+        worker.alive = True
+        worker.slot_free_times = [at] * worker.cores
+        if worker.worker_id in self._earliest:
+            self._earliest[worker.worker_id] = (at, 0)
+
+    def invalidate(self, worker: "Worker") -> None:
+        """Mark a worker's cached minimum dirty.  Only needed after an
+        out-of-band mutation of ``slot_free_times`` — which production
+        code must never do (the authority test greps for it)."""
+        if worker.worker_id in self._earliest:
+            self._earliest[worker.worker_id] = None

@@ -106,6 +106,15 @@ class LoadResult:
 class JobDriver:
     """Submits jobs open-loop and records response times.
 
+    Arrivals are scheduled as events on the cluster's
+    :class:`~repro.cluster.events.SimKernel` and replayed through its
+    event loop, so they interleave deterministically with armed failures
+    and periodic policy timers.  Jobs still execute synchronously inside
+    their arrival event (the virtual-time task scheduler), which pushes
+    the clock frontier ahead of later arrivals under saturation; those
+    arrivals then fire at the frontier while keeping their own nominal
+    arrival timestamps — queueing delay arises exactly as before.
+
     Two optional elasticity hooks (``repro.elastic``):
 
     * ``max_pending_jobs`` bounds the in-system job count (submitted,
@@ -113,9 +122,11 @@ class JobDriver:
       *shed* — counted in ``LoadResult.shed_jobs`` and announced as a
       :class:`~repro.obs.events.JobShed` event — so saturation degrades
       to rejected jobs instead of unbounded queueing delay.
-    * ``resource_manager`` is consulted at every arrival (scaling
-      decisions between jobs) and told every completion (feeding the
-      latency-SLO policy's response-time window).
+    * ``resource_manager`` is told every completion (feeding the
+      latency-SLO policy's response-time window) and handed this
+      driver's :meth:`pending_jobs` as its backlog source; scaling
+      itself runs on the manager's periodic kernel timer, not at
+      arrival epochs.
     """
 
     def __init__(
@@ -131,6 +142,9 @@ class JobDriver:
         self.context = context
         self.rng = random.Random(seed)
         self.resource_manager = resource_manager
+        if resource_manager is not None and hasattr(resource_manager,
+                                                    "bind_pending_jobs"):
+            resource_manager.bind_pending_jobs(self.pending_jobs)
         self.max_pending_jobs = max_pending_jobs
         #: Finish times of submitted jobs still in the system (min-heap);
         #: survives across run_* calls so multi-window replays carry
@@ -144,14 +158,24 @@ class JobDriver:
             heapq.heappop(self._in_flight)
         return len(self._in_flight)
 
+    def _schedule_arrivals(self, out: LoadResult, job: JobFn,
+                           arrivals: Sequence[float]) -> float:
+        """Post one kernel event per arrival; returns the last timestamp.
+
+        An arrival the frontier has already passed (a previous job ran
+        long) fires immediately but keeps its nominal timestamp ``t`` —
+        insertion order preserves arrival order among clamped events.
+        """
+        kernel = self.context.cluster.kernel
+        last = kernel.now
+        for t in arrivals:
+            kernel.schedule(max(t, kernel.now),
+                            lambda t=t: self._submit(out, job, t))
+            last = max(last, t)
+        return last
+
     def _submit(self, out: LoadResult, job: JobFn, t: float) -> None:
-        clock = self.context.cluster.clock
-        clock.advance_to(max(clock.now, t))
         pending = self.pending_jobs(t)
-        if self.resource_manager is not None:
-            # Evaluate at the arrival's own timestamp: the clock frontier
-            # already sits at the last finish, where backlog reads zero.
-            self.resource_manager.evaluate(pending_jobs=pending, now=t)
         index = self._job_index
         self._job_index += 1
         if self.max_pending_jobs is not None and pending >= self.max_pending_jobs:
@@ -183,23 +207,27 @@ class JobDriver:
         """
         if rate_jobs_per_sec <= 0:
             raise ValueError(f"rate must be positive: {rate_jobs_per_sec}")
-        clock = self.context.cluster.clock
-        t = start_time if start_time is not None else clock.now
-        out = LoadResult(rate_jobs_per_sec)
+        kernel = self.context.cluster.kernel
+        t = start_time if start_time is not None else kernel.now
+        arrivals = []
         for _ in range(num_jobs):
             gap = (
                 self.rng.expovariate(rate_jobs_per_sec)
                 if poisson else 1.0 / rate_jobs_per_sec
             )
             t += gap
-            self._submit(out, job, t)
+            arrivals.append(t)
+        out = LoadResult(rate_jobs_per_sec)
+        last = self._schedule_arrivals(out, job, arrivals)
+        kernel.run_until(max(last, kernel.now))
         return out
 
     def run_arrivals(self, job: JobFn, arrivals: Sequence[float]) -> LoadResult:
         """Submit one job per explicit arrival timestamp (trace replay)."""
+        kernel = self.context.cluster.kernel
         out = LoadResult(rate_jobs_per_sec=0.0)
-        for t in sorted(arrivals):
-            self._submit(out, job, t)
+        last = self._schedule_arrivals(out, job, sorted(arrivals))
+        kernel.run_until(max(last, kernel.now))
         return out
 
 

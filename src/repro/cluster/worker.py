@@ -7,6 +7,14 @@ per-slot *free times* in simulated seconds — the scheduler assigns a task
 to a slot by picking the earliest-free slot and pushing its free time
 forward by the task duration.
 
+Workers are passive state holders: every **mutation** of slot state
+(occupy, kill, restart, provision) goes through the
+:class:`~repro.cluster.events.SimKernel` a worker is registered with —
+the single time authority — which also maintains the cached
+earliest-free-slot index that makes the read path O(1).  The read
+methods here delegate to the kernel when attached and fall back to a
+linear scan for bare, unregistered workers (unit-test convenience).
+
 Workers are heterogeneous: a constant ``speed`` multiplier (>= 1 means
 slower hardware) and a list of transient ``slowdowns`` windows
 ``(start, end, factor)`` — GC pauses, noisy neighbours — stretch a
@@ -19,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+from .events import TIME_EPS
 
 
 @dataclass
@@ -42,7 +52,9 @@ class Worker:
             raise ValueError(f"worker speed multiplier must be >= 1: {self.speed}")
         if not self.hostname:
             self.hostname = f"worker-{self.worker_id}"
-        # Absolute simulated time at which each slot becomes idle.
+        # Absolute simulated time at which each slot becomes idle.  This
+        # declaration is the one blessed assignment outside the kernel;
+        # all subsequent writes go through SimKernel APIs.
         self.slot_free_times: List[float] = [0.0] * self.cores
         self.alive: bool = True
         # Shuffle map outputs persisted on this worker's local disk:
@@ -53,38 +65,23 @@ class Worker:
         # Per-worker task failure probability; None defers to the
         # config-level ``task_failure_prob``.
         self.failure_prob: Optional[float] = None
+        # Set by SimKernel.register_worker; reads delegate to the
+        # kernel's cached index when attached.
+        self._kernel = None
 
-    # ---- slot management --------------------------------------------------
+    # ---- slot views (mutations live in SimKernel) --------------------------
 
     def earliest_free_slot(self) -> Tuple[int, float]:
         """Return ``(slot_index, free_time)`` of the earliest-free slot."""
+        if self._kernel is not None:
+            return self._kernel.earliest_free_slot(self)
         slot = min(range(self.cores), key=lambda i: self.slot_free_times[i])
         return slot, self.slot_free_times[slot]
 
     def earliest_free_time(self) -> float:
+        if self._kernel is not None:
+            return self._kernel.earliest_free_time(self)
         return min(self.slot_free_times)
-
-    def occupy_slot(self, slot: int, start: float, duration: float) -> float:
-        """Run a task of ``duration`` on ``slot`` starting no earlier than
-        ``start``; return the finish time."""
-        if not self.alive:
-            raise RuntimeError(f"worker {self.worker_id} is dead")
-        if duration < 0:
-            raise ValueError(f"task duration must be non-negative: {duration}")
-        begin = max(start, self.slot_free_times[slot])
-        finish = begin + duration
-        self.slot_free_times[slot] = finish
-        return finish
-
-    def run_task(self, not_before: float, duration: float) -> Tuple[float, float]:
-        """Convenience: run on the earliest-free slot.
-
-        Returns ``(start_time, finish_time)``.
-        """
-        slot, free = self.earliest_free_slot()
-        begin = max(not_before, free)
-        finish = self.occupy_slot(slot, begin, duration)
-        return begin, finish
 
     def wall_duration(self, begin: float, work_seconds: float) -> float:
         """Wall-clock seconds to complete ``work_seconds`` of nominal work
@@ -124,9 +121,9 @@ class Worker:
             remaining -= progress
         result = (t + remaining) - begin
         # Tasks that never touched a window must pay exactly ``wall`` —
-        # the piecewise walk above leaves ~1e-18 of float residue that
-        # would otherwise masquerade as straggler time.
-        return wall if abs(result - wall) < 1e-12 else result
+        # the piecewise walk above leaves float residue that would
+        # otherwise masquerade as straggler time.
+        return wall if abs(result - wall) < TIME_EPS else result
 
     def pending_work_until(self, now: float) -> float:
         """Total queued seconds of slot occupancy beyond ``now``."""
@@ -134,23 +131,4 @@ class Worker:
 
     def idle_slots(self, now: float) -> int:
         """Number of slots free at simulated time ``now``."""
-        return sum(1 for t in self.slot_free_times if t <= now + 1e-12)
-
-    # ---- failure ----------------------------------------------------------
-
-    def kill(self, now: float) -> None:
-        """Fail this worker: running tasks are lost, disk state survives a
-        restart but cached blocks do not (the block manager tracks those)."""
-        self.alive = False
-        self.slot_free_times = [float("inf")] * self.cores
-
-    def restart(self, now: float) -> None:
-        """Bring the worker back with cold caches."""
-        self.alive = True
-        self.slot_free_times = [now] * self.cores
-
-    def reset(self) -> None:
-        """Return to pristine state (between experiments)."""
-        self.alive = True
-        self.slot_free_times = [0.0] * self.cores
-        self.shuffle_disk.clear()
+        return sum(1 for t in self.slot_free_times if t <= now + TIME_EPS)

@@ -16,6 +16,13 @@ Owns scale-out and graceful scale-in on top of
   simulated time — the provisioning-cost axis of the diurnal benchmark
   (a static peak-provisioned cluster pays ``max_workers × elapsed``; an
   autoscaled one pays for what it kept).
+* **Periodic evaluation** — construction arms a repeating timer on the
+  cluster's :class:`~repro.cluster.events.SimKernel`
+  (``evaluate_interval_seconds``), so scaling is *time-triggered*: the
+  policy fires at the simulated instant its tick comes due instead of
+  piggybacking on job arrivals.  Each tick measures load at its own
+  nominal time; because slot free times are absolute, backlog at a tick
+  the frontier has already passed is still well-defined.
 
 Policies (``repro.elastic.policy``) never mutate the cluster themselves:
 they return a :class:`PolicyDecision`, and :meth:`evaluate` applies it
@@ -26,7 +33,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, TYPE_CHECKING
+from typing import Callable, Deque, List, Optional, TYPE_CHECKING
 
 from ..cluster.queueing import nearest_rank
 from ..obs.events import (
@@ -78,6 +85,7 @@ class ResourceManager:
         slo_delay_cap: float = 0.8,
         delay_window: int = 32,
         occupancy_window: float = 120.0,
+        evaluate_interval_seconds: Optional[float] = None,
     ) -> None:
         if min_workers < 1:
             raise ValueError(f"min_workers must be at least 1: {min_workers}")
@@ -111,12 +119,38 @@ class ResourceManager:
         self.scale_outs = 0
         self.scale_ins = 0
         self.peak_workers = len(context.cluster.alive_workers())
+        #: Backlog source for timer-driven evaluation: ``now -> pending
+        #: jobs``.  A JobDriver binds its own queue depth here; without
+        #: one the timer evaluates with zero pending jobs.
+        self._pending_source: Callable[[float], int] = lambda now: 0
+        #: The periodic evaluation tick.  Defaults to a quarter of the
+        #: (scale-out) cooldown so a held decision is retried promptly,
+        #: with a floor for cooldown-free configurations.
+        self.evaluate_interval_seconds = (
+            evaluate_interval_seconds if evaluate_interval_seconds is not None
+            else max(cooldown_seconds / 4.0, 1.0)
+        )
+        self._timer = context.cluster.kernel.every(
+            self.evaluate_interval_seconds, self._on_timer)
 
     # ---- signals -----------------------------------------------------------
 
     def note_delay(self, delay: float) -> None:
         """Feed one job response time into the latency-SLO window."""
         self._recent_delays.append(delay)
+
+    def bind_pending_jobs(self, source: Callable[[float], int]) -> None:
+        """Register the pending-jobs source the periodic timer evaluates
+        with (e.g. ``JobDriver.pending_jobs``)."""
+        self._pending_source = source
+
+    def _on_timer(self, tick: float) -> None:
+        """One periodic scaling tick at nominal time ``tick``."""
+        self.evaluate(pending_jobs=self._pending_source(tick), now=tick)
+
+    def stop(self) -> None:
+        """Cancel the periodic evaluation timer."""
+        self._timer.cancel()
 
     def on_job_completed(self, arrival: float, finish: float) -> None:
         """JobDriver hook: one job's (arrival, finish) pair."""
@@ -129,16 +163,14 @@ class ResourceManager:
                  now: Optional[float] = None) -> ClusterSnapshot:
         """Assemble the load signals a policy decides from.
 
-        ``now`` is the *evaluation* time.  Jobs run synchronously and
-        advance the sim clock to their finish, so the clock frontier runs
-        ahead of the arrival process whenever the cluster is saturated;
-        backlog must therefore be measured at the arrival's own timestamp
-        (slot busy-time beyond ``now``), not at the frontier — at the
-        frontier every slot is trivially free and the signal is dead.
+        ``now`` is the *evaluation* time — normally the nominal time of
+        the kernel timer tick that triggered it (default: the current
+        frontier).  Slot free times are absolute, so backlog is
+        well-defined at any instant, including ticks the frontier has
+        already run past.
         """
         cluster = self.context.cluster
-        frontier = cluster.clock.now
-        now = frontier if now is None else min(now, frontier)
+        now = cluster.clock.now if now is None else now
         alive = cluster.alive_workers()
         backlog = sum(w.pending_work_until(now) for w in alive)
         occupancy = windowed_mean(
@@ -181,11 +213,11 @@ class ResourceManager:
                  now: Optional[float] = None) -> PolicyDecision:
         """One scaling evaluation; returns the *applied* decision.
 
-        ``now`` is the evaluation time (e.g. a job's arrival); see
-        :meth:`snapshot` for why it matters.  The policy's recommendation
-        is clamped to the ``min_workers``/``max_workers`` bounds; a
-        non-zero application starts the cooldown during which further
-        evaluations hold.
+        Normally invoked by the manager's periodic kernel timer with the
+        tick's nominal time as ``now``; callable directly for manual
+        scans.  The policy's recommendation is clamped to the
+        ``min_workers``/``max_workers`` bounds; a non-zero application
+        starts the cooldown during which further evaluations hold.
         """
         self._accrue()
         if now is None:

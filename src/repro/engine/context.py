@@ -260,6 +260,8 @@ class StarkContext:
         )
 
         self._rdd_ids = itertools.count()
+        self._stage_ids = itertools.count()
+        self._shuffle_ids = itertools.count()
         self._rdds: Dict[int, "RDD"] = {}
         self._rdd_stats: Dict[int, RDDStats] = {}
         notify_context_created(self)
@@ -390,7 +392,8 @@ class StarkContext:
             )
             tm.shuffle_write_time += write_cost
             worker = self.cluster.get_worker(worker_id)
-            start, finish = worker.run_task(self.now, tm.work_time())
+            start, finish = self.cluster.kernel.run_on_earliest_slot(
+                worker, self.now, tm.work_time())
             tm.start_time, tm.finish_time = start, finish
             tm.worker_id = worker_id
             self.checkpoint_store.write(rdd.rdd_id, pid, size, records)

@@ -75,9 +75,13 @@ class DAGScheduler:
         """Run ``action`` over every partition of ``rdd``; returns the
         per-partition results in partition order."""
         context = self.context
-        clock = context.cluster.clock
+        kernel = context.cluster.kernel
+        # Deliver everything due at the frontier (armed failures, policy
+        # timers) before planning; no-ops when already inside the kernel's
+        # event loop (an arrival-driven job).
+        kernel.pump()
         if submit_time is None:
-            submit_time = clock.now
+            submit_time = kernel.now
         job = context.metrics.new_job(description or f"{rdd.name}.job", submit_time)
 
         self._refreshed_shuffles.clear()
@@ -125,7 +129,11 @@ class DAGScheduler:
             cache_manager.on_stage_complete(job.job_id, stage.stage_id)
 
         finish_time = stage_finish[final_stage.stage_id]
-        clock.advance_to(max(clock.now, finish_time))
+        kernel.advance_to(max(kernel.now, finish_time))
+        # The job's work pushed the frontier; fire whatever came due
+        # meanwhile (kill/restart schedules, autoscaler ticks) so the
+        # next job sees their effects.
+        kernel.pump()
         job.finish_time = finish_time
         results = self._collect_results(final_stage)
         cache_manager.on_job_complete(job.job_id)

@@ -7,14 +7,11 @@ of parent partitions (map, filter, co-partitioned cogroup); wide
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from .partitioner import Partitioner
     from .rdd import RDD
-
-_shuffle_ids = itertools.count()
 
 
 class Dependency:
@@ -91,7 +88,8 @@ class ShuffleDependency(Dependency):
         self.partitioner = partitioner
         self.aggregator = aggregator
         self.map_side_combine = map_side_combine and aggregator is not None
-        self.shuffle_id = next(_shuffle_ids)
+        # Per-context allocation keeps repeated runs byte-identical.
+        self.shuffle_id = next(rdd.context._shuffle_ids)
 
     def __repr__(self) -> str:
         return f"ShuffleDependency(shuffle_id={self.shuffle_id}, parent=rdd_{self.rdd.rdd_id})"

@@ -153,12 +153,14 @@ class FailureEvent:
 
 
 class FailureSchedule:
-    """Arms a sequence of failures on the cluster's event queue.
+    """Arms a sequence of failures on the cluster's kernel event heap.
 
-    Open-loop experiments (the Fig 19/20 drivers) advance the simulated
-    clock as jobs arrive; armed failures fire in between, so jobs
-    submitted after a kill see the reduced cluster — churn testing
-    without any bespoke driver support.
+    Open-loop experiments (the Fig 19/20 drivers) replay arrivals through
+    the kernel's event loop; armed failures fire in between by timestamp,
+    so jobs submitted after a kill see the reduced cluster — churn
+    testing without any bespoke driver support.  The DAG scheduler also
+    pumps the kernel at job boundaries, so directly-run jobs (no driver)
+    observe armed failures too.
     """
 
     def __init__(self, context: "StarkContext",
@@ -186,8 +188,7 @@ class FailureSchedule:
 
     def pump(self) -> int:
         """Fire every armed failure whose time has passed; returns how
-        many fired.  Call between jobs (the task scheduler does not run
-        the event loop itself)."""
-        return self.context.cluster.events.run_until(
-            self.context.cluster.clock.now
-        )
+        many fired.  Usually redundant (the kernel is pumped at job
+        boundaries), but explicit pumping between non-job phases is
+        still valid."""
+        return self.context.cluster.kernel.pump()

@@ -10,14 +10,11 @@ at the action's RDD.
 
 from __future__ import annotations
 
-import itertools
 from typing import List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from .dependency import ShuffleDependency
     from .rdd import RDD
-
-_stage_ids = itertools.count()
 
 
 class Stage:
@@ -34,7 +31,9 @@ class Stage:
         shuffle_dep: Optional["ShuffleDependency"],
         parent_stages: List["Stage"],
     ) -> None:
-        self.stage_id = next(_stage_ids)
+        # Allocated per context so identical runs in one process emit
+        # identical ids (the determinism tests byte-compare event logs).
+        self.stage_id = next(rdd.context._stage_ids)
         self.rdd = rdd
         self.shuffle_dep = shuffle_dep
         self.parent_stages = parent_stages

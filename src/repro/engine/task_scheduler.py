@@ -68,6 +68,7 @@ from ..obs.events import (
     TaskSpeculated,
     task_events_from_metrics,
 )
+from ..cluster.events import TIME_EPS
 from .fault_tolerance import BlacklistTracker, FetchFailedError, retry_backoff
 from .metrics import TaskMetrics
 from .task import Task
@@ -77,9 +78,6 @@ if TYPE_CHECKING:  # pragma: no cover
 
 PROCESS_LOCAL = "PROCESS_LOCAL"
 ANY = "ANY"
-
-_EPSILON = 1e-9
-
 
 class RemotePolicy(Protocol):
     """Chooses the executor for a task launching at locality level ANY."""
@@ -116,7 +114,7 @@ class DefaultRemotePolicy:
         earliest = min(cluster.get_worker(w).earliest_free_time() for w in offers)
         tied = [
             w for w in offers
-            if cluster.get_worker(w).earliest_free_time() <= earliest + _EPSILON
+            if cluster.get_worker(w).earliest_free_time() <= earliest + TIME_EPS
         ]
         return cluster.rng.choice(tied)
 
@@ -212,6 +210,7 @@ class TaskScheduler:
             return submit_time
         context = self.context
         cluster = context.cluster
+        kernel = cluster.kernel
         config = context.config
         stage_id = tasks[0].stage.stage_id
         total = len(tasks)
@@ -300,7 +299,7 @@ class TaskScheduler:
                 begin = max(start, free)
                 wall = worker.wall_duration(begin, partial)
                 tm.straggler_time += wall - partial
-                finish = worker.occupy_slot(slot, begin, wall)
+                finish = kernel.occupy_slot(worker, slot, begin, wall)
                 tm.locality = locality
                 tm.start_time, tm.finish_time = begin, finish
                 tm.status = "fetch_failed"
@@ -324,7 +323,7 @@ class TaskScheduler:
             begin = max(start, free)
             wall = worker.wall_duration(begin, work)
             tm.straggler_time += wall - work
-            finish = worker.occupy_slot(slot, begin, wall)
+            finish = kernel.occupy_slot(worker, slot, begin, wall)
             tm.locality = locality
             tm.start_time, tm.finish_time = begin, finish
             attempt = _Attempt(state, tm, worker_id, slot, begin, finish,
@@ -342,7 +341,7 @@ class TaskScheduler:
             """Cancel ``loser`` at time ``at``: reclaim its slot beyond
             the cancellation point and scale its charges down to it."""
             new_finish = max(loser.start, at)
-            if new_finish < loser.finish - _EPSILON:
+            if new_finish < loser.finish - TIME_EPS:
                 worker = cluster.get_worker(loser.worker_id)
                 # Only reclaim (and rescale the charges) if nothing was
                 # scheduled after it on the same slot — the free time
@@ -350,9 +349,9 @@ class TaskScheduler:
                 # occupied to the original finish, so the charges must
                 # too: scaling them down would make charged work_time
                 # diverge from slot occupancy.
-                if abs(worker.slot_free_times[loser.slot]
+                if abs(kernel.slot_free_time(worker, loser.slot)
                        - loser.finish) <= 1e-6:
-                    worker.slot_free_times[loser.slot] = new_finish
+                    kernel.set_slot_free_time(worker, loser.slot, new_finish)
                     span = loser.finish - loser.start
                     fraction = (new_finish - loser.start) / span \
                         if span > 0 else 0.0
@@ -366,7 +365,7 @@ class TaskScheduler:
             scheduling state changed (retries queued, blacklist trips)."""
             nonlocal finished_count
             due = sorted(
-                (a for a in running if a.finish <= up_to + _EPSILON),
+                (a for a in running if a.finish <= up_to + TIME_EPS),
                 key=lambda a: (a.finish, a.metrics.task_id))
             changed = False
             for a in due:
@@ -418,7 +417,7 @@ class TaskScheduler:
         def try_speculate() -> bool:
             """Launch at most one due speculative copy; True if launched."""
             nonlocal driver_free, last_launch
-            if finished_count + _EPSILON < config.speculation_quantile * total:
+            if finished_count + TIME_EPS < config.speculation_quantile * total:
                 return False
             if not completed_durations:
                 return False
@@ -431,7 +430,7 @@ class TaskScheduler:
                 if a.speculative or a.state.speculated or a.state.finished:
                     continue
                 eligible_at = a.start + threshold
-                if eligible_at >= a.finish - _EPSILON:
+                if eligible_at >= a.finish - TIME_EPS:
                     continue  # finishes before it ever looks slow
                 candidates = [
                     w for w in alive
@@ -449,9 +448,9 @@ class TaskScheduler:
                     eligible_at,
                     cluster.get_worker(wid).earliest_free_time(),
                     driver_free)
-                if launch_time >= a.finish - _EPSILON:
+                if launch_time >= a.finish - TIME_EPS:
                     continue  # the original wins before the clone starts
-                if launch_time > next_finish + _EPSILON:
+                if launch_time > next_finish + TIME_EPS:
                     continue  # a completion lands first: re-evaluate then
                 key = (launch_time, a.metrics.task_id)
                 if best is None or key < (best[0], best[1]):
@@ -511,7 +510,7 @@ class TaskScheduler:
             if process_completions(now):
                 continue  # retries/blacklist changed the picture: re-pick
 
-            ready = [e for e in pending if e.not_before <= now + _EPSILON]
+            ready = [e for e in pending if e.not_before <= now + TIME_EPS]
             if not ready:
                 # Every pending task is backing off: idle this slot until
                 # the earliest retry becomes eligible.
@@ -540,7 +539,7 @@ class TaskScheduler:
             chosen_worker = worker_id
             if task is None:
                 ready_tasks = [e.state.task for e in ready]
-                allowed_any = (now - last_launch) >= self.locality_wait - _EPSILON
+                allowed_any = (now - last_launch) >= self.locality_wait - TIME_EPS
                 if not allowed_any and all(
                     not self._alive_preferred(t) for t in ready_tasks
                 ):

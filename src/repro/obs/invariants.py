@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Set, Tuple
 
+from ..cluster.events import TIME_EPS
+
 from .events import (
     Event,
     JobEnd,
@@ -29,7 +31,7 @@ from .events import (
     TaskStart,
 )
 
-_EPS = 1e-9
+_EPS = TIME_EPS
 
 
 def check_event_invariants(events: Iterable[Event]) -> List[str]:

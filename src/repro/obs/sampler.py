@@ -20,6 +20,8 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List, Optional, Tuple
 
+from ..cluster.events import TIME_EPS
+
 from .events import (
     BlockCached,
     BlockEvicted,
@@ -40,7 +42,7 @@ def _deltas_to_timeline(deltas: List[Tuple[float, float]]) -> Timeline:
     level = 0.0
     for time, delta in deltas:
         level += delta
-        if timeline and abs(timeline[-1][0] - time) < 1e-12:
+        if timeline and abs(timeline[-1][0] - time) < TIME_EPS:
             timeline[-1] = (time, level)
         else:
             timeline.append((time, level))

@@ -25,6 +25,8 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Sequence, Tuple, Union
 
+from ..cluster.events import TIME_EPS
+
 from .events import (
     BatchCompleted,
     BatchSubmitted,
@@ -87,7 +89,7 @@ TASK_PHASES: Tuple[Tuple[str, str], ...] = (
     ("straggler_time", "straggler"),
 )
 
-_SLOT_EPS = 1e-9
+_SLOT_EPS = TIME_EPS
 
 
 def assign_slots(

@@ -145,8 +145,8 @@ class StreamingContext:
         self._streams: List[DStream] = []
         self._receivers: List[tuple] = []  # (dstream, receiver, partitions, partitioner, namespace, cache)
         #: Optional elastic hook: each completed batch feeds its
-        #: processing delay to the manager (the latency-SLO signal) and
-        #: triggers one scaling evaluation between batches.
+        #: processing delay to the manager (the latency-SLO signal);
+        #: scaling itself runs on the manager's periodic kernel timer.
         self.resource_manager = resource_manager
         #: Per-step batch processing delays (simulated seconds).
         self.batch_delays: List[float] = []
@@ -180,33 +180,61 @@ class StreamingContext:
     # ---- advancing time ----------------------------------------------------------------
 
     def advance(self, steps: int = 1) -> None:
-        """Complete ``steps`` timesteps: ingest data, cache, evict old."""
+        """Complete ``steps`` timesteps back-to-back at the frontier.
+
+        Each step is posted as a batch-tick event on the kernel and the
+        loop pumped, so armed failures and policy timers interleave with
+        the batches at true sim time.  Use :meth:`run` for ticks on
+        nominal batch boundaries.
+        """
+        kernel = self.context.cluster.kernel
+        for _ in range(steps):
+            t = kernel.now
+            kernel.schedule(t, lambda t=t: self._tick(t))
+            kernel.run_until(t)
+
+    def run(self, steps: int) -> None:
+        """Drive ``steps`` batch ticks at nominal ``batch_seconds``
+        boundaries through the kernel's event loop.
+
+        A batch whose predecessor overran its interval fires late (the
+        frontier has passed its boundary) but keeps its nominal submit
+        time, so ``batch_delays`` then includes the scheduling backlog —
+        the signal a latency-SLO autoscaler reacts to.
+        """
+        kernel = self.context.cluster.kernel
+        base = kernel.now
+        for i in range(steps):
+            t = base + i * self.batch_seconds
+            kernel.schedule(max(t, kernel.now), lambda t=t: self._tick(t))
+        kernel.run_until(max(base + steps * self.batch_seconds, kernel.now))
+
+    def _tick(self, submitted: float) -> None:
+        """One batch: ingest data, cache, evict old; nominal time
+        ``submitted`` (the frontier may already sit further)."""
         bus = self.context.event_bus
         clock = self.context.cluster.clock
-        for _ in range(steps):
-            step = self.current_step
-            submitted = clock.now
-            if bus.active:
-                bus.post(BatchSubmitted(time=clock.now, step=step))
-            for (stream, receiver, parts, partitioner, namespace, cache) \
-                    in self._receivers:
-                rdd = self._ingest(step, receiver, parts, partitioner,
-                                   namespace, cache, stream.name)
-                stream._record(step, rdd)
-            self.current_step += 1
-            min_step = self.current_step - self.retention_steps
-            evicted_rdds = 0
-            for stream in self._streams:
-                evicted_rdds += len(stream._evict_older_than(min_step))
-            if bus.active:
-                bus.post(BatchCompleted(time=clock.now, step=step,
-                                        num_streams=len(self._streams),
-                                        evicted_rdds=evicted_rdds))
-            delay = clock.now - submitted
-            self.batch_delays.append(delay)
-            if self.resource_manager is not None:
-                self.resource_manager.note_delay(delay)
-                self.resource_manager.evaluate(pending_jobs=0)
+        step = self.current_step
+        if bus.active:
+            bus.post(BatchSubmitted(time=clock.now, step=step))
+        for (stream, receiver, parts, partitioner, namespace, cache) \
+                in self._receivers:
+            rdd = self._ingest(step, receiver, parts, partitioner,
+                               namespace, cache, stream.name)
+            stream._record(step, rdd)
+        self.current_step += 1
+        min_step = self.current_step - self.retention_steps
+        evicted_rdds = 0
+        for stream in self._streams:
+            evicted_rdds += len(stream._evict_older_than(min_step))
+        if bus.active:
+            bus.post(BatchCompleted(time=clock.now, step=step,
+                                    num_streams=len(self._streams),
+                                    evicted_rdds=evicted_rdds))
+        delay = clock.now - submitted
+        self.batch_delays.append(delay)
+        if self.resource_manager is not None:
+            self.resource_manager.note_delay(delay)
 
     def _ingest(
         self,

@@ -105,6 +105,57 @@ class TestCompareDirs:
         assert any("no committed baseline" in p for p in problems)
 
 
+class TestOnlyFilter:
+    """``--only``: gate a named subset (the sim-kernel smoke job)."""
+
+    def seed(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        write_bench(base, "a", {"makespan": 1.0})
+        write_bench(base, "b", {"makespan": 2.0})
+        write_bench(cur, "a", {"makespan": 1.0})
+        return base, cur
+
+    def test_absent_unnamed_baseline_is_not_a_problem(self, tmp_path):
+        base, cur = self.seed(tmp_path)
+        deltas, problems = compare_dirs(base, cur, threshold=0.15,
+                                        only=["a"])
+        assert problems == []
+        assert {d.bench for d in deltas} == {"a"}
+
+    def test_without_only_the_missing_result_fails(self, tmp_path):
+        base, cur = self.seed(tmp_path)
+        _, problems = compare_dirs(base, cur, threshold=0.15)
+        assert any("'b'" in p for p in problems)
+
+    def test_only_still_gates_the_named_benchmark(self, tmp_path):
+        base, cur = self.seed(tmp_path)
+        write_bench(cur, "a", {"makespan": 2.0})  # +100%
+        deltas, problems = compare_dirs(base, cur, threshold=0.15,
+                                        only=["a"])
+        assert problems == []
+        assert any(d.regressed for d in deltas)
+
+    def test_only_with_unknown_name_is_a_problem(self, tmp_path):
+        base, cur = self.seed(tmp_path)
+        _, problems = compare_dirs(base, cur, threshold=0.15,
+                                   only=["a", "nope"])
+        assert any("nope" in p for p in problems)
+
+    def test_cli_flag_parses_comma_list(self, tmp_path):
+        base, cur = self.seed(tmp_path)
+        assert main([str(base), str(cur), "--only", "a"]) == 0
+        assert main([str(base), str(cur)]) == 1
+
+    def test_update_baselines_respects_only(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        write_bench(cur, "a", {"makespan": 1.0})
+        write_bench(cur, "b", {"makespan": 2.0})
+        assert main([str(base), str(cur), "--update-baselines",
+                     "--only", "b"]) == 0
+        assert not (base / "BENCH_a.json").exists()
+        assert (base / "BENCH_b.json").exists()
+
+
 class TestMain:
     def test_exit_codes_on_fixture_pair(self, capsys):
         assert main([str(FIXTURES / "baseline"),

@@ -1,0 +1,104 @@
+"""Determinism: same seed + same config ⇒ byte-identical event log.
+
+The acceptance bar for the single-kernel refactor: an open-loop run with
+heterogeneity, speculation, failures, and elastic scaling all enabled —
+every subsystem posting events on the one heap — must replay exactly.
+Each scenario runs twice into an in-memory JSONL event log and the two
+byte streams are compared verbatim.
+"""
+
+import io
+
+from repro import StarkContext
+from repro.cluster.cluster import Cluster
+from repro.cluster.cost_model import HeterogeneityModel
+from repro.cluster.queueing import JobDriver
+from repro.elastic import BacklogPolicy, ResourceManager
+from repro.engine.context import StarkConfig
+from repro.engine.failure import FailureEvent, FailureSchedule
+from repro.obs.listeners import JsonlEventLog
+
+from ..conftest import make_pairs
+
+
+def full_stack_run(seed: int) -> str:
+    """One open-loop run with everything enabled; returns the JSONL log."""
+    cluster = Cluster(num_workers=4, cores_per_worker=2, seed=seed)
+    cluster.apply_heterogeneity(HeterogeneityModel(
+        slow_worker_fraction=0.25, slow_worker_speed=2.0,
+        transient_rate=0.02, transient_duration=2.0, horizon=200.0))
+    sc = StarkContext(cluster=cluster, config=StarkConfig(
+        speculation=True, speculation_multiplier=1.2,
+        speculation_quantile=0.5))
+
+    sink = io.StringIO()
+    log = JsonlEventLog(sink)
+    sc.event_bus.subscribe(log)
+
+    manager = ResourceManager(
+        sc, BacklogPolicy(high_backlog=1.0),
+        min_workers=2, max_workers=6,
+        cooldown_seconds=4.0, evaluate_interval_seconds=2.0)
+    FailureSchedule(sc, [
+        FailureEvent(time=6.0, worker_id=1, restart_after=5.0),
+    ])
+
+    data = make_pairs(400)
+
+    def job(arrival, index):
+        rdd = sc.parallelize(data, 8).map(lambda kv: (kv[0], kv[1] + 1))
+        sc.run_job(rdd, len, submit_time=arrival,
+                   description=f"det{index}")
+        return sc.metrics.last_job().finish_time
+
+    driver = JobDriver(sc, seed=seed, resource_manager=manager)
+    driver.run_constant_rate(job, rate_jobs_per_sec=2.0, num_jobs=12,
+                             poisson=True)
+    manager.stop()
+    log.flush()
+    return sink.getvalue()
+
+
+def simple_run(seed: int) -> str:
+    """A minimal kernel-driven run (no elastic/failures) for contrast."""
+    sc = StarkContext(num_workers=2, cores_per_worker=2,
+                      config=StarkConfig(speculation=True,
+                                         speculation_multiplier=1.2,
+                                         speculation_quantile=0.5))
+    sc.cluster.apply_heterogeneity(HeterogeneityModel(
+        slow_worker_fraction=0.5, slow_worker_speed=3.0))
+    sink = io.StringIO()
+    log = JsonlEventLog(sink)
+    sc.event_bus.subscribe(log)
+    data = make_pairs(200)
+    driver = JobDriver(sc, seed=seed)
+    driver.run_arrivals(
+        lambda t, i: (sc.run_job(sc.parallelize(data, 4), len,
+                                 submit_time=t),
+                      sc.metrics.last_job().finish_time)[1],
+        [0.0, 0.5, 1.0, 4.0])
+    log.flush()
+    return sink.getvalue()
+
+
+class TestByteIdenticalReplay:
+    def test_full_stack_log_is_byte_identical(self):
+        first = full_stack_run(seed=42)
+        second = full_stack_run(seed=42)
+        assert first, "run produced no events"
+        assert first == second
+
+    def test_full_stack_log_is_nonempty_and_timestamped(self):
+        import json
+
+        lines = full_stack_run(seed=7).splitlines()
+        assert len(lines) > 20
+        events = [json.loads(line) for line in lines]
+        assert all("time" in e for e in events)
+
+    def test_different_seeds_diverge(self):
+        # Sanity: the byte-compare actually has discriminating power.
+        assert full_stack_run(seed=1) != full_stack_run(seed=2)
+
+    def test_simple_run_is_byte_identical(self):
+        assert simple_run(seed=11) == simple_run(seed=11)

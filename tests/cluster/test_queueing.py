@@ -197,6 +197,10 @@ class TestResourceManagerHooks:
         def __init__(self):
             self.evaluations = []
             self.completions = []
+            self.pending_source = None
+
+        def bind_pending_jobs(self, source):
+            self.pending_source = source
 
         def evaluate(self, pending_jobs=0, now=None):
             self.evaluations.append((pending_jobs, now))
@@ -204,14 +208,46 @@ class TestResourceManagerHooks:
         def on_job_completed(self, arrival, finish):
             self.completions.append((arrival, finish))
 
-    def test_evaluate_called_at_arrival_time(self):
+    def test_scaling_not_tied_to_arrivals(self):
+        # Scaling runs on the manager's periodic kernel timer; the
+        # driver no longer evaluates the policy at arrival epochs.
         sc = StarkContext(num_workers=1)
         stub = self.StubManager()
         driver = JobDriver(sc, resource_manager=stub)
         driver.run_arrivals(lambda t, i: t + 5.0, [1.0, 2.0])
-        assert [now for _, now in stub.evaluations] == [1.0, 2.0]
-        # The second arrival sees the first job still in flight.
-        assert [p for p, _ in stub.evaluations] == [0, 1]
+        assert stub.evaluations == []
+
+    def test_pending_jobs_bound_as_backlog_source(self):
+        # The driver hands its queue depth to the manager so timer
+        # ticks can measure pending jobs at their own nominal time.
+        sc = StarkContext(num_workers=1)
+        stub = self.StubManager()
+        driver = JobDriver(sc, resource_manager=stub)
+        assert stub.pending_source is not None
+        assert stub.pending_source.__self__ is driver
+        driver.run_arrivals(lambda t, i: t + 5.0, [1.0, 2.0])
+        # At t=2 the first job (finish 6.0) is still in flight; the
+        # second's finish (7.0) is also queued by then.
+        assert stub.pending_source(2.5) == 2
+        assert stub.pending_source(10.0) == 0
+
+    def test_real_manager_evaluates_on_timer(self):
+        from repro.elastic import BacklogPolicy, ResourceManager
+
+        sc = StarkContext(num_workers=2)
+        manager = ResourceManager(sc, BacklogPolicy(), min_workers=1,
+                                  max_workers=2, cooldown_seconds=0.0,
+                                  evaluate_interval_seconds=1.0)
+        evaluated = []
+        original = manager.evaluate
+
+        def spy(pending_jobs=0, now=None):
+            evaluated.append(now)
+            return original(pending_jobs=pending_jobs, now=now)
+
+        manager.evaluate = spy
+        sc.cluster.kernel.run_until(3.5)
+        assert evaluated == [1.0, 2.0, 3.0]
 
     def test_completions_fed_back(self):
         sc = StarkContext(num_workers=1)
@@ -226,6 +262,5 @@ class TestResourceManagerHooks:
         driver = JobDriver(sc, resource_manager=stub,
                            max_pending_jobs=1)
         driver.run_arrivals(lambda t, i: t + 10.0, [0.0, 1.0])
-        # Both arrivals evaluated for scaling, only one completed.
-        assert len(stub.evaluations) == 2
+        # Two arrivals offered, only the admitted one completed.
         assert len(stub.completions) == 1

@@ -1,9 +1,22 @@
-"""Tests for worker slot accounting and the cluster container."""
+"""Tests for worker slot accounting and the cluster container.
+
+Slot mutations go through the SimKernel (the single time authority);
+workers themselves only expose read views.
+"""
 
 import pytest
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.events import SimKernel
 from repro.cluster.worker import Worker
+
+
+def attached(cores=2):
+    """A worker registered with a fresh kernel; returns (kernel, worker)."""
+    kernel = SimKernel()
+    worker = Worker(0, cores=cores)
+    kernel.register_worker(worker)
+    return kernel, worker
 
 
 class TestWorker:
@@ -13,53 +26,61 @@ class TestWorker:
         assert w.idle_slots(0.0) == 2
 
     def test_run_task_occupies_slot(self):
-        w = Worker(0, cores=2)
-        start, finish = w.run_task(1.0, 3.0)
+        kernel, w = attached(cores=2)
+        start, finish = kernel.run_on_earliest_slot(w, 1.0, 3.0)
         assert (start, finish) == (1.0, 4.0)
         assert w.idle_slots(2.0) == 1
 
     def test_tasks_fill_both_slots_before_queueing(self):
-        w = Worker(0, cores=2)
-        w.run_task(0.0, 5.0)
-        w.run_task(0.0, 5.0)
-        start, _ = w.run_task(0.0, 1.0)
+        kernel, w = attached(cores=2)
+        kernel.run_on_earliest_slot(w, 0.0, 5.0)
+        kernel.run_on_earliest_slot(w, 0.0, 5.0)
+        start, _ = kernel.run_on_earliest_slot(w, 0.0, 1.0)
         assert start == 5.0
 
     def test_earliest_free_slot_picks_minimum(self):
-        w = Worker(0, cores=3)
-        w.slot_free_times = [4.0, 1.0, 9.0]
+        kernel, w = attached(cores=3)
+        for slot, t in enumerate([4.0, 1.0, 9.0]):
+            kernel.set_slot_free_time(w, slot, t)
         slot, free = w.earliest_free_slot()
         assert (slot, free) == (1, 1.0)
 
+    def test_bare_worker_reads_fall_back_to_scan(self):
+        w = Worker(0, cores=3)
+        w.slot_free_times = [4.0, 1.0, 9.0]
+        assert w.earliest_free_slot() == (1, 1.0)
+        assert w.earliest_free_time() == 1.0
+
     def test_negative_duration_rejected(self):
-        w = Worker(0)
+        kernel, w = attached()
         with pytest.raises(ValueError):
-            w.run_task(0.0, -1.0)
+            kernel.run_on_earliest_slot(w, 0.0, -1.0)
 
     def test_kill_blocks_new_tasks(self):
-        w = Worker(0)
-        w.kill(5.0)
+        kernel, w = attached()
+        kernel.kill_worker(w)
         assert not w.alive
         with pytest.raises(RuntimeError):
-            w.occupy_slot(0, 6.0, 1.0)
+            kernel.occupy_slot(w, 0, 6.0, 1.0)
 
     def test_restart_frees_slots_at_now(self):
-        w = Worker(0, cores=2)
-        w.kill(5.0)
-        w.restart(8.0)
+        kernel, w = attached(cores=2)
+        kernel.kill_worker(w)
+        kernel.restart_worker(w, at=8.0)
         assert w.alive
         assert w.earliest_free_time() == 8.0
 
     def test_pending_work(self):
-        w = Worker(0, cores=2)
-        w.run_task(0.0, 4.0)
+        kernel, w = attached(cores=2)
+        kernel.run_on_earliest_slot(w, 0.0, 4.0)
         assert w.pending_work_until(1.0) == pytest.approx(3.0)
 
     def test_reset(self):
-        w = Worker(0)
-        w.run_task(0.0, 10.0)
+        kernel, w = attached()
+        kernel.run_on_earliest_slot(w, 0.0, 10.0)
         w.shuffle_disk[(0, 0, 0)] = 5.0
-        w.reset()
+        kernel.reset_worker(w)
+        w.shuffle_disk.clear()
         assert w.earliest_free_time() == 0.0
         assert not w.shuffle_disk
 
@@ -88,13 +109,13 @@ class TestCluster:
 
     def test_earliest_free_worker(self):
         cluster = Cluster(num_workers=3, cores_per_worker=1)
-        cluster.get_worker(0).run_task(0.0, 5.0)
-        cluster.get_worker(1).run_task(0.0, 2.0)
+        cluster.kernel.run_on_earliest_slot(cluster.get_worker(0), 0.0, 5.0)
+        cluster.kernel.run_on_earliest_slot(cluster.get_worker(1), 0.0, 2.0)
         assert cluster.earliest_free_worker() == 2
 
     def test_earliest_free_worker_candidates(self):
         cluster = Cluster(num_workers=3, cores_per_worker=1)
-        cluster.get_worker(1).run_task(0.0, 5.0)
+        cluster.kernel.run_on_earliest_slot(cluster.get_worker(1), 0.0, 5.0)
         assert cluster.earliest_free_worker([1, 2]) == 2
 
     def test_earliest_free_all_dead_raises(self):
@@ -109,7 +130,7 @@ class TestCluster:
 
     def test_reset(self):
         cluster = Cluster(num_workers=2)
-        cluster.clock.advance_to(50.0)
+        cluster.kernel.advance_to(50.0)
         cluster.kill_worker(0)
         cluster.reset()
         assert cluster.clock.now == 0.0

@@ -45,7 +45,9 @@ class TestMCFPolicy:
     def test_ties_break_by_free_time_then_id(self):
         sc = mcf_context()
         self._prime_contention(sc, {0: 2, 1: 2, 2: 2, 3: 2})
-        sc.cluster.get_worker(0).slot_free_times = [5.0, 5.0]
+        w0 = sc.cluster.get_worker(0)
+        for slot in range(w0.cores):
+            sc.cluster.kernel.set_slot_free_time(w0, slot, 5.0)
         policy = MinimumContentionFirstPolicy()
 
         class FakeTask:

@@ -127,7 +127,8 @@ class TestDecommission:
         )
         tail = max(sc.cluster.get_worker(busy).slot_free_times)
         if tail <= now:  # ensure there is genuinely queued work
-            sc.cluster.get_worker(busy).slot_free_times[0] = now + 5.0
+            sc.cluster.kernel.set_slot_free_time(
+                sc.cluster.get_worker(busy), 0, now + 5.0)
             tail = now + 5.0
         report = manager.decommission(busy)
         assert report.drain_seconds == pytest.approx(tail - now)
@@ -234,8 +235,10 @@ def _overloaded(sc):
     """Queue several seconds of work on every slot; returns the
     evaluation time at which that backlog is visible."""
     now = sc.cluster.clock.now
+    kernel = sc.cluster.kernel
     for worker in sc.cluster.alive_workers():
-        worker.slot_free_times = [now + 10.0] * len(worker.slot_free_times)
+        for slot in range(worker.cores):
+            kernel.set_slot_free_time(worker, slot, now + 10.0)
     return now
 
 
@@ -278,9 +281,11 @@ class TestSnapshotTiming:
         driver; backlog must be visible at the arrival's timestamp."""
         manager = make_manager(sc)
         now = sc.cluster.clock.now
+        kernel = sc.cluster.kernel
         for worker in sc.cluster.alive_workers():
-            worker.slot_free_times = [now + 4.0] * len(worker.slot_free_times)
-        sc.cluster.clock.advance_to(now + 4.0)
+            for slot in range(worker.cores):
+                kernel.set_slot_free_time(worker, slot, now + 4.0)
+        kernel.advance_to(now + 4.0)
         at_frontier = manager.snapshot()
         assert at_frontier.backlog_seconds == 0.0
         at_arrival = manager.snapshot(now=now)
