@@ -24,7 +24,7 @@ from ..apps.log_mining import LogMiningApp
 from ..apps.trending import TrendingApp
 from ..cluster.cluster import Cluster
 from ..cluster.cost_model import CostModel, HeterogeneityModel, SimStr
-from ..cluster.queueing import JobDriver, LoadResult
+from ..cluster.queueing import JobDriver, LoadResult, nearest_rank
 from ..core.checkpoint_optimizer import CheckpointOptimizer
 from ..core.edge_checkpoint import EdgeCheckpointer
 from ..elastic import (
@@ -1361,4 +1361,231 @@ def run_elastic_diurnal(
                 } for r in results
             },
         })
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant fairness: fair-share pools + quotas vs FIFO under an abuser
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TenantFairnessResult:
+    """One arm of the tenant-fairness comparison."""
+
+    arm: str                       # "fair_no_abuser" | "fair" | "fifo"
+    scheduling_policy: str
+    abuser_active: bool
+    compliant_p95_delay: float     # pooled over all compliant tenants (s)
+    compliant_mean_delay: float
+    compliant_max_delay: float
+    abuser_p95_delay: float
+    completed_jobs: int
+    shed_jobs: int
+    quota_evictions: int
+    quota_rejections: int
+    dedup_hits: int
+    cache_hit_rate: float
+    per_tenant_p95: Dict[str, float] = field(default_factory=dict)
+
+
+def run_tenant_fairness(
+    num_tenants: int = 6,
+    zipf_s: float = 1.0,
+    base_rate_jobs_per_sec: float = 12.0,
+    horizon: float = 18.0,
+    burst_jobs: int = 400,
+    burst_time: float = 5.0,
+    num_partitions: int = 4,
+    records_per_partition: int = 300,
+    num_workers: int = 4,
+    cores_per_worker: int = 2,
+    memory_per_worker: float = 64e6,
+    tenant_quota_mb: float = 16.0,
+    seed: int = 23,
+    write_json: bool = True,
+) -> List[TenantFairnessResult]:
+    """Zipfian tenant mix with one misbehaving tenant, three arms.
+
+    ``num_tenants - 1`` compliant tenants submit Poisson job streams with
+    Zipfian rates (tenant ``k`` arrives at ``base_rate / (k+1)**zipf_s``)
+    against their registered, cached datasets; pool weights follow the
+    same Zipf profile, so fair share mirrors the intended mix.  The last
+    tenant is the *abuser*: at ``burst_time`` it dumps ``burst_jobs``
+    jobs at once, each materializing (and caching) a fresh dataset —
+    pressure on both the dispatcher and the block stores.
+
+    Arms (identical seeded arrivals throughout):
+
+    * ``fair_no_abuser`` — fair-share + quotas, the abuser stays silent;
+      the reference for what compliant tenants deserve.
+    * ``fair`` — fair-share + quotas with the burst: weighted vruntime
+      scheduling interleaves compliant jobs with the burst, and the
+      abuser's quota makes its scratch datasets displace its *own*
+      blocks instead of the compliant tenants' hot sets.
+    * ``fifo`` — global arrival order, no quotas: the burst runs to
+      completion ahead of every compliant job that arrived after it and
+      floods the shared cache.
+
+    The headline check (asserted by the CI gate via committed baselines):
+    fair-share keeps the compliant pooled p95 within 2x of the no-abuser
+    reference while FIFO blows past it.
+
+    One compliant tenant registers the *same* computation as tenant 0
+    (same code, same data), so every run also exercises the registry's
+    lineage-fingerprint dedup in anger — ``dedup_hits`` reports it.
+    """
+    from ..service import DatasetService
+
+    if num_tenants < 3:
+        raise ValueError(f"need at least 3 tenants: {num_tenants}")
+    if zipf_s < 0:
+        raise ValueError(f"zipf_s must be >= 0: {zipf_s}")
+    tenants = [f"t{k}" for k in range(num_tenants)]
+    compliant, abuser = tenants[:-1], tenants[-1]
+    rates = {
+        name: base_rate_jobs_per_sec / (k + 1) ** zipf_s
+        for k, name in enumerate(compliant)
+    }
+
+    # The same seeded arrival streams feed every arm.
+    arrivals: Dict[str, List[float]] = {}
+    for k, name in enumerate(compliant):
+        rng = random.Random(seed * 1009 + k)
+        t, times = 0.0, []
+        while True:
+            t += rng.expovariate(rates[name])
+            if t >= horizon:
+                break
+            times.append(t)
+        arrivals[name] = times
+    burst = [burst_time + 1e-3 * j for j in range(burst_jobs)]
+
+    def run_arm(arm: str, policy: str, abuser_active: bool,
+                quota_mb: float) -> TenantFairnessResult:
+        config = StarkConfig(scheduling_policy=policy,
+                             tenant_quota_mb=quota_mb)
+        sc = StarkContext(num_workers=num_workers,
+                          cores_per_worker=cores_per_worker,
+                          memory_per_worker=memory_per_worker,
+                          config=config)
+        svc = DatasetService(sc)
+        for k, name in enumerate(compliant):
+            svc.create_tenant(name, weight=1.0 / (k + 1) ** zipf_s)
+        svc.create_tenant(abuser,
+                          weight=1.0 / num_tenants ** zipf_s)
+
+        # Each compliant tenant registers one cached dataset; the last
+        # compliant tenant files the exact computation of tenant 0, so
+        # its handle is deduped onto t0's RDD and served from t0's
+        # blocks.
+        handles = {}
+        for k, name in enumerate(compliant):
+            source = 0 if k == len(compliant) - 1 else k
+
+            def gen(pid: int, source: int = source) -> List[Tuple[int, int]]:
+                return [(pid * 1000 + i, (i * 31 + source) % 997)
+                        for i in range(records_per_partition)]
+
+            rdd = (sc.generated(gen, num_partitions, read_cost="disk",
+                                name=f"src{source}")
+                   .map(lambda kv: (kv[0], kv[1] + 1)))
+            handles[name] = svc.register_dataset(name, f"ds-{name}", rdd)
+
+        def make_job(name: str) -> Callable[[float, int], float]:
+            handle = handles[name]
+
+            def job(t: float, i: int) -> float:
+                sc.run_job(handle.rdd, len, submit_time=t,
+                           description=f"{name}-{i}")
+                return sc.metrics.last_job().finish_time
+
+            return job
+
+        def abuser_job(t: float, i: int) -> float:
+            def gen(pid: int, i: int = i) -> List[Tuple[int, int]]:
+                return [(pid * 1000 + j, (j * 17 + i) % 991)
+                        for j in range(records_per_partition)]
+
+            rdd = sc.generated(gen, num_partitions, read_cost="disk",
+                               name=f"abuse{i}").cache()
+            svc.quotas.own(rdd.rdd_id, abuser)
+            sc.run_job(rdd, len, submit_time=t,
+                       description=f"{abuser}-{i}")
+            return sc.metrics.last_job().finish_time
+
+        for name in compliant:
+            svc.submit_arrivals(name, make_job(name), arrivals[name])
+        if abuser_active:
+            svc.submit_arrivals(abuser, abuser_job, burst)
+        svc.run()
+
+        delays: List[float] = []
+        per_tenant_p95: Dict[str, float] = {}
+        shed = 0
+        for name in compliant:
+            result = svc.result_of(name)
+            delays.extend(r.delay for r in result.results)
+            per_tenant_p95[name] = result.p95_delay
+            shed += result.shed_jobs
+        delays.sort()
+        stats = sc.metrics.cache_stats()
+        return TenantFairnessResult(
+            arm=arm,
+            scheduling_policy=policy,
+            abuser_active=abuser_active,
+            compliant_p95_delay=nearest_rank(delays, 95.0),
+            compliant_mean_delay=(statistics.fmean(delays)
+                                  if delays else 0.0),
+            compliant_max_delay=delays[-1] if delays else 0.0,
+            abuser_p95_delay=svc.result_of(abuser).p95_delay,
+            completed_jobs=len(delays),
+            shed_jobs=shed + svc.result_of(abuser).shed_jobs,
+            quota_evictions=svc.quotas.quota_evictions,
+            quota_rejections=svc.quotas.quota_rejections,
+            dedup_hits=svc.registry.dedup_hits,
+            cache_hit_rate=stats["hit_rate"],
+            per_tenant_p95=per_tenant_p95,
+        )
+
+    results = [
+        run_arm("fair_no_abuser", "fair", False, tenant_quota_mb),
+        run_arm("fair", "fair", True, tenant_quota_mb),
+        run_arm("fifo", "fifo", True, 0.0),
+    ]
+    if write_json:
+        by_arm = {r.arm: r for r in results}
+        payload = {
+            "config": {
+                "num_tenants": num_tenants, "zipf_s": zipf_s,
+                "base_rate_jobs_per_sec": base_rate_jobs_per_sec,
+                "horizon": horizon, "burst_jobs": burst_jobs,
+                "burst_time": burst_time,
+                "num_partitions": num_partitions,
+                "records_per_partition": records_per_partition,
+                "num_workers": num_workers,
+                "cores_per_worker": cores_per_worker,
+                "memory_per_worker": memory_per_worker,
+                "tenant_quota_mb": tenant_quota_mb, "seed": seed,
+            },
+        }
+        for arm, r in by_arm.items():
+            payload[arm] = {
+                "p95_delay": r.compliant_p95_delay,
+                "mean_delay": r.compliant_mean_delay,
+                "max_delay": r.compliant_max_delay,
+                "abuser_p95_delay": r.abuser_p95_delay,
+                "completed_jobs": r.completed_jobs,
+                "shed_jobs": r.shed_jobs,
+                "quota_evictions": r.quota_evictions,
+                "dedup_hits": r.dedup_hits,
+                "hit_rate": r.cache_hit_rate,
+            }
+        reference = max(by_arm["fair_no_abuser"].compliant_p95_delay, 1e-9)
+        payload["fair_p95_over_reference"] = (
+            by_arm["fair"].compliant_p95_delay / reference)
+        payload["fifo_p95_over_reference"] = (
+            by_arm["fifo"].compliant_p95_delay / reference)
+        payload["digest"] = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()).hexdigest()
+        write_bench_json("tenant_fairness", payload)
     return results

@@ -27,13 +27,14 @@ from __future__ import annotations
 from typing import Iterable, TYPE_CHECKING
 
 from .admission import AdmissionController
-from .policy import CachePolicy, make_policy
+from .policy import CachePolicy, QuotaAwarePolicy, make_policy
 from .reference_tracker import ReferenceTracker
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..engine.context import StarkContext
     from ..engine.rdd import RDD
     from ..engine.stage import Stage
+    from ..service.quotas import TenantCacheQuotas
 
 
 class CacheManager:
@@ -50,16 +51,27 @@ class CacheManager:
             auto_unpersist=config.cache_auto_unpersist,
             unpersist_fn=self._auto_unpersist,
         )
+        #: Per-tenant quota enforcer, attached by the service layer
+        #: (:class:`repro.service.quotas.TenantCacheQuotas`); ``None``
+        #: means single-tenant operation with no quota gating.
+        self.quotas: "TenantCacheQuotas | None" = None
 
     # ---- policy construction ----------------------------------------------
 
     def policy_for_worker(self, worker_id: int) -> CachePolicy:
-        """Build this context's configured policy for one block store."""
-        return make_policy(
+        """Build this context's configured policy for one block store.
+
+        The policy is wrapped in a :class:`QuotaAwarePolicy` whose quota
+        lookup is late-bound to :attr:`quotas`, so attaching a service
+        layer retrofits quota-aware victim selection onto stores that
+        already exist.
+        """
+        inner = make_policy(
             self.policy_name,
             ref_fn=self.tracker.block_ref_count,
             cost_fn=self.estimate_recompute_cost,
         )
+        return QuotaAwarePolicy(inner, worker_id, lambda: self.quotas)
 
     # ---- declarations (application API) ------------------------------------
 
@@ -71,6 +83,8 @@ class CacheManager:
     # ---- admission ----------------------------------------------------------
 
     def should_admit(self, rdd_id: int, size_bytes: float) -> bool:
+        if self.quotas is not None and not self.quotas.admit(rdd_id, size_bytes):
+            return False
         if self.admission.min_cost_seconds <= 0:
             self.admission.accepted += 1
             return True

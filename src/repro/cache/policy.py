@@ -208,6 +208,60 @@ class CostAwarePolicy(_ScoredPolicy):
         return cost * (1.0 + refs) / max(entry.size_bytes, 1.0)
 
 
+class QuotaAwarePolicy(CachePolicy):
+    """Wrapper adding per-tenant quota awareness to any inner policy.
+
+    On capacity pressure, blocks owned by **over-quota** tenants are
+    evicted first (oldest-inserted of theirs, deterministically); only
+    when no tenant is over its quota does victim choice fall through to
+    the wrapped policy.  This is the *cross-tenant* half of quota
+    enforcement — the intra-tenant half (a tenant displacing its own
+    blocks before touching anyone else's) lives in
+    :class:`repro.service.quotas.TenantCacheQuotas`, which this wrapper
+    consults through ``quotas_fn``.
+
+    ``quotas_fn`` is late-bound (returns ``None`` until a service layer
+    attaches quotas), so stores built at context creation pick up quota
+    awareness the moment a :class:`~repro.service.DatasetService` turns
+    it on, including elastically provisioned workers.
+    """
+
+    def __init__(self, inner: CachePolicy, worker_id: int,
+                 quotas_fn: Callable[[], Optional[object]]) -> None:
+        self._inner = inner
+        self._worker_id = worker_id
+        self._quotas_fn = quotas_fn
+        self._resident: "OrderedDict[BlockId, None]" = OrderedDict()
+        self.name = inner.name
+
+    def on_insert(self, block_id: BlockId, size_bytes: float) -> None:
+        self._resident[block_id] = None
+        self._inner.on_insert(block_id, size_bytes)
+
+    def on_access(self, block_id: BlockId) -> None:
+        self._inner.on_access(block_id)
+
+    def on_remove(self, block_id: BlockId) -> None:
+        self._resident.pop(block_id, None)
+        self._inner.on_remove(block_id)
+
+    def choose_victim(self) -> BlockId:
+        quotas = self._quotas_fn()
+        if quotas is not None:
+            victim = quotas.preferred_victim(
+                self._worker_id, self._resident.keys())
+            if victim is not None:
+                return victim
+        return self._inner.choose_victim()
+
+    def clear(self) -> None:
+        self._resident.clear()
+        self._inner.clear()
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+
 POLICY_NAMES = (LRUPolicy.name, FIFOPolicy.name, LRCPolicy.name,
                 CostAwarePolicy.name)
 

@@ -231,6 +231,47 @@ def _cmd_elastic(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_service(args: argparse.Namespace) -> int:
+    # Route the knobs through StarkConfig so the CLI rejects exactly what
+    # the engine would (unknown policy, negative quota) with exit 2.
+    from .engine.context import StarkConfig
+
+    StarkConfig(scheduling_policy=args.scheduling_policy,
+                tenant_quota_mb=args.tenant_quota_mb).validate_service()
+    results = harness.run_tenant_fairness(
+        num_tenants=args.tenants,
+        zipf_s=args.zipf_s,
+        burst_jobs=args.burst_jobs,
+        tenant_quota_mb=args.tenant_quota_mb,
+        seed=args.seed,
+    )
+    by_arm = {r.arm: r for r in results}
+    print_table(
+        "Multi-tenant service: compliant-tenant delay under an abusive burst",
+        ["arm", "policy", "abuser", "p95 (ms)", "mean (ms)", "max (ms)",
+         "jobs", "shed", "quota evict", "dedup"],
+        [[r.arm, r.scheduling_policy, str(r.abuser_active),
+          r.compliant_p95_delay * 1000, r.compliant_mean_delay * 1000,
+          r.compliant_max_delay * 1000, r.completed_jobs, r.shed_jobs,
+          r.quota_evictions, r.dedup_hits]
+         for r in results],
+        floatfmt="{:.2f}",
+    )
+    reference = by_arm["fair_no_abuser"]
+    selected = by_arm.get(args.scheduling_policy, by_arm["fair"])
+    print_comparison(
+        "compliant p95 vs no-abuser reference",
+        f"{selected.arm} (with abuser)", selected.compliant_p95_delay,
+        "no-abuser reference", reference.compliant_p95_delay,
+    )
+    if by_arm["fair"].compliant_p95_delay > \
+            2.0 * max(reference.compliant_p95_delay, 1e-9):
+        print("FAIRNESS REGRESSION: fair-share p95 exceeded 2x the "
+              "no-abuser reference")
+        return 1
+    return 0
+
+
 def _cmd_speculation(args: argparse.Namespace) -> int:
     off, on = harness.run_speculation_tail(
         num_jobs=args.jobs,
@@ -448,6 +489,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig20": _cmd_fig20,
     "cache": _cmd_cache,
     "elastic": _cmd_elastic,
+    "service": _cmd_service,
     "speculation": _cmd_speculation,
     "trace": _cmd_trace,
     "events": _cmd_events,
@@ -557,6 +599,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-pending-jobs", type=int, default=32,
                    help="admission-control bound; arrivals beyond it are "
                         "shed (0 disables)")
+
+    p = sub.add_parser(
+        "service",
+        help="multi-tenant dataset service: fair-share pools + per-tenant "
+             "quotas vs FIFO under an abusive tenant")
+    p.add_argument("--tenants", type=int, default=6,
+                   help="tenant count; the last one is the abuser")
+    p.add_argument("--zipf-s", type=float, default=1.0,
+                   help="Zipf exponent for tenant rates and pool weights")
+    p.add_argument("--scheduling-policy", default="fair",
+                   help="arm to headline in the comparison (validated "
+                        "through StarkConfig: fifo or fair)")
+    p.add_argument("--tenant-quota-mb", type=float, default=16.0,
+                   help="per-tenant cache quota in MB (0 = unlimited)")
+    p.add_argument("--burst-jobs", type=int, default=400,
+                   help="size of the abuser's instantaneous burst")
+    p.add_argument("--seed", type=int, default=23)
 
     p = sub.add_parser(
         "speculation",

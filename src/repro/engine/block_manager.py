@@ -129,12 +129,19 @@ class BlockStore:
 EvictionListener = Callable[[int, BlockId], None]
 
 #: ``listener(worker_id, block_id, reason)`` where reason is one of
-#: ``"capacity"`` | ``"explicit"`` | ``"worker_lost"`` | ``"migrated"`` —
-#: the channel the observability layer turns into ``BlockEvicted``
-#: events.  ``"migrated"`` marks the source-side removal of a block that
-#: was copied to another store first (graceful decommission), i.e. *not*
-#: a loss of cached state.
+#: ``"capacity"`` | ``"explicit"`` | ``"worker_lost"`` | ``"migrated"``
+#: | ``"quota"`` — the channel the observability layer turns into
+#: ``BlockEvicted`` events.  ``"migrated"`` marks the source-side
+#: removal of a block that was copied to another store first (graceful
+#: decommission), i.e. *not* a loss of cached state; ``"quota"`` marks
+#: an intra-tenant eviction by the per-tenant cache quota enforcer
+#: (``repro.service.quotas``).
 BlockEventListener = Callable[[int, BlockId, str], None]
+
+#: ``listener(worker_id, block)`` fired for every block successfully
+#: inserted into a store — the accounting channel per-tenant quota
+#: tracking hangs off (sizes are on the :class:`Block`).
+InsertListener = Callable[[int, Block], None]
 
 
 class BlockManagerMaster:
@@ -166,6 +173,7 @@ class BlockManagerMaster:
         self._eviction_listeners: List[EvictionListener] = []
         self._capacity_eviction_listeners: List[EvictionListener] = []
         self._block_event_listeners: List[BlockEventListener] = []
+        self._insert_listeners: List[InsertListener] = []
 
     # ---- listeners --------------------------------------------------------
 
@@ -199,6 +207,15 @@ class BlockManagerMaster:
         for listener in self._block_event_listeners:
             listener(worker_id, block_id, reason)
 
+    def add_insert_listener(self, listener: InsertListener) -> None:
+        """Register a callback fired as ``listener(worker_id, block)``
+        for every successful store insert (including migration copies)."""
+        self._insert_listeners.append(listener)
+
+    def _notify_inserted(self, worker_id: int, block: Block) -> None:
+        for listener in self._insert_listeners:
+            listener(worker_id, block)
+
     # ---- data path ---------------------------------------------------------
 
     def get_local(self, worker_id: int, block_id: BlockId) -> Optional[Block]:
@@ -211,6 +228,7 @@ class BlockManagerMaster:
             # Rejected: too large for the store.
             return evicted
         self._add_location(block.block_id, worker_id)
+        self._notify_inserted(worker_id, block)
         for victim in evicted:
             self._drop_location(victim.block_id, worker_id)
             self._notify_evicted(worker_id, victim.block_id)
@@ -308,14 +326,20 @@ class BlockManagerMaster:
 
     # ---- invalidation ---------------------------------------------------------
 
-    def remove_block(self, block_id: BlockId, worker_id: Optional[int] = None) -> None:
-        """Uncache a block from one worker, or everywhere if unspecified."""
-        targets = [worker_id] if worker_id is not None else list(self.locations(block_id))
+    def remove_block(self, block_id: BlockId, worker_id: Optional[int] = None,
+                     reason: str = "explicit") -> None:
+        """Uncache a block from one worker, or everywhere if unspecified.
+
+        ``reason`` labels the removal for the observability layer:
+        ``"explicit"`` (unpersist, the default) or ``"quota"``
+        (intra-tenant quota enforcement).
+        """
+        targets = [worker_id] if worker_id is not None else sorted(self.locations(block_id))
         for wid in targets:
             if self.stores[wid].remove(block_id) is not None:
                 self._drop_location(block_id, wid)
                 self._notify_evicted(wid, block_id)
-                self._notify_block_event(wid, block_id, "explicit")
+                self._notify_block_event(wid, block_id, reason)
 
     def remove_rdd(self, rdd_id: int) -> None:
         """Uncache every partition of an RDD (``RDD.unpersist``)."""

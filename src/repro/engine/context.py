@@ -136,6 +136,34 @@ class StarkConfig:
     #: Per-remote-fetch transient failure probability.
     fetch_failure_prob: float = 0.0
 
+    # -- multi-tenant dataset service (see docs/SERVICE.md) ----------------
+
+    #: Pool-ordering policy of the dataset service's dispatcher — one of
+    #: ``repro.service.SCHEDULING_POLICY_NAMES`` ("fifo", "fair").
+    scheduling_policy: str = "fifo"
+    #: Default per-tenant cache quota in megabytes; 0 disables quota
+    #: enforcement (tenants may override per-tenant at creation).
+    tenant_quota_mb: float = 0.0
+    #: How many service jobs may run concurrently (dispatcher width).
+    #: The simulated driver executes jobs one at a time, so widths > 1
+    #: only overlap queueing accounting, not task execution.
+    max_concurrent_jobs: int = 1
+
+    def validate_service(self) -> None:
+        """Reject nonsense service-layer knobs up front (CLI guard)."""
+        from ..service.pools import SCHEDULING_POLICY_NAMES
+        if self.scheduling_policy not in SCHEDULING_POLICY_NAMES:
+            raise ValueError(
+                f"unknown scheduling_policy {self.scheduling_policy!r}; "
+                f"pick from {SCHEDULING_POLICY_NAMES}")
+        if self.tenant_quota_mb < 0:
+            raise ValueError(
+                f"tenant_quota_mb must be >= 0: {self.tenant_quota_mb}")
+        if self.max_concurrent_jobs < 1:
+            raise ValueError(
+                f"max_concurrent_jobs must be at least 1: "
+                f"{self.max_concurrent_jobs}")
+
     def validate_fault_tolerance(self) -> None:
         """Reject nonsense fault-tolerance knobs up front (CLI guard)."""
         if self.speculation_multiplier <= 1.0:

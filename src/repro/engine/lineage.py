@@ -8,6 +8,7 @@ provides read-only views used by diagnostics, tests, and the examples.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, TYPE_CHECKING
 
@@ -129,6 +130,73 @@ def to_dot(
             lines.append(f"  r{dep.rdd.rdd_id} -> r{node.rdd_id}{style};")
     lines.append("}")
     return "\n".join(lines)
+
+
+def _describe_callable(fn: object) -> str:
+    """A structural description of a transformation function.
+
+    Two functions compiled from the same source describe identically
+    (qualname + bytecode + constants), so pipelines built independently
+    by different tenants from the same code collide — the property the
+    dataset registry's fingerprint dedup relies on.  Closures over
+    differing values are distinguished via the cell contents' ``repr``.
+    """
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return repr(fn)
+    parts = [
+        getattr(fn, "__qualname__", ""),
+        code.co_code.hex(),
+        repr(code.co_consts),
+        repr(code.co_names),
+    ]
+    closure = getattr(fn, "__closure__", None)
+    if closure:
+        parts.append(repr(tuple(cell.cell_contents for cell in closure)))
+    return "|".join(parts)
+
+
+def lineage_fingerprint(rdd: "RDD") -> str:
+    """Structural hash of ``rdd``'s lineage (sha256 hex digest).
+
+    Two RDDs fingerprint identically iff their lineage graphs are
+    structurally equal: same node types, names, partition counts,
+    partitioners, namespaces, transformation functions (by code, see
+    :func:`_describe_callable`), and same wiring.  This is the dedup key
+    of the dataset registry (``repro.service``): when tenant B registers
+    a computation whose fingerprint matches one tenant A already
+    registered, B's handle aliases A's RDD and is served from A's cached
+    blocks instead of materializing a second copy.
+
+    ``rdd_id`` is deliberately excluded — ids are assignment order, not
+    structure — and node identity is encoded through a lineage-local
+    numbering so diamond sharing still distinguishes from duplication.
+    """
+    nodes = ancestors(rdd, include_self=True)
+    local = {node.rdd_id: i for i, node in enumerate(nodes)}
+    hasher = hashlib.sha256()
+    for node in nodes:
+        desc = [
+            type(node).__name__,
+            node.name,
+            str(node.num_partitions),
+            repr(node.partitioner),
+            node.namespace or "",
+        ]
+        for attr in ("fn", "predicate", "generator", "line_generator"):
+            value = getattr(node, attr, None)
+            if value is not None:
+                desc.append(f"{attr}={_describe_callable(value)}")
+        slices = getattr(node, "_slices", None)
+        if slices is not None:  # ParallelCollectionRDD: driver-held data
+            desc.append(f"data={repr(slices)}")
+        for dep in node.dependencies:
+            kind = type(dep).__name__
+            agg = getattr(dep, "aggregator", None)
+            extra = f":{_describe_callable(agg)}" if agg is not None else ""
+            desc.append(f"dep={kind}:{local[dep.rdd.rdd_id]}{extra}")
+        hasher.update(("\x1e".join(desc) + "\x1f").encode())
+    return hasher.hexdigest()
 
 
 def recovery_cut(rdd: "RDD") -> List["RDD"]:

@@ -42,6 +42,9 @@ from .events import (
     CacheHit,
     CacheMiss,
     CheckpointWritten,
+    DatasetBranched,
+    DatasetDropped,
+    DatasetRegistered,
     EVENT_SCHEMA,
     EVENT_TYPES,
     Event,
@@ -52,6 +55,7 @@ from .events import (
     JobShed,
     JobStart,
     LineageRecovered,
+    PoolWeightsUpdated,
     ScalingDecision,
     ShuffleFetch,
     StageCompleted,
@@ -61,6 +65,9 @@ from .events import (
     TaskRetried,
     TaskSpeculated,
     TaskStart,
+    TenantJobAdmitted,
+    TenantJobShed,
+    TenantJobSubmitted,
     WorkerDecommissioned,
     WorkerProvisioned,
     event_from_dict,
@@ -70,6 +77,7 @@ from .invariants import check_event_invariants
 from .listeners import (
     EventCollector,
     JsonlEventLog,
+    TenantStatsCollector,
     format_event,
     read_event_log,
     validate_event_log,
@@ -148,6 +156,9 @@ __all__ = [
     "CheckpointWritten",
     "ChromeTraceExporter",
     "Counter",
+    "DatasetBranched",
+    "DatasetDropped",
+    "DatasetRegistered",
     "EVENT_SCHEMA",
     "EVENT_TYPES",
     "Event",
@@ -164,6 +175,7 @@ __all__ = [
     "JsonlEventLog",
     "LineageRecovered",
     "MetricsRegistry",
+    "PoolWeightsUpdated",
     "ScalingDecision",
     "ShuffleFetch",
     "StageCompleted",
@@ -173,6 +185,10 @@ __all__ = [
     "TaskRetried",
     "TaskSpeculated",
     "TaskStart",
+    "TenantJobAdmitted",
+    "TenantJobShed",
+    "TenantJobSubmitted",
+    "TenantStatsCollector",
     "UtilizationSampler",
     "WorkerDecommissioned",
     "WorkerProvisioned",

@@ -328,6 +328,85 @@ class ScalingDecision(Event):
     reason: str
 
 
+# ---- multi-tenant service --------------------------------------------------
+
+@dataclass(frozen=True)
+class TenantJobSubmitted(Event):
+    """A tenant handed a job to the dataset service (pre-admission)."""
+
+    tenant: str
+    job_index: int
+
+
+@dataclass(frozen=True)
+class TenantJobAdmitted(Event):
+    """Admission control accepted the job into the tenant's pool queue
+    (``queued`` is the pool's backlog after enqueue)."""
+
+    tenant: str
+    job_index: int
+    queued: int
+
+
+@dataclass(frozen=True)
+class TenantJobShed(Event):
+    """Per-tenant admission control rejected the job: the tenant already
+    had ``pending`` jobs queued or running against its bound."""
+
+    tenant: str
+    job_index: int
+    pending: int
+
+
+@dataclass(frozen=True)
+class DatasetRegistered(Event):
+    """A named/versioned dataset entered the registry.  ``deduped`` marks
+    a lineage-fingerprint hit: the handle aliases an RDD some earlier
+    registration already owns, so its cached blocks are shared."""
+
+    tenant: str
+    name: str
+    version: int
+    rdd_id: int
+    deduped: bool
+
+
+@dataclass(frozen=True)
+class DatasetBranched(Event):
+    """``new_name@1`` forked from ``source_name@source_version`` sharing
+    the same underlying RDD (and therefore its cached blocks)."""
+
+    tenant: str
+    source_name: str
+    source_version: int
+    new_name: str
+    rdd_id: int
+
+
+@dataclass(frozen=True)
+class DatasetDropped(Event):
+    """A registry version was dropped.  ``deferred`` means live handles
+    still pin the RDD, so the actual unpersist waits for the last
+    release; ``unpersisted`` means the blocks were freed now."""
+
+    tenant: str
+    name: str
+    version: int
+    rdd_id: int
+    deferred: bool
+    unpersisted: bool
+
+
+@dataclass(frozen=True)
+class PoolWeightsUpdated(Event):
+    """A scheduling pool's fair-share parameters changed (also posted
+    once at pool creation)."""
+
+    pool: str
+    weight: float
+    min_share: int
+
+
 # ---- streaming -------------------------------------------------------------
 
 @dataclass(frozen=True)

@@ -1,0 +1,50 @@
+"""repro.service — driver-side multi-tenant dataset service.
+
+The paper's premise is *dynamic dataset collections*: many datasets
+arriving, evolving, and being shared.  This package makes that
+first-class on top of the engine (see docs/SERVICE.md):
+
+* :class:`DatasetRegistry` — named, versioned, branchable handles over
+  cached RDDs (``name@version``), refcounted so unpersist defers while
+  any tenant holds a handle, with lineage-fingerprint dedup so two
+  tenants registering the same computation share one cached copy;
+* :mod:`~repro.service.pools` — weighted fair-share scheduling pools
+  with min-share guarantees and a pluggable ordering policy (FIFO vs
+  fair), so one tenant's burst cannot starve the rest;
+* :class:`~repro.service.quotas.TenantCacheQuotas` — per-tenant cache
+  quotas enforced through the existing CachePolicy/BlockStore machinery
+  (quota-aware admission; a tenant over budget displaces its *own*
+  blocks before anyone else's);
+* :class:`DatasetService` — the front door: tenants, async job
+  submission with per-tenant admission control, all driven by SimKernel
+  events so determinism (byte-identical event logs) is preserved.
+"""
+
+from .pools import (
+    FairSharePolicy,
+    FIFOSchedulingPolicy,
+    Pool,
+    PoolSet,
+    SCHEDULING_POLICY_NAMES,
+    SchedulingPolicy,
+    make_scheduling_policy,
+)
+from .quotas import TenantCacheQuotas
+from .registry import DatasetHandle, DatasetRegistry, parse_dataset_ref
+from .service import DatasetService, Tenant
+
+__all__ = [
+    "DatasetHandle",
+    "DatasetRegistry",
+    "DatasetService",
+    "FIFOSchedulingPolicy",
+    "FairSharePolicy",
+    "Pool",
+    "PoolSet",
+    "SCHEDULING_POLICY_NAMES",
+    "SchedulingPolicy",
+    "Tenant",
+    "TenantCacheQuotas",
+    "make_scheduling_policy",
+    "parse_dataset_ref",
+]

@@ -1,0 +1,209 @@
+"""Fair-share scheduling pools: weighted per-tenant queues.
+
+Spark's fair scheduler orders schedulable pools by a comparator over
+(runningTasks, minShare, weight).  This module adapts that idea to the
+service layer's *job* dispatcher: each tenant owns a :class:`Pool` with
+a ``weight`` and a ``min_share``, arriving jobs queue in their pool, and
+a pluggable :class:`SchedulingPolicy` picks which nonempty pool
+dispatches next.
+
+:class:`FairSharePolicy` is CFS-style: each pool accumulates virtual
+runtime (``busy_seconds / weight``) for the service it receives, and the
+pool with the least vruntime among the nonempty ones goes next — so a
+weight-2 pool receives twice the service of a weight-1 pool over any
+saturated interval, and a pool that only just became busy is floored to
+the current minimum rather than allowed to monopolize on its idle-time
+"savings".  Pools running below their ``min_share`` preempt the vruntime
+order entirely (Spark's minShare guarantee).
+
+Everything is deterministic: dict iteration is insertion-ordered,
+tie-breaks fall back to the global arrival sequence number, and no wall
+clock or RNG is consulted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+
+@dataclass
+class _QueuedItem:
+    """One queued job: global arrival sequence number + opaque payload."""
+
+    seq: int
+    item: Any
+
+
+class Pool:
+    """One tenant's queue plus its fair-share parameters and state."""
+
+    def __init__(self, name: str, weight: float = 1.0,
+                 min_share: int = 0) -> None:
+        if weight <= 0:
+            raise ValueError(f"pool weight must be positive: {weight}")
+        if min_share < 0:
+            raise ValueError(f"pool min_share must be >= 0: {min_share}")
+        self.name = name
+        self.weight = weight
+        self.min_share = min_share
+        self.queue: Deque[_QueuedItem] = deque()
+        #: Accumulated service time divided by weight (CFS vruntime).
+        self.vruntime: float = 0.0
+        #: Jobs currently executing out of this pool.
+        self.running: int = 0
+        #: Total jobs ever dispatched from this pool.
+        self.dispatched: int = 0
+
+    @property
+    def backlog(self) -> int:
+        return len(self.queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Pool({self.name!r}, weight={self.weight}, "
+                f"min_share={self.min_share}, backlog={self.backlog}, "
+                f"vruntime={self.vruntime:.3f})")
+
+
+class SchedulingPolicy:
+    """Chooses which nonempty pool dispatches next."""
+
+    name: str = "base"
+
+    def select(self, pools: Sequence[Pool]) -> Pool:
+        """Return the pool to dispatch from; ``pools`` is nonempty and
+        every element has a nonempty queue."""
+        raise NotImplementedError
+
+
+class FIFOSchedulingPolicy(SchedulingPolicy):
+    """Global arrival order, pools ignored — one tenant's burst runs to
+    completion ahead of everything that arrived after it (the baseline
+    the fairness benchmark shows blowing up)."""
+
+    name = "fifo"
+
+    def select(self, pools: Sequence[Pool]) -> Pool:
+        return min(pools, key=lambda p: p.queue[0].seq)
+
+
+class FairSharePolicy(SchedulingPolicy):
+    """Weighted fair sharing with min-share preemption.
+
+    Pools running below their ``min_share`` are *needy* and go first
+    (least vruntime among the needy).  Otherwise the least-vruntime pool
+    dispatches; the arrival sequence of the head job breaks exact ties
+    so identical traces always dispatch identically.
+    """
+
+    name = "fair"
+
+    def select(self, pools: Sequence[Pool]) -> Pool:
+        needy = [p for p in pools if p.running < p.min_share]
+        candidates = needy if needy else pools
+        return min(candidates, key=lambda p: (p.vruntime, p.queue[0].seq))
+
+
+SCHEDULING_POLICY_NAMES = (FIFOSchedulingPolicy.name, FairSharePolicy.name)
+
+
+def make_scheduling_policy(name: str) -> SchedulingPolicy:
+    if name == FIFOSchedulingPolicy.name:
+        return FIFOSchedulingPolicy()
+    if name == FairSharePolicy.name:
+        return FairSharePolicy()
+    raise ValueError(f"unknown scheduling policy {name!r}; "
+                     f"pick from {SCHEDULING_POLICY_NAMES}")
+
+
+#: Callback fired when a pool is created or its parameters change —
+#: the service layer turns it into ``PoolWeightsUpdated`` events.
+PoolUpdateFn = Callable[[Pool], None]
+
+
+class PoolSet:
+    """The collection of pools one dispatcher schedules over."""
+
+    def __init__(
+        self,
+        policy: Union[str, SchedulingPolicy] = FairSharePolicy.name,
+        on_pool_updated: Optional[PoolUpdateFn] = None,
+    ) -> None:
+        self.policy = (make_scheduling_policy(policy)
+                       if isinstance(policy, str) else policy)
+        self.pools: Dict[str, Pool] = {}
+        self._seq = itertools.count()
+        self._on_pool_updated = on_pool_updated
+        #: Monotone watermark of the leftmost (selected) vruntime — the
+        #: CFS ``min_vruntime`` analogue.  Pools waking after a full
+        #: drain are floored to it, so idle time never banks credit.
+        self._min_vruntime = 0.0
+
+    # ---- pool management ----------------------------------------------------
+
+    def create(self, name: str, weight: float = 1.0,
+               min_share: int = 0) -> Pool:
+        if name in self.pools:
+            raise ValueError(f"pool {name!r} already exists")
+        pool = Pool(name, weight=weight, min_share=min_share)
+        self.pools[name] = pool
+        if self._on_pool_updated is not None:
+            self._on_pool_updated(pool)
+        return pool
+
+    def set_weight(self, name: str, weight: float,
+                   min_share: Optional[int] = None) -> None:
+        """Reconfigure a pool's share parameters at runtime."""
+        pool = self.pools[name]
+        if weight <= 0:
+            raise ValueError(f"pool weight must be positive: {weight}")
+        pool.weight = weight
+        if min_share is not None:
+            if min_share < 0:
+                raise ValueError(f"pool min_share must be >= 0: {min_share}")
+            pool.min_share = min_share
+        if self._on_pool_updated is not None:
+            self._on_pool_updated(pool)
+
+    # ---- queueing -----------------------------------------------------------
+
+    def enqueue(self, name: str, item: Any) -> int:
+        """Queue one job into a pool; returns the pool's new backlog.
+
+        A pool transitioning idle→busy has its vruntime floored to the
+        minimum over currently active pools (or the monotone
+        ``min_vruntime`` watermark when none are), so idle time cannot
+        be banked into a later monopoly.
+        """
+        pool = self.pools[name]
+        if not pool.queue and pool.running == 0:
+            active = [p.vruntime for p in self.pools.values()
+                      if p.queue or p.running > 0]
+            floor = min(active) if active else self._min_vruntime
+            pool.vruntime = max(pool.vruntime, floor)
+        pool.queue.append(_QueuedItem(next(self._seq), item))
+        return pool.backlog
+
+    def nonempty(self) -> List[Pool]:
+        return [p for p in self.pools.values() if p.queue]
+
+    def select(self) -> Optional[Tuple[Pool, Any]]:
+        """Pop the next job per the policy; ``None`` when all queues are
+        empty."""
+        pools = self.nonempty()
+        if not pools:
+            return None
+        pool = self.policy.select(pools)
+        entry = pool.queue.popleft()
+        pool.dispatched += 1
+        return pool, entry.item
+
+    def charge(self, pool: Pool, busy_seconds: float) -> None:
+        """Account ``busy_seconds`` of service against ``pool``."""
+        pool.vruntime += busy_seconds / pool.weight
+        self._min_vruntime = max(self._min_vruntime, pool.vruntime)
+
+    def total_queued(self) -> int:
+        return sum(p.backlog for p in self.pools.values())

@@ -1,0 +1,185 @@
+"""Fair-share pools: policy unit tests + hypothesis properties.
+
+The two properties the scheduler promises:
+
+* **no starvation** — under saturation, every backlogged pool is served
+  within a bounded number of dispatches (roughly total_weight/weight);
+* **weighted convergence** — over a saturated interval, each pool's
+  share of dispatches converges to its weight share.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import (
+    FIFOSchedulingPolicy,
+    FairSharePolicy,
+    PoolSet,
+    make_scheduling_policy,
+)
+from repro.service.pools import SCHEDULING_POLICY_NAMES
+
+
+def drain(ps, service_time=1.0):
+    """Dispatch until empty; returns the pool-name sequence."""
+    order = []
+    while True:
+        selection = ps.select()
+        if selection is None:
+            return order
+        pool, _ = selection
+        ps.charge(pool, service_time)
+        order.append(pool.name)
+
+
+class TestPolicies:
+    def test_factory(self):
+        assert isinstance(make_scheduling_policy("fifo"),
+                          FIFOSchedulingPolicy)
+        assert isinstance(make_scheduling_policy("fair"), FairSharePolicy)
+        with pytest.raises(ValueError):
+            make_scheduling_policy("wfq")
+        assert set(SCHEDULING_POLICY_NAMES) == {"fifo", "fair"}
+
+    def test_fifo_is_global_arrival_order(self):
+        ps = PoolSet("fifo")
+        ps.create("a"), ps.create("b", weight=100.0)
+        for name in ["a", "a", "b", "a", "b"]:
+            ps.enqueue(name, name)
+        assert drain(ps) == ["a", "a", "b", "a", "b"]
+
+    def test_fair_interleaves_a_burst(self):
+        ps = PoolSet("fair")
+        ps.create("burst"), ps.create("light")
+        for i in range(10):
+            ps.enqueue("burst", i)
+        ps.enqueue("light", "x")
+        order = drain(ps)
+        # The light pool's single job runs within the first two slots,
+        # not behind the whole burst (which FIFO would do).
+        assert order.index("light") <= 1
+
+    def test_weight_two_gets_twice_the_service(self):
+        ps = PoolSet("fair")
+        ps.create("heavy", weight=2.0), ps.create("light", weight=1.0)
+        for i in range(60):
+            ps.enqueue("heavy", i), ps.enqueue("light", i)
+        order = drain(ps)[:30]
+        assert order.count("heavy") == 2 * order.count("light")
+
+    def test_min_share_preempts_vruntime_order(self):
+        ps = PoolSet("fair")
+        ps.create("a", weight=100.0)
+        ps.create("b", weight=1.0, min_share=1)
+        ps.enqueue("a", 1), ps.enqueue("b", 2)
+        # b is needy (running 0 < min_share 1) so it goes first even
+        # though a's weight dwarfs it.
+        pool, _ = ps.select()
+        assert pool.name == "b"
+
+    def test_idle_pool_vruntime_floored_on_wakeup(self):
+        ps = PoolSet("fair")
+        ps.create("busy"), ps.create("sleeper")
+        for i in range(20):
+            ps.enqueue("busy", i)
+        drain(ps)
+        # sleeper idled through all that service; on wakeup it must not
+        # monopolize on its banked vruntime deficit.
+        ps.enqueue("sleeper", "x")
+        assert ps.pools["sleeper"].vruntime >= ps.pools["busy"].vruntime
+
+    def test_validation(self):
+        ps = PoolSet("fair")
+        with pytest.raises(ValueError):
+            ps.create("bad", weight=0.0)
+        with pytest.raises(ValueError):
+            ps.create("bad", min_share=-1)
+        ps.create("a")
+        with pytest.raises(ValueError):
+            ps.create("a")
+        with pytest.raises(ValueError):
+            ps.set_weight("a", -1.0)
+
+
+weights = st.lists(
+    st.floats(min_value=0.25, max_value=8.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=2, max_size=5)
+
+
+class TestFairShareProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(weights=weights, backlog=st.integers(min_value=5, max_value=40))
+    def test_no_nonempty_pool_starves(self, weights, backlog):
+        """Under saturation every pool is served at least once per
+        ~total_weight/weight dispatches (plus constant slack)."""
+        ps = PoolSet("fair")
+        names = [f"p{i}" for i in range(len(weights))]
+        for name, w in zip(names, weights):
+            ps.create(name, weight=w)
+        for j in range(backlog):
+            for name in names:
+                ps.enqueue(name, j)
+        order = drain(ps)
+        assert len(order) == backlog * len(names)
+        total_w = sum(weights)
+        for name, w in zip(names, weights):
+            bound = math.ceil(total_w / w) + len(names)
+            positions = [i for i, n in enumerate(order) if n == name]
+            gaps = [b - a for a, b in zip(positions, positions[1:])]
+            assert max(gaps, default=0) <= bound, (
+                f"{name} (weight {w}) starved: max gap "
+                f"{max(gaps)} > {bound}")
+
+    @settings(max_examples=60, deadline=None)
+    @given(weights=weights)
+    def test_shares_converge_to_weights(self, weights):
+        """Dispatch counts over a saturated prefix track weight shares."""
+        ps = PoolSet("fair")
+        names = [f"p{i}" for i in range(len(weights))]
+        backlog = 400
+        for name, w in zip(names, weights):
+            ps.create(name, weight=w)
+        for j in range(backlog):
+            for name in names:
+                ps.enqueue(name, j)
+        # Look only at a prefix where every pool is still backlogged.
+        total_w = sum(weights)
+        horizon = int(backlog * min(weights) / total_w * len(names))
+        order = drain(ps)[:horizon]
+        for name, w in zip(names, weights):
+            expected = len(order) * w / total_w
+            # CFS keeps lag bounded by one max-size quantum per pool:
+            # served time differs by <= 1 job, so counts differ by
+            # <= weight-ratio jobs (+1 rounding).
+            slack = w * total_w / min(weights) / total_w + 2
+            assert abs(order.count(name) - expected) <= slack, (
+                f"{name}: {order.count(name)} dispatches, "
+                f"expected ~{expected:.1f} (slack {slack:.1f})")
+
+    @settings(max_examples=40, deadline=None)
+    @given(weights=weights,
+           jobs=st.lists(st.integers(min_value=0, max_value=4),
+                         min_size=2, max_size=5))
+    def test_everything_submitted_is_dispatched_once(self, weights, jobs):
+        ps = PoolSet("fair")
+        expected = []
+        for i, w in enumerate(weights):
+            ps.create(f"p{i}", weight=w)
+            n = jobs[i % len(jobs)]
+            for j in range(n):
+                ps.enqueue(f"p{i}", (i, j))
+                expected.append((i, j))
+        dispatched = []
+        while True:
+            selection = ps.select()
+            if selection is None:
+                break
+            pool, item = selection
+            ps.charge(pool, 1.0)
+            dispatched.append(item)
+        assert sorted(dispatched) == sorted(expected)
+        assert ps.total_queued() == 0

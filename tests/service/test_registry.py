@@ -1,0 +1,197 @@
+"""DatasetRegistry: versions, handles, deferred unpersist, dedup.
+
+The headline integration test proves the multi-tenant promise end to
+end: tenant B registers the *same computation* tenant A already
+materialized, the registry aliases B's handle onto A's RDD, and B's job
+is served entirely from A's cached blocks (pure cache hits, zero new
+misses).
+"""
+
+import pytest
+
+from repro import StarkContext
+from repro.engine.lineage import lineage_fingerprint
+from repro.service import DatasetRegistry, parse_dataset_ref
+
+
+def make_sc():
+    return StarkContext(num_workers=2, cores_per_worker=2,
+                        memory_per_worker=1e9)
+
+
+def pipeline(sc, source=0, num_partitions=4):
+    """A deterministic cached-worthy pipeline, identical across calls
+    with the same ``source``."""
+    def gen(pid, source=source):
+        return [(pid * 100 + i, (i * 31 + source) % 97)
+                for i in range(50)]
+
+    return (sc.generated(gen, num_partitions, read_cost="disk",
+                         name=f"src{source}")
+            .map(lambda kv: (kv[0], kv[1] + 1)))
+
+
+class TestParseRef:
+    def test_bare_name(self):
+        assert parse_dataset_ref("events") == ("events", None)
+
+    def test_versioned(self):
+        assert parse_dataset_ref("events@3") == ("events", 3)
+
+    def test_name_containing_at(self):
+        assert parse_dataset_ref("a@b@2") == ("a@b", 2)
+
+    @pytest.mark.parametrize("bad", ["@3", "events@", "events@x"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_dataset_ref(bad)
+
+
+class TestLifecycle:
+    def test_register_versions_grow(self):
+        sc = make_sc()
+        reg = DatasetRegistry(sc)
+        h1 = reg.register("a", "events", pipeline(sc, 0))
+        h2 = reg.register("a", "events", pipeline(sc, 1))
+        assert (h1.version, h2.version) == (1, 2)
+        assert reg.versions_of("events") == [1, 2]
+        assert h1.ref == "events@1"
+
+    def test_register_marks_cached(self):
+        sc = make_sc()
+        reg = DatasetRegistry(sc)
+        rdd = pipeline(sc)
+        assert not rdd.cached
+        reg.register("a", "events", rdd)
+        assert rdd.cached
+
+    def test_lookup_latest_and_pinned_version(self):
+        sc = make_sc()
+        reg = DatasetRegistry(sc)
+        h1 = reg.register("a", "events", pipeline(sc, 0))
+        h2 = reg.register("a", "events", pipeline(sc, 1))
+        assert reg.lookup("b", "events").version == 2
+        assert reg.lookup("b", "events@1").rdd_id == h1.rdd_id
+        with pytest.raises(KeyError):
+            reg.lookup("b", "events@9")
+        with pytest.raises(KeyError):
+            reg.lookup("b", "nope")
+        assert h2.rdd is sc.get_rdd(h2.rdd_id)
+
+    def test_drop_defers_until_handles_release(self):
+        sc = make_sc()
+        reg = DatasetRegistry(sc)
+        handle = reg.register("a", "events", pipeline(sc))
+        rdd_id = handle.rdd_id
+        extra = reg.lookup("b", "events")
+        # Drop retires the version but blocks stay pinned: the version
+        # pin drains, the two handles' pins remain.
+        assert reg.drop("a", "events") is False
+        assert reg.pins_of(rdd_id) == 2
+        assert reg.versions_of("events") == []
+        handle.release()
+        assert reg.pins_of(rdd_id) == 1
+        extra.release()
+        assert reg.pins_of(rdd_id) == 0
+        assert not sc.get_rdd(rdd_id).cached
+
+    def test_unpersist_frees_cached_blocks(self):
+        sc = make_sc()
+        reg = DatasetRegistry(sc)
+        handle = reg.register("a", "events", pipeline(sc))
+        sc.run_job(handle.rdd, len)
+        assert sc.cached_bytes() > 0
+        reg.drop("a", "events")
+        assert sc.cached_bytes() > 0  # handle still pins the blocks
+        handle.release()
+        assert sc.cached_bytes() == 0
+
+    def test_release_is_idempotent_and_context_managed(self):
+        sc = make_sc()
+        reg = DatasetRegistry(sc)
+        with reg.register("a", "events", pipeline(sc)) as handle:
+            assert reg.pins_of(handle.rdd_id) == 2
+        assert reg.pins_of(handle.rdd_id) == 1
+        handle.release()
+        assert reg.pins_of(handle.rdd_id) == 1  # second release no-ops
+
+
+class TestBranch:
+    def test_branch_shares_rdd(self):
+        sc = make_sc()
+        reg = DatasetRegistry(sc)
+        base = reg.register("a", "events", pipeline(sc))
+        fork = reg.branch("b", "events@1", "events-b")
+        assert fork.rdd_id == base.rdd_id
+        assert (fork.name, fork.version) == ("events-b", 1)
+        assert reg.versions_of("events-b") == [1]
+
+    def test_branch_keeps_blocks_alive_after_source_drop(self):
+        sc = make_sc()
+        reg = DatasetRegistry(sc)
+        base = reg.register("a", "events", pipeline(sc))
+        fork = reg.branch("b", "events", "events-b")
+        base.release()
+        reg.drop("a", "events@1")
+        assert sc.get_rdd(fork.rdd_id).cached  # branch still pins
+        fork.release()
+        assert reg.drop("b", "events-b") is True
+        assert not sc.get_rdd(fork.rdd_id).cached
+
+    def test_branch_name_collision(self):
+        sc = make_sc()
+        reg = DatasetRegistry(sc)
+        reg.register("a", "events", pipeline(sc))
+        with pytest.raises(ValueError):
+            reg.branch("b", "events", "events")
+
+
+class TestDedup:
+    def test_identical_pipelines_share_one_rdd(self):
+        sc = make_sc()
+        reg = DatasetRegistry(sc)
+        ha = reg.register("a", "ds-a", pipeline(sc, 0))
+        hb = reg.register("b", "ds-b", pipeline(sc, 0))
+        hc = reg.register("c", "ds-c", pipeline(sc, 1))
+        assert ha.rdd_id == hb.rdd_id
+        assert hc.rdd_id != ha.rdd_id
+        assert reg.dedup_hits == 1
+
+    def test_fingerprint_distinguishes_structure(self):
+        sc = make_sc()
+        assert (lineage_fingerprint(pipeline(sc, 0))
+                == lineage_fingerprint(pipeline(sc, 0)))
+        assert (lineage_fingerprint(pipeline(sc, 0))
+                != lineage_fingerprint(pipeline(sc, 1)))
+        assert (lineage_fingerprint(pipeline(sc, 0))
+                != lineage_fingerprint(pipeline(sc, 0).filter(bool)))
+
+    def test_second_tenant_served_from_first_tenants_blocks(self):
+        """The multi-tenant payoff: B's job is all cache hits."""
+        sc = make_sc()
+        reg = DatasetRegistry(sc)
+        num_partitions = 4
+        ha = reg.register("a", "ds-a",
+                          pipeline(sc, 0, num_partitions))
+        sc.run_job(ha.rdd, len)  # A materializes the cache
+        warm = sc.metrics.cache_stats()
+        assert warm["misses"] == num_partitions
+
+        hb = reg.register("b", "ds-b",
+                          pipeline(sc, 0, num_partitions))
+        sc.run_job(hb.rdd, len)  # B runs "its" dataset
+        stats = sc.metrics.cache_stats()
+        assert stats["hits"] == warm["hits"] + num_partitions
+        assert stats["misses"] == warm["misses"]  # zero new misses
+
+    def test_dedup_retires_with_last_pin(self):
+        sc = make_sc()
+        reg = DatasetRegistry(sc)
+        ha = reg.register("a", "ds-a", pipeline(sc, 0))
+        ha.release()
+        reg.drop("a", "ds-a")
+        # All pins drained: a re-registration must NOT alias the retired
+        # (uncached) RDD.
+        hb = reg.register("b", "ds-b", pipeline(sc, 0))
+        assert hb.rdd_id != ha.rdd_id
+        assert sc.get_rdd(hb.rdd_id).cached
