@@ -1,0 +1,70 @@
+"""Simulator raw speed: kernel event throughput + profiler overhead.
+
+Two wall-clock measurements of the simulator itself (ROADMAP's raw-speed
+axis — everything else in ``benchmarks/`` gates *simulated* metrics):
+
+* **event churn** — tens of thousands of near-empty events through a
+  bare SimKernel: the schedule/heap/dispatch floor;
+* **full stack** — an open-loop JobDriver stream over a cached RDD:
+  jobs/tasks per wall second with the whole engine on top.
+
+Raw rates depend on the host, so the perf gate tracks only the
+calibration-normalized rates (raw rate divided by a fixed pure-Python
+loop's ops/sec measured in the same process), which cancel machine speed
+while still catching real kernel slowdowns.  The same run checks the
+SimProfiler attach contract: profiling the full-stack workload must not
+cost more than a few percent of wall time.
+
+With ``--bench-json-dir`` the numbers land in
+``BENCH_kernel_throughput.json`` for the CI perf gate (compared with
+``--only kernel_throughput --threshold 0.5``).
+"""
+
+from repro.bench.harness import run_kernel_throughput
+from repro.bench.reporting import print_table
+
+# Wall-clock bound on the profiler attach contract.  Typical overhead is
+# well under 5% (each dispatched event executes a whole job, dwarfing the
+# two perf_counter reads); the bound leaves headroom for CI timer noise.
+MAX_PROFILER_OVERHEAD = 0.15
+
+
+def test_kernel_throughput(run_once):
+    result = run_once(run_kernel_throughput)
+
+    print_table(
+        "Kernel throughput (wall clock)",
+        ["metric", "value"],
+        [["kernel events dispatched", result.kernel_events],
+         ["events/sec (bare kernel)", result.events_per_sec],
+         ["tasks run (full stack)", result.tasks_run],
+         ["tasks/sec (full stack)", result.tasks_per_sec],
+         ["calibration ops/sec", result.calibration_ops_per_sec],
+         ["normalized events/sec", result.normalized_events_per_sec],
+         ["normalized tasks/sec", result.normalized_tasks_per_sec],
+         ["profiler overhead", f"{result.profiler_overhead_fraction:.1%}"],
+         ["heap peak (profiled arm)", result.heap_peak]],
+    )
+    if result.hotspots:
+        print_table(
+            "Profiler hotspots (full-stack arm)",
+            ["callback", "count", "total (s)"],
+            [[label, count, total] for label, count, total
+             in result.hotspots[:8]],
+        )
+
+    # Sanity floors, not perf gates (the gate compares the normalized
+    # rates against the committed baseline).
+    assert result.events_per_sec > 1000
+    assert result.tasks_per_sec > 10
+    assert result.normalized_events_per_sec > 0
+    assert result.normalized_tasks_per_sec > 0
+
+    # Attach contract: profiling a realistic workload is nearly free.
+    assert result.profiler_overhead_fraction <= MAX_PROFILER_OVERHEAD, (
+        f"profiler cost {result.profiler_overhead_fraction:.1%} of wall "
+        f"time (bound {MAX_PROFILER_OVERHEAD:.0%})")
+
+    # The profiled arm actually profiled something.
+    assert result.heap_peak > 0
+    assert result.hotspots

@@ -18,6 +18,10 @@ Claims under test:
   scratch blocks, never the compliant tenants' hot sets);
 * the registry's lineage-fingerprint dedup fires: one tenant registers
   tenant 0's exact computation and is served from its blocks;
+* the online SLO monitor agrees with the offline stats: with every
+  tenant's target set to 3x the reference compliant p95, burn-rate
+  alerts fire for compliant tenants under FIFO and for *none* of them
+  under fair-share (the abuser itself alerts either way);
 * the whole thing is deterministic — two runs produce byte-identical
   result payloads (the digest the BENCH json embeds).
 
@@ -74,6 +78,17 @@ def test_tenant_fairness(run_once):
 
     # Registry dedup fired in every arm (t4 registered t0's pipeline).
     assert all(r.dedup_hits == 1 for r in results)
+
+    # Online SLO monitoring sees what the offline stats say: compliant
+    # tenants burn through their error budget under FIFO, never under
+    # fair-share.  (The abuser blowing its own SLO is expected.)
+    assert by_arm["fair"].slo_target == by_arm["fifo"].slo_target > 0
+    assert by_arm["fair"].compliant_slo_alerts == 0, (
+        f"fair-share fired {by_arm['fair'].compliant_slo_alerts} compliant "
+        f"SLO alerts: {by_arm['fair'].slo_alerts_by_tenant}")
+    assert by_arm["fifo"].compliant_slo_alerts > 0, (
+        "FIFO fired no compliant SLO alerts — the monitor missed the "
+        "starvation the p95 ratio shows")
 
 
 def test_tenant_fairness_deterministic():

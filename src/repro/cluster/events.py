@@ -55,6 +55,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
+from time import perf_counter as _perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -157,9 +158,28 @@ class EventQueue:
         #: True while run_until/run_all is popping events; lets
         #: :meth:`SimKernel.pump` no-op instead of re-entering the loop.
         self._running = False
+        #: Optional wall-clock self-profiler (duck-typed: on_dispatch /
+        #: on_schedule — see :class:`repro.obs.profiler.SimProfiler`).
+        #: It reads only ``perf_counter``, never simulated time, so a
+        #: profiled run replays byte-identically; detached, the cost is
+        #: one ``is None`` check per event.
+        self._profiler: Optional[Any] = None
 
     def __len__(self) -> int:
         return sum(1 for e in self._heap if not e.cancelled)
+
+    def attach_profiler(self, profiler: Any) -> Any:
+        """Attach a wall-clock self-profiler (``on_dispatch(cb, s)`` /
+        ``on_schedule(heap_len)``); returns it for chaining."""
+        self._profiler = profiler
+        return profiler
+
+    def detach_profiler(self) -> None:
+        self._profiler = None
+
+    @property
+    def profiler(self) -> Optional[Any]:
+        return self._profiler
 
     def schedule(self, time: float, callback: Callable[[], Any],
                  daemon: bool = False) -> EventHandle:
@@ -173,6 +193,8 @@ class EventQueue:
         heapq.heappush(self._heap, event)
         if not daemon:
             self._live_regular += 1
+        if self._profiler is not None:
+            self._profiler.on_schedule(len(self._heap))
         return EventHandle(event, self)
 
     def schedule_in(self, delay: float, callback: Callable[[], Any],
@@ -200,7 +222,13 @@ class EventQueue:
         # timestamp by other components (the virtual-time task scheduler
         # does this); never move the clock backwards.
         self.clock.advance_to(max(event.time, self.clock.now))
-        event.callback()
+        profiler = self._profiler
+        if profiler is None:
+            event.callback()
+        else:
+            t0 = _perf_counter()
+            event.callback()
+            profiler.on_dispatch(event.callback, _perf_counter() - t0)
         return True
 
     def run_until(self, end_time: float) -> int:

@@ -66,12 +66,23 @@ from .events import (
     TaskSpeculated,
     TaskStart,
     TenantJobAdmitted,
+    TenantJobCompleted,
     TenantJobShed,
     TenantJobSubmitted,
+    TenantSloAlert,
     WorkerDecommissioned,
     WorkerProvisioned,
     event_from_dict,
     validate_event_dict,
+)
+from .critical_path import (
+    BlameSegment,
+    CATEGORIES,
+    CriticalPathReport,
+    ascii_blame_chart,
+    compute_critical_path,
+    critical_paths,
+    critical_span_trace_events,
 )
 from .invariants import check_event_invariants
 from .listeners import (
@@ -82,8 +93,10 @@ from .listeners import (
     read_event_log,
     validate_event_log,
 )
+from .profiler import DispatchStat, HeapStats, SimProfiler
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 from .sampler import UtilizationSampler
+from .spans import JobSpan, StageSpan, TaskSpan, build_spans
 from .trace import ChromeTraceExporter, assign_slots
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -148,17 +161,21 @@ def observe_to_dir(out_dir: Union[str, Path]) -> Iterator[Path]:
 __all__ = [
     "BatchCompleted",
     "BatchSubmitted",
+    "BlameSegment",
     "BlockCached",
     "BlockEvicted",
     "BlocksMigrated",
+    "CATEGORIES",
     "CacheHit",
     "CacheMiss",
     "CheckpointWritten",
     "ChromeTraceExporter",
     "Counter",
+    "CriticalPathReport",
     "DatasetBranched",
     "DatasetDropped",
     "DatasetRegistered",
+    "DispatchStat",
     "EVENT_SCHEMA",
     "EVENT_TYPES",
     "Event",
@@ -168,9 +185,11 @@ __all__ = [
     "FailureInjected",
     "FetchFailed",
     "Gauge",
+    "HeapStats",
     "Histogram",
     "JobEnd",
     "JobShed",
+    "JobSpan",
     "JobStart",
     "JsonlEventLog",
     "LineageRecovered",
@@ -178,23 +197,33 @@ __all__ = [
     "PoolWeightsUpdated",
     "ScalingDecision",
     "ShuffleFetch",
+    "SimProfiler",
     "StageCompleted",
     "StageResubmitted",
+    "StageSpan",
     "StageSubmitted",
     "TaskEnd",
     "TaskRetried",
+    "TaskSpan",
     "TaskSpeculated",
     "TaskStart",
     "TenantJobAdmitted",
+    "TenantJobCompleted",
     "TenantJobShed",
     "TenantJobSubmitted",
+    "TenantSloAlert",
     "TenantStatsCollector",
     "UtilizationSampler",
     "WorkerDecommissioned",
     "WorkerProvisioned",
     "add_context_observer",
+    "ascii_blame_chart",
     "assign_slots",
+    "build_spans",
     "check_event_invariants",
+    "compute_critical_path",
+    "critical_paths",
+    "critical_span_trace_events",
     "event_from_dict",
     "format_event",
     "notify_context_created",

@@ -407,6 +407,36 @@ class PoolWeightsUpdated(Event):
     min_share: int
 
 
+@dataclass(frozen=True)
+class TenantJobCompleted(Event):
+    """A dispatched tenant job finished; ``delay`` is the response time
+    (finish - arrival) the SLO monitor windows over."""
+
+    tenant: str
+    job_index: int
+    arrival: float
+    finish: float
+    delay: float
+
+
+@dataclass(frozen=True)
+class TenantSloAlert(Event):
+    """A tenant's rolling delay window is burning through its SLO error
+    budget: ``burn_rate`` is the violating fraction of the window divided
+    by the budgeted fraction (0.05 for a p95 target, 0.01 for p99) —
+    1.0 means exactly on budget, ``>= burn_threshold`` fires the alert.
+    ``cleared`` marks the recovery edge (burn dropped back under 1.0)."""
+
+    tenant: str
+    metric: str
+    observed: float
+    target: float
+    burn_rate: float
+    window_jobs: int
+    breaching_jobs: int
+    cleared: bool = False
+
+
 # ---- streaming -------------------------------------------------------------
 
 @dataclass(frozen=True)

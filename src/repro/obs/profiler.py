@@ -1,0 +1,146 @@
+"""SimProfiler: wall-clock self-profiling of the simulation kernel.
+
+The perf gate guards *simulated* metrics; ROADMAP item 3 (the raw-speed
+pass) needs the other axis — how much wall time the simulator itself
+burns per event.  ``SimProfiler`` attaches to a
+:class:`~repro.cluster.events.SimKernel` (``kernel.attach_profiler``)
+and records, via ``time.perf_counter``:
+
+* **dispatch cost per callback kind** — count, total and max wall
+  seconds keyed by the callback's qualified name, so `stark profile`
+  can print a hotspot table (which event types dominate the loop);
+* **heap pressure** — events scheduled, cancelled-drop churn, and the
+  peak heap length observed at schedule time;
+* **throughput** — events dispatched over the profiler's started wall
+  time (``events_per_sec``).
+
+The contract is *strictly zero simulated-time interference*: the
+profiler only ever reads the wall clock and Python object attributes,
+never ``SimClock``, so a profiled run replays byte-identically to an
+unprofiled one (asserted by ``tests/obs/test_profiler.py`` against the
+determinism suite's full-stack scenario).  When no profiler is
+attached the kernel pays a single ``is None`` check per event.
+
+One profiler instance may serve several kernels (the CLI attaches one
+to every context a workload creates); counters simply accumulate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class DispatchStat:
+    """Aggregate wall cost of one callback kind."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+@dataclass
+class HeapStats:
+    """Heap-pressure counters sampled at schedule time."""
+
+    scheduled: int = 0
+    peak_len: int = 0
+    #: Sum of heap lengths at each schedule (mean = total / scheduled).
+    total_len: int = 0
+
+    @property
+    def mean_len(self) -> float:
+        return self.total_len / self.scheduled if self.scheduled else 0.0
+
+
+class SimProfiler:
+    """Opt-in kernel self-profiler (see module docstring)."""
+
+    def __init__(self) -> None:
+        self.dispatch: Dict[str, DispatchStat] = {}
+        self.heap = HeapStats()
+        self.events_dispatched = 0
+        self.dispatch_seconds = 0.0
+        self._started_at: Optional[float] = None
+        self.wall_seconds = 0.0
+
+    # ---- wall-clock window --------------------------------------------------
+
+    def start(self) -> "SimProfiler":
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is not None:
+            self.wall_seconds += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self.wall_seconds
+
+    def __enter__(self) -> "SimProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    @property
+    def observed_wall_seconds(self) -> float:
+        """Accumulated window, live-extended while started."""
+        if self._started_at is not None:
+            return self.wall_seconds + (time.perf_counter()
+                                        - self._started_at)
+        return self.wall_seconds
+
+    # ---- kernel hooks (hot path) --------------------------------------------
+
+    def on_dispatch(self, callback: Callable[[], Any],
+                    seconds: float) -> None:
+        label = getattr(callback, "__qualname__",
+                        type(callback).__name__)
+        stat = self.dispatch.get(label)
+        if stat is None:
+            stat = self.dispatch[label] = DispatchStat()
+        stat.record(seconds)
+        self.events_dispatched += 1
+        self.dispatch_seconds += seconds
+
+    def on_schedule(self, heap_len: int) -> None:
+        self.heap.scheduled += 1
+        self.heap.total_len += heap_len
+        if heap_len > self.heap.peak_len:
+            self.heap.peak_len = heap_len
+
+    # ---- reporting ----------------------------------------------------------
+
+    def events_per_sec(self) -> float:
+        wall = self.observed_wall_seconds
+        return self.events_dispatched / wall if wall > 0 else 0.0
+
+    def hotspots(self, top: int = 10) -> List[Tuple[str, DispatchStat]]:
+        """Callback kinds by total wall cost, heaviest first."""
+        ranked = sorted(self.dispatch.items(),
+                        key=lambda kv: (-kv[1].total_seconds, kv[0]))
+        return ranked[:top] if top else ranked
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "events_dispatched": float(self.events_dispatched),
+            "events_per_sec": self.events_per_sec(),
+            "dispatch_seconds": self.dispatch_seconds,
+            "wall_seconds": self.observed_wall_seconds,
+            "heap_scheduled": float(self.heap.scheduled),
+            "heap_peak": float(self.heap.peak_len),
+            "heap_mean": self.heap.mean_len,
+        }

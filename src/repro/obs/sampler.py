@@ -62,10 +62,17 @@ class UtilizationSampler:
         #: (time, +/-bytes) network in-flight deltas, cluster-wide.
         self._network_deltas: List[Tuple[float, float]] = []
         self.tasks_seen = 0
+        #: Latest event time seen (default end-of-run for :meth:`flush`).
+        self._last_event_time = 0.0
+        #: Run-end time set by :meth:`flush`; timelines are extended to
+        #: it so the final partial interval is not dropped.
+        self._t_end: Optional[float] = None
 
     # ---- listener ----------------------------------------------------------
 
     def on_event(self, event: Event) -> None:
+        if event.time > self._last_event_time:
+            self._last_event_time = event.time
         if isinstance(event, TaskEnd):
             self.tasks_seen += 1
             start = event.time - event.duration
@@ -94,26 +101,50 @@ class UtilizationSampler:
                     (event.time + max(event.remote_seconds, 0.0),
                      -event.remote_bytes))
 
+    def flush(self, t_end: Optional[float] = None) -> float:
+        """Mark the end of the run so the last partial interval counts.
+
+        Without a flush, every timeline ends at its final *change*
+        point, silently dropping the tail — e.g. a cache left resident
+        until run end contributes nothing past its last ``BlockCached``.
+        Call this once the clock stops (``stark trace`` passes the max
+        context time); timelines then carry a closing sample at
+        ``t_end`` and ``time_weighted_mean`` covers the full span.
+        Returns the effective end time (defaults to the latest event
+        seen).
+        """
+        self._t_end = self._last_event_time if t_end is None else t_end
+        return self._t_end
+
+    def _close(self, timeline: Timeline) -> Timeline:
+        """Append the flushed end-of-run sample at the last level."""
+        if (self._t_end is not None and timeline
+                and self._t_end > timeline[-1][0] + TIME_EPS):
+            timeline.append((self._t_end, timeline[-1][1]))
+        return timeline
+
     # ---- timelines ---------------------------------------------------------
 
     def slot_occupancy(self, worker_id: Optional[int] = None) -> Timeline:
         """Busy-slot count over time for one worker, or summed across
         the cluster when ``worker_id`` is ``None``."""
         if worker_id is not None:
-            return _deltas_to_timeline(self._slot_deltas.get(worker_id, []))
+            return self._close(
+                _deltas_to_timeline(self._slot_deltas.get(worker_id, [])))
         merged = [d for ds in self._slot_deltas.values() for d in ds]
-        return _deltas_to_timeline(merged)
+        return self._close(_deltas_to_timeline(merged))
 
     def cache_bytes(self, worker_id: Optional[int] = None) -> Timeline:
         """Resident cache bytes over time (per worker or cluster-wide)."""
         if worker_id is not None:
-            return _deltas_to_timeline(self._cache_deltas.get(worker_id, []))
+            return self._close(
+                _deltas_to_timeline(self._cache_deltas.get(worker_id, [])))
         merged = [d for ds in self._cache_deltas.values() for d in ds]
-        return _deltas_to_timeline(merged)
+        return self._close(_deltas_to_timeline(merged))
 
     def network_in_flight(self) -> Timeline:
         """Remote shuffle bytes in flight over time, cluster-wide."""
-        return _deltas_to_timeline(self._network_deltas)
+        return self._close(_deltas_to_timeline(self._network_deltas))
 
     def worker_ids(self) -> List[int]:
         return sorted(set(self._slot_deltas) | set(self._cache_deltas))

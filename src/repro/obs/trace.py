@@ -36,6 +36,9 @@ from .events import (
     CacheHit,
     CacheMiss,
     CheckpointWritten,
+    DatasetBranched,
+    DatasetDropped,
+    DatasetRegistered,
     Event,
     ExecutorBlacklisted,
     FailureInjected,
@@ -44,6 +47,7 @@ from .events import (
     JobShed,
     JobStart,
     LineageRecovered,
+    PoolWeightsUpdated,
     ScalingDecision,
     ShuffleFetch,
     StageCompleted,
@@ -52,6 +56,11 @@ from .events import (
     TaskEnd,
     TaskRetried,
     TaskSpeculated,
+    TenantJobAdmitted,
+    TenantJobCompleted,
+    TenantJobShed,
+    TenantJobSubmitted,
+    TenantSloAlert,
     WorkerDecommissioned,
     WorkerProvisioned,
 )
@@ -60,6 +69,12 @@ _US = 1e6  # simulated seconds -> trace microseconds
 
 #: pid of the synthetic driver process (workers use pid = worker_id + 1).
 DRIVER_PID = 0
+
+#: Driver thread track for multi-tenant service markers (sheds, dataset
+#: lifecycle, pool reweights, SLO alerts).  Tids 1-3 are jobs / stages /
+#: scaling; tid 4 is the critical-path annotation track
+#: (:data:`~repro.obs.critical_path.CRITICAL_PATH_TID`).
+SERVICE_TID = 5
 
 #: Trace-phase colour names (Chrome's reserved palette, understood by
 #: Perfetto's legacy colour mapping).
@@ -133,6 +148,7 @@ class ChromeTraceExporter:
         #: counter track (fed by provision/decommission events).
         self._cluster_size: List[Tuple[float, int]] = []
         self._saw_scaling = False
+        self._saw_service = False
 
     # ---- listener ----------------------------------------------------------
 
@@ -265,8 +281,49 @@ class ChromeTraceExporter:
                 "s": "p", "cat": "checkpoint",
                 "args": {"total_bytes": event.total_bytes},
             })
+        elif isinstance(event, TenantJobShed):
+            self._service_instant(
+                event.time, f"shed {event.tenant} job {event.job_index}",
+                "service", {"tenant": event.tenant,
+                            "pending": event.pending})
+        elif isinstance(event, DatasetRegistered):
+            self._service_instant(
+                event.time,
+                f"register {event.name} v{event.version}"
+                + (" (dedup)" if event.deduped else ""),
+                "dataset", {"tenant": event.tenant,
+                            "rdd_id": event.rdd_id,
+                            "deduped": event.deduped})
+        elif isinstance(event, DatasetBranched):
+            self._service_instant(
+                event.time,
+                f"branch {event.source_name} -> {event.new_name}",
+                "dataset", {"tenant": event.tenant,
+                            "source_version": event.source_version,
+                            "rdd_id": event.rdd_id})
+        elif isinstance(event, DatasetDropped):
+            self._service_instant(
+                event.time, f"drop {event.name} v{event.version}",
+                "dataset", {"tenant": event.tenant,
+                            "deferred": event.deferred,
+                            "unpersisted": event.unpersisted})
+        elif isinstance(event, PoolWeightsUpdated):
+            self._service_instant(
+                event.time, f"pool {event.pool} w={event.weight:g}",
+                "service", {"min_share": event.min_share})
+        elif isinstance(event, TenantSloAlert):
+            self._service_instant(
+                event.time,
+                f"SLO {'clear' if event.cleared else 'alert'} "
+                f"{event.tenant} {event.metric}",
+                "slo", {"observed": event.observed,
+                        "target": event.target,
+                        "burn_rate": event.burn_rate},
+                scope="g")
         elif isinstance(event, (BatchSubmitted, BatchCompleted,
-                                BlockCached, CacheHit, ShuffleFetch)):
+                                BlockCached, CacheHit, ShuffleFetch,
+                                TenantJobSubmitted, TenantJobAdmitted,
+                                TenantJobCompleted)):
             pass  # timeline-neutral here; the sampler consumes these
 
     # ---- rendering ---------------------------------------------------------
@@ -336,6 +393,10 @@ class ChromeTraceExporter:
             events.append({"name": "thread_name", "ph": "M",
                            "pid": DRIVER_PID, "tid": 3,
                            "args": {"name": "scaling"}})
+        if self._saw_service:
+            events.append({"name": "thread_name", "ph": "M",
+                           "pid": DRIVER_PID, "tid": SERVICE_TID,
+                           "args": {"name": "service"}})
         workers: Dict[int, int] = {}
         for task in self._tasks:
             spans = workers.get(task.worker_id)
@@ -406,4 +467,13 @@ class ChromeTraceExporter:
             "name": name, "ph": "i", "ts": time * _US,
             "pid": worker_id + 1, "tid": 0, "s": scope, "cat": cat,
             "args": args,
+        })
+
+    def _service_instant(self, time: float, name: str, cat: str,
+                         args: Dict[str, Any], scope: str = "t") -> None:
+        self._saw_service = True
+        self._instants.append({
+            "name": name, "ph": "i", "ts": time * _US,
+            "pid": DRIVER_PID, "tid": SERVICE_TID, "s": scope,
+            "cat": cat, "args": args,
         })

@@ -32,8 +32,10 @@ from .pools import (
 from .quotas import TenantCacheQuotas
 from .registry import DatasetHandle, DatasetRegistry, parse_dataset_ref
 from .service import DatasetService, Tenant
+from .slo import BUDGET_FRACTIONS, SloTarget, TenantSloMonitor, rolling_percentile
 
 __all__ = [
+    "BUDGET_FRACTIONS",
     "DatasetHandle",
     "DatasetRegistry",
     "DatasetService",
@@ -43,8 +45,11 @@ __all__ = [
     "PoolSet",
     "SCHEDULING_POLICY_NAMES",
     "SchedulingPolicy",
+    "SloTarget",
     "Tenant",
     "TenantCacheQuotas",
+    "TenantSloMonitor",
     "make_scheduling_policy",
     "parse_dataset_ref",
+    "rolling_percentile",
 ]

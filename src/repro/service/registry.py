@@ -114,6 +114,10 @@ class DatasetRegistry:
         self._pins: Dict[int, int] = {}
         #: Registrations answered by fingerprint dedup (diagnostics).
         self.dedup_hits: int = 0
+        #: Lifecycle counters (ground truth for event reconciliation).
+        self.registered_versions: int = 0
+        self.branched_versions: int = 0
+        self.dropped_versions: int = 0
 
     # ---- queries ------------------------------------------------------------
 
@@ -151,6 +155,7 @@ class DatasetRegistry:
         history.append(entry)
         # One pin for the undropped version itself + one for the handle.
         self._pins[canonical_id] = self._pins.get(canonical_id, 0) + 2
+        self.registered_versions += 1
         bus = self.context.event_bus
         if bus.active:
             bus.post(DatasetRegistered(
@@ -181,6 +186,7 @@ class DatasetRegistry:
                               fingerprint=source.fingerprint, handles=1)
         self._versions[new_name] = [entry]
         self._pins[source.rdd_id] = self._pins.get(source.rdd_id, 0) + 2
+        self.branched_versions += 1
         bus = self.context.event_bus
         if bus.active:
             bus.post(DatasetBranched(
@@ -196,6 +202,7 @@ class DatasetRegistry:
         entry = self._resolve(ref)
         entry.dropped = True
         unpersisted = self._unpin(entry.rdd_id)
+        self.dropped_versions += 1
         bus = self.context.event_bus
         if bus.active:
             bus.post(DatasetDropped(

@@ -33,6 +33,7 @@ from ..cluster.queueing import ArrivalResult, LoadResult
 from ..obs.events import (
     PoolWeightsUpdated,
     TenantJobAdmitted,
+    TenantJobCompleted,
     TenantJobShed,
     TenantJobSubmitted,
 )
@@ -98,6 +99,8 @@ class DatasetService:
         self.tenants: Dict[str, Tenant] = {}
         self._job_seq = itertools.count()
         self._dispatch_scheduled = False
+        #: Pool reweight count (ground truth for event reconciliation).
+        self.pool_updates = 0
 
     # ---- tenants ------------------------------------------------------------
 
@@ -187,6 +190,7 @@ class DatasetService:
         return tenant
 
     def _on_pool_updated(self, pool: Pool) -> None:
+        self.pool_updates += 1
         bus = self.context.event_bus
         if bus.active:
             bus.post(PoolWeightsUpdated(
@@ -244,5 +248,11 @@ class DatasetService:
         self.pools.charge(pool, max(0.0, finish - start))
         tenant.result.results.append(
             ArrivalResult(arrival=queued.arrival, finish=finish))
+        bus = self.context.event_bus
+        if bus.active:
+            bus.post(TenantJobCompleted(
+                time=finish, tenant=queued.tenant, job_index=queued.index,
+                arrival=queued.arrival, finish=finish,
+                delay=finish - queued.arrival))
         if self.pools.total_queued() > 0:
             self._schedule_dispatch()

@@ -1,0 +1,198 @@
+"""Per-tenant SLO monitoring: rolling delay percentiles + burn-rate alerts.
+
+The service answers "is the scheduler fair?" with end-of-run delay
+stats; operators need the *online* form — which tenant is violating its
+response-time objective **right now**, and how fast is its error budget
+burning?  :class:`TenantSloMonitor` is an event-bus listener that:
+
+* windows each tenant's last N job delays (from
+  :class:`~repro.obs.events.TenantJobCompleted`, posted by
+  ``DatasetService._dispatch_one``) into rolling nearest-rank p95/p99;
+* converts violations into an SRE-style **burn rate**: the fraction of
+  windowed jobs over target divided by the budgeted violation fraction
+  (5% for a p95 objective, 1% for p99) — burn 1.0 means "exactly
+  spending budget", 2.0 means "spending it twice as fast";
+* runs a per-(tenant, metric) alert state machine: when the burn rate
+  crosses ``burn_threshold`` it posts a
+  :class:`~repro.obs.events.TenantSloAlert` on the bus (re-entrant
+  ``post`` is safe) and stays quiet until the burn drops back under
+  1.0, at which point a ``cleared=True`` edge is posted.
+
+The monitor is pure post-processing over bus events — it never touches
+the kernel or clock, so subscribing it cannot perturb the simulation.
+``stark service`` surfaces the per-tenant summary, and the
+tenant-fairness benchmark asserts the headline result: under FIFO the
+abuser's burst makes compliant tenants burn through their SLO budget;
+under fair-share none of them alert.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..obs.bus import EventBus
+from ..obs.events import Event, TenantJobCompleted, TenantSloAlert
+
+#: Budgeted violation fraction per objective: a p95 target tolerates 5%
+#: of jobs over it, a p99 target 1%.
+BUDGET_FRACTIONS = {"p95": 0.05, "p99": 0.01}
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """One tenant's response-time objective.
+
+    ``window`` jobs form the rolling sample; alerts only fire once at
+    least ``min_jobs`` are in it (a 1-job window would alert on noise).
+    """
+
+    p95_seconds: float
+    p99_seconds: Optional[float] = None
+    window: int = 50
+    min_jobs: int = 10
+    burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.p95_seconds <= 0:
+            raise ValueError(f"p95 target must be > 0: {self.p95_seconds}")
+        if self.p99_seconds is not None and self.p99_seconds <= 0:
+            raise ValueError(f"p99 target must be > 0: {self.p99_seconds}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1: {self.window}")
+        if self.min_jobs < 1:
+            raise ValueError(f"min_jobs must be >= 1: {self.min_jobs}")
+        if self.burn_threshold < 1.0:
+            raise ValueError(
+                f"burn_threshold must be >= 1.0: {self.burn_threshold}")
+
+    def objectives(self) -> List[Tuple[str, float]]:
+        out = [("p95", self.p95_seconds)]
+        if self.p99_seconds is not None:
+            out.append(("p99", self.p99_seconds))
+        return out
+
+
+def rolling_percentile(delays: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in (0, 1]) of a non-empty sample."""
+    ranked = sorted(delays)
+    rank = max(1, math.ceil(q * len(ranked)))
+    return ranked[rank - 1]
+
+
+@dataclass
+class _TenantWindow:
+    """Rolling state for one tenant."""
+
+    target: SloTarget
+    delays: Deque[float] = field(default_factory=deque)
+    #: metric -> currently alerting?
+    alerting: Dict[str, bool] = field(default_factory=dict)
+
+
+class TenantSloMonitor:
+    """Event-bus listener tracking per-tenant SLO burn (module docstring)."""
+
+    def __init__(self, bus: EventBus,
+                 default_target: Optional[SloTarget] = None) -> None:
+        self.bus = bus
+        self.default_target = default_target
+        self._windows: Dict[str, _TenantWindow] = {}
+        #: Every alert edge posted, in order (fires and clears).
+        self.alerts: List[TenantSloAlert] = []
+        #: tenant -> count of *fire* edges (clears excluded).
+        self.alerts_by_tenant: Dict[str, int] = {}
+
+    # ---- configuration ------------------------------------------------------
+
+    def set_target(self, tenant: str, target: SloTarget) -> None:
+        window = self._windows.get(tenant)
+        if window is None:
+            self._windows[tenant] = _TenantWindow(target=target)
+        else:
+            window.target = target
+
+    def target_of(self, tenant: str) -> Optional[SloTarget]:
+        window = self._windows.get(tenant)
+        return window.target if window else self.default_target
+
+    # ---- bus listener -------------------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        if not isinstance(event, TenantJobCompleted):
+            return
+        window = self._windows.get(event.tenant)
+        if window is None:
+            if self.default_target is None:
+                return  # no objective configured for this tenant
+            window = _TenantWindow(target=self.default_target)
+            self._windows[event.tenant] = window
+        target = window.target
+        window.delays.append(event.delay)
+        while len(window.delays) > target.window:
+            window.delays.popleft()
+        if len(window.delays) < target.min_jobs:
+            return
+        for metric, threshold in target.objectives():
+            self._evaluate(event, window, metric, threshold)
+
+    def _evaluate(self, event: TenantJobCompleted, window: _TenantWindow,
+                  metric: str, threshold: float) -> None:
+        delays = list(window.delays)
+        breaching = sum(1 for d in delays if d > threshold)
+        burn = (breaching / len(delays)) / BUDGET_FRACTIONS[metric]
+        alerting = window.alerting.get(metric, False)
+        observed = rolling_percentile(
+            delays, 0.95 if metric == "p95" else 0.99)
+        if not alerting and burn >= window.target.burn_threshold:
+            window.alerting[metric] = True
+            self._post(event, metric, observed, threshold, burn,
+                       len(delays), breaching, cleared=False)
+        elif alerting and burn < 1.0:
+            window.alerting[metric] = False
+            self._post(event, metric, observed, threshold, burn,
+                       len(delays), breaching, cleared=True)
+
+    def _post(self, event: TenantJobCompleted, metric: str, observed: float,
+              target: float, burn: float, window_jobs: int,
+              breaching_jobs: int, cleared: bool) -> None:
+        alert = TenantSloAlert(
+            time=event.time, tenant=event.tenant, metric=metric,
+            observed=observed, target=target, burn_rate=burn,
+            window_jobs=window_jobs, breaching_jobs=breaching_jobs,
+            cleared=cleared)
+        self.alerts.append(alert)
+        if not cleared:
+            self.alerts_by_tenant[event.tenant] = (
+                self.alerts_by_tenant.get(event.tenant, 0) + 1)
+        if self.bus.active:
+            self.bus.post(alert)
+
+    # ---- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant rolling state for dashboards / ``stark service``."""
+        out: Dict[str, Dict[str, object]] = {}
+        for tenant, window in self._windows.items():
+            delays = list(window.delays)
+            row: Dict[str, object] = {
+                "jobs_in_window": len(delays),
+                "alerts": self.alerts_by_tenant.get(tenant, 0),
+                "alerting": sorted(m for m, on in window.alerting.items()
+                                   if on),
+            }
+            if delays:
+                row["p95"] = rolling_percentile(delays, 0.95)
+                row["p99"] = rolling_percentile(delays, 0.99)
+                for metric, threshold in window.target.objectives():
+                    breaching = sum(1 for d in delays if d > threshold)
+                    row[f"{metric}_target"] = threshold
+                    row[f"{metric}_burn"] = ((breaching / len(delays))
+                                             / BUDGET_FRACTIONS[metric])
+            out[tenant] = row
+        return out
+
+    def total_alerts(self) -> int:
+        return sum(self.alerts_by_tenant.values())

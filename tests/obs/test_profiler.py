@@ -1,0 +1,121 @@
+"""SimProfiler: counters, kernel hooks, and the zero-interference
+contract — a profiled run's event log is byte-identical to an
+unprofiled one."""
+
+import repro.obs as obs
+from repro.cluster.events import SimKernel
+from repro.obs import SimProfiler
+
+from ..cluster.test_determinism import full_stack_run
+
+
+class TestCounters:
+    def test_dispatch_stats(self):
+        p = SimProfiler()
+        p.on_dispatch(lambda: None, 0.002)
+        p.on_dispatch(lambda: None, 0.001)
+        assert p.events_dispatched == 2
+        assert abs(p.dispatch_seconds - 0.003) < 1e-12
+        (label, stat), = p.hotspots()
+        assert "<lambda>" in label
+        assert stat.count == 2
+        assert abs(stat.mean_seconds - 0.0015) < 1e-12
+        assert stat.max_seconds == 0.002
+
+    def test_hotspots_ranked_by_total_cost(self):
+        p = SimProfiler()
+
+        def cheap():
+            pass
+
+        def costly():
+            pass
+
+        for _ in range(5):
+            p.on_dispatch(cheap, 0.0001)
+        p.on_dispatch(costly, 0.01)
+        labels = [label for label, _ in p.hotspots(top=2)]
+        assert labels[0].endswith("costly")
+        assert labels[1].endswith("cheap")
+
+    def test_heap_stats(self):
+        p = SimProfiler()
+        for length in (1, 3, 2):
+            p.on_schedule(length)
+        assert p.heap.scheduled == 3
+        assert p.heap.peak_len == 3
+        assert abs(p.heap.mean_len - 2.0) < 1e-12
+
+    def test_wall_window_and_summary(self):
+        p = SimProfiler()
+        with p:
+            p.on_dispatch(lambda: None, 0.001)
+        assert p.wall_seconds > 0
+        assert p.events_per_sec() > 0
+        summary = p.summary()
+        for key in ("events_dispatched", "events_per_sec",
+                    "dispatch_seconds", "wall_seconds", "heap_scheduled",
+                    "heap_peak", "heap_mean"):
+            assert key in summary
+        assert summary["events_dispatched"] == 1.0
+
+
+class TestKernelHooks:
+    def test_counts_every_dispatch_and_schedule(self):
+        kernel = SimKernel()
+        profiler = kernel.attach_profiler(SimProfiler().start())
+        fired = []
+        for i in range(5):
+            kernel.schedule(0.1 * (i + 1), lambda i=i: fired.append(i))
+        kernel.run_all()
+        profiler.stop()
+        assert fired == [0, 1, 2, 3, 4]
+        assert profiler.events_dispatched == 5
+        assert profiler.heap.scheduled == 5
+        assert profiler.heap.peak_len == 5
+        assert profiler.dispatch_seconds > 0
+
+    def test_detach_stops_counting(self):
+        kernel = SimKernel()
+        profiler = kernel.attach_profiler(SimProfiler())
+        kernel.schedule(0.1, lambda: None)
+        kernel.run_all()
+        kernel.detach_profiler()
+        assert kernel.profiler is None
+        kernel.schedule(0.2, lambda: None)
+        kernel.run_all()
+        assert profiler.events_dispatched == 1
+
+    def test_one_profiler_many_kernels(self):
+        profiler = SimProfiler()
+        for _ in range(2):
+            kernel = SimKernel()
+            kernel.attach_profiler(profiler)
+            kernel.schedule(0.1, lambda: None)
+            kernel.run_all()
+        assert profiler.events_dispatched == 2
+
+
+class TestZeroInterference:
+    def test_profiled_run_is_byte_identical(self):
+        """The whole contract: wall-clock profiling must not move a
+        single simulated timestamp.  Run the determinism suite's
+        full-stack scenario (speculation, failures, elastic scaling)
+        with and without a profiler attached to every kernel and
+        require byte-identical JSONL event logs."""
+        baseline = full_stack_run(seed=11)
+
+        profiler = SimProfiler()
+
+        def attach(context):
+            context.cluster.kernel.attach_profiler(profiler)
+
+        obs.add_context_observer(attach)
+        try:
+            with profiler:
+                profiled = full_stack_run(seed=11)
+        finally:
+            obs.remove_context_observer(attach)
+
+        assert profiler.events_dispatched > 0  # it really was attached
+        assert profiled == baseline

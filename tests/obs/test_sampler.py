@@ -98,3 +98,41 @@ class TestSummaries:
         s = UtilizationSampler()
         assert s.peak([(0.0, 1.0), (1.0, 5.0), (2.0, 0.0)]) == 5.0
         assert s.peak([]) == 0.0
+
+
+class TestFinalFlush:
+    def test_flush_extends_timelines_to_run_end(self):
+        s = UtilizationSampler()
+        s.on_event(task_end(0, 0.0, 2.0, task_id=0))
+        s.on_event(BlockCached(time=1.0, worker_id=0, rdd_id=1, partition=0,
+                               size_bytes=100.0))
+        s.on_event(task_end(0, 3.0, 5.0, task_id=1))
+        # Without a flush the cache timeline dangles at its last change.
+        assert s.cache_bytes(0)[-1] == (1.0, 100.0)
+        assert s.flush() == 5.0  # defaults to the last event seen
+        # Flush appends a closing sample carrying the final value.
+        assert s.cache_bytes(0)[-1] == (5.0, 100.0)
+        assert s.slot_occupancy(0)[-1] == (5.0, 0.0)
+
+    def test_flush_with_explicit_end(self):
+        s = UtilizationSampler()
+        s.on_event(BlockCached(time=1.0, worker_id=0, rdd_id=1, partition=0,
+                               size_bytes=100.0))
+        s.flush(t_end=10.0)
+        assert s.cache_bytes(0)[-1] == (10.0, 100.0)
+
+    def test_flush_at_last_sample_is_a_noop(self):
+        s = UtilizationSampler()
+        s.on_event(task_end(0, 0.0, 2.0))
+        before = s.slot_occupancy(0)
+        s.flush()  # last event time == last sample time: nothing to add
+        assert s.slot_occupancy(0) == before
+
+    def test_flush_closes_mean_window(self):
+        # One slot busy from 0..2, then idle until the flush at 4: the
+        # time-weighted mean halves once the idle tail is visible.
+        s = UtilizationSampler()
+        s.on_event(task_end(0, 0.0, 2.0))
+        s.flush(t_end=4.0)
+        assert UtilizationSampler.time_weighted_mean(
+            s.slot_occupancy(0)) == pytest.approx(0.5)

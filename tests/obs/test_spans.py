@@ -1,0 +1,140 @@
+"""Span reconstruction: event streams fold back into the causality tree."""
+
+from repro.obs import EventCollector, build_spans
+from repro.obs.events import (
+    JobEnd,
+    JobStart,
+    StageCompleted,
+    StageSubmitted,
+    TaskEnd,
+)
+
+from .conftest import make_context, run_small_workload
+
+
+def job_start(t=0.0, job_id=0, description="j"):
+    return JobStart(time=t, job_id=job_id, description=description)
+
+
+def job_end(t, job_id=0):
+    return JobEnd(time=t, job_id=job_id, duration=t, num_stages=1,
+                  skipped_stages=0)
+
+
+def stage_submitted(t, stage_id=0, job_id=0, num_tasks=1):
+    return StageSubmitted(time=t, job_id=job_id, stage_id=stage_id,
+                          num_tasks=num_tasks, is_shuffle_map=False)
+
+
+def stage_completed(t, stage_id=0, job_id=0, duration=0.0, skipped=False):
+    return StageCompleted(time=t, job_id=job_id, stage_id=stage_id,
+                          duration=duration, skipped=skipped)
+
+
+def task_end(t, task_id=0, stage_id=0, job_id=0, partition=0,
+             duration=0.1, status="success"):
+    return TaskEnd(
+        time=t, job_id=job_id, stage_id=stage_id, task_id=task_id,
+        partition=partition, worker_id=0, locality="ANY",
+        duration=duration, launch_overhead=0.0, cache_read_time=0.0,
+        compute_time=duration, shuffle_fetch_local_time=0.0,
+        shuffle_fetch_remote_time=0.0, shuffle_write_time=0.0,
+        checkpoint_read_time=0.0, source_read_time=0.0, gc_time=0.0,
+        status=status,
+    )
+
+
+class TestSynthetic:
+    def test_single_job_tree(self):
+        jobs = build_spans([
+            job_start(0.0, description="q"),
+            stage_submitted(0.0),
+            task_end(0.5, task_id=0),
+            task_end(0.6, task_id=1, partition=1),
+            stage_completed(0.6, duration=0.6),
+            job_end(0.6),
+        ])
+        assert len(jobs) == 1
+        job = jobs[0]
+        assert job.description == "q"
+        assert job.makespan == 0.6
+        assert len(job.stages) == 1
+        assert [t.task_id for t in job.stages[0].tasks] == [0, 1]
+        assert job.successful_tasks() == job.tasks()
+
+    def test_jobs_returned_in_id_order(self):
+        jobs = build_spans([
+            job_start(0.0, job_id=1), job_end(1.0, job_id=1),
+            job_start(0.0, job_id=0), job_end(2.0, job_id=0),
+        ])
+        assert [j.job_id for j in jobs] == [0, 1]
+
+    def test_dangling_job_closed_at_last_child(self):
+        jobs = build_spans([
+            job_start(0.0),
+            stage_submitted(0.0),
+            task_end(0.7),
+        ])
+        assert len(jobs) == 1
+        assert jobs[0].finish == 0.7
+
+    def test_resubmitted_stage_gets_two_spans(self):
+        jobs = build_spans([
+            job_start(0.0),
+            stage_submitted(0.0),
+            task_end(0.3, task_id=0, status="fetch_failed"),
+            stage_completed(0.3, duration=0.3),
+            stage_submitted(0.4),
+            task_end(0.8, task_id=1),
+            stage_completed(0.8, duration=0.4),
+            job_end(0.8),
+        ])
+        stages = jobs[0].stages
+        assert len(stages) == 2
+        assert stages[0].submit_time == 0.0
+        assert stages[1].submit_time == 0.4
+        # The retry attempt (started after 0.4) belongs to the new span.
+        assert [t.task_id for t in stages[0].tasks] == [0]
+        assert [t.task_id for t in stages[1].tasks] == [1]
+        assert jobs[0].stage_submit_times() == {0: [0.0, 0.4]}
+
+    def test_logical_key_shared_across_attempts(self):
+        a = task_end(0.3, task_id=0, status="failed")
+        b = task_end(0.8, task_id=7)
+        jobs = build_spans([job_start(), stage_submitted(0.0), a, b,
+                            stage_completed(0.8), job_end(0.8)])
+        tasks = jobs[0].tasks()
+        assert tasks[0].logical_key() == tasks[1].logical_key()
+        assert not tasks[0].succeeded and tasks[1].succeeded
+
+    def test_task_span_window(self):
+        span = build_spans([job_start(), stage_submitted(0.0),
+                            task_end(1.0, duration=0.4),
+                            stage_completed(1.0), job_end(1.0)])[0].tasks()[0]
+        assert span.start == 0.6
+        assert span.finish == 1.0
+        assert span.duration == 0.4
+
+
+class TestRealStream:
+    def test_small_workload_tree(self):
+        context = make_context()
+        collector = EventCollector()
+        context.event_bus.subscribe(collector)
+        run_small_workload(context)
+        jobs = build_spans(collector.events)
+        assert len(jobs) == 3  # two counts + one shuffle count
+        for job in jobs:
+            assert job.makespan >= 0
+            assert job.stages, "every job ran at least one stage"
+            # every non-skipped stage owns its tasks, inside its window
+            for stage in job.stages:
+                if stage.skipped:
+                    continue
+                assert len(stage.tasks) == stage.num_tasks
+                for task in stage.tasks:
+                    assert stage.submit_time <= task.start + 1e-9
+                    assert task.finish <= stage.complete_time + 1e-9
+        # the shuffle job has a map stage feeding a result stage
+        shuffle_job = jobs[-1]
+        assert any(s.is_shuffle_map for s in shuffle_job.stages)

@@ -1,0 +1,152 @@
+"""TenantSloMonitor: rolling percentiles, burn rates, and the alert
+state machine, driven by synthetic TenantJobCompleted events."""
+
+import pytest
+
+from repro.obs import EventCollector
+from repro.obs.bus import EventBus
+from repro.obs.events import TenantJobCompleted, TenantSloAlert
+from repro.service import (
+    BUDGET_FRACTIONS,
+    SloTarget,
+    TenantSloMonitor,
+    rolling_percentile,
+)
+
+
+def completed(t, tenant="t0", delay=0.1, index=0):
+    return TenantJobCompleted(time=t, tenant=tenant, job_index=index,
+                              arrival=t - delay, finish=t, delay=delay)
+
+
+def feed(monitor, delays, tenant="t0"):
+    for i, delay in enumerate(delays):
+        monitor.on_event(completed(float(i), tenant=tenant, delay=delay,
+                                   index=i))
+
+
+class TestSloTarget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloTarget(p95_seconds=0.0)
+        with pytest.raises(ValueError):
+            SloTarget(p95_seconds=1.0, p99_seconds=-1.0)
+        with pytest.raises(ValueError):
+            SloTarget(p95_seconds=1.0, window=0)
+        with pytest.raises(ValueError):
+            SloTarget(p95_seconds=1.0, min_jobs=0)
+        with pytest.raises(ValueError):
+            SloTarget(p95_seconds=1.0, burn_threshold=0.5)
+
+    def test_objectives(self):
+        assert SloTarget(p95_seconds=1.0).objectives() == [("p95", 1.0)]
+        assert SloTarget(p95_seconds=1.0, p99_seconds=2.0).objectives() == [
+            ("p95", 1.0), ("p99", 2.0)]
+
+
+class TestRollingPercentile:
+    def test_nearest_rank(self):
+        sample = [float(i) for i in range(1, 101)]  # 1..100
+        assert rolling_percentile(sample, 0.95) == 95.0
+        assert rolling_percentile(sample, 0.99) == 99.0
+        assert rolling_percentile(sample, 1.0) == 100.0
+
+    def test_small_samples(self):
+        assert rolling_percentile([3.0], 0.95) == 3.0
+        assert rolling_percentile([5.0, 1.0], 0.5) == 1.0
+
+
+class TestMonitor:
+    def target(self, **kw):
+        kw.setdefault("p95_seconds", 1.0)
+        kw.setdefault("window", 20)
+        kw.setdefault("min_jobs", 10)
+        return SloTarget(**kw)
+
+    def test_quiet_until_min_jobs(self):
+        monitor = TenantSloMonitor(EventBus(),
+                                   default_target=self.target())
+        feed(monitor, [10.0] * 9)  # every job breaches, but sample small
+        assert monitor.alerts == []
+        feed(monitor, [10.0])  # the 10th arms the window
+        assert len(monitor.alerts) == 1
+
+    def test_fire_then_clear_edges(self):
+        monitor = TenantSloMonitor(EventBus(),
+                                   default_target=self.target())
+        # 10 breaches fill the window: burn = 1.0/0.05 = 20 -> fire once.
+        feed(monitor, [10.0] * 10)
+        assert [a.cleared for a in monitor.alerts] == [False]
+        alert = monitor.alerts[0]
+        assert alert.metric == "p95"
+        assert alert.burn_rate == pytest.approx(1.0 / BUDGET_FRACTIONS["p95"])
+        assert alert.breaching_jobs == 10
+        # 20 compliant jobs push every breach out of the window: burn
+        # falls to 0 -> one cleared=True edge, no re-fires in between.
+        feed(monitor, [0.1] * 20)
+        assert [a.cleared for a in monitor.alerts] == [False, True]
+        assert monitor.alerts_by_tenant == {"t0": 1}
+        assert monitor.total_alerts() == 1
+
+    def test_burn_below_threshold_never_fires(self):
+        # One breach in 20 jobs: burn = 0.05/0.05 = 1.0 < threshold 2.0.
+        monitor = TenantSloMonitor(EventBus(),
+                                   default_target=self.target())
+        feed(monitor, [0.1] * 19 + [10.0])
+        assert monitor.alerts == []
+
+    def test_p99_objective_tracked_separately(self):
+        target = self.target(p99_seconds=5.0)
+        monitor = TenantSloMonitor(EventBus(), default_target=target)
+        # 2 of 20 jobs over both targets: p95 burn = 0.1/0.05 = 2.0
+        # (fires), p99 burn = 0.1/0.01 = 10.0 (fires too).
+        feed(monitor, [0.1] * 18 + [10.0, 10.0])
+        assert sorted(a.metric for a in monitor.alerts) == ["p95", "p99"]
+        assert monitor.alerts_by_tenant == {"t0": 2}
+
+    def test_alerts_posted_on_bus(self):
+        bus = EventBus()
+        collector = bus.subscribe(EventCollector())
+        monitor = bus.subscribe(TenantSloMonitor(
+            bus, default_target=self.target()))
+        for i in range(10):
+            bus.post(completed(float(i), delay=10.0, index=i))
+        alerts = [e for e in collector.events
+                  if isinstance(e, TenantSloAlert)]
+        assert len(alerts) == 1
+        assert alerts[0] is monitor.alerts[0]
+
+    def test_per_tenant_targets_and_isolation(self):
+        monitor = TenantSloMonitor(EventBus(),
+                                   default_target=self.target())
+        monitor.set_target("vip", self.target(p95_seconds=100.0))
+        assert monitor.target_of("vip").p95_seconds == 100.0
+        assert monitor.target_of("anyone").p95_seconds == 1.0
+        # Same delays: the default target breaches, the vip one doesn't.
+        feed(monitor, [10.0] * 10, tenant="vip")
+        feed(monitor, [10.0] * 10, tenant="batch")
+        assert monitor.alerts_by_tenant == {"batch": 1}
+
+    def test_unconfigured_tenant_ignored(self):
+        monitor = TenantSloMonitor(EventBus())  # no default target
+        feed(monitor, [10.0] * 10)
+        assert monitor.alerts == []
+        assert monitor.snapshot() == {}
+
+    def test_window_trims_to_target(self):
+        monitor = TenantSloMonitor(
+            EventBus(), default_target=self.target(window=5, min_jobs=5))
+        feed(monitor, [0.1] * 50)
+        assert monitor.snapshot()["t0"]["jobs_in_window"] == 5
+
+    def test_snapshot_fields(self):
+        monitor = TenantSloMonitor(EventBus(),
+                                   default_target=self.target())
+        feed(monitor, [0.1] * 9 + [10.0])
+        row = monitor.snapshot()["t0"]
+        assert row["jobs_in_window"] == 10
+        assert row["alerts"] == 1
+        assert row["alerting"] == ["p95"]
+        assert row["p95"] == 10.0
+        assert row["p95_target"] == 1.0
+        assert row["p95_burn"] == pytest.approx(0.1 / 0.05)

@@ -96,3 +96,47 @@ class TestElasticCli:
         code = main(["elastic", "--min-workers", "6", "--max-workers", "2"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestObservabilityCli:
+    def test_critical_path_smoke(self, capsys, tmp_path):
+        out = tmp_path / "annotated.json"
+        assert main(["critical-path", "smoke", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "makespan" in printed
+        assert "annotated trace" in printed
+        import json
+        trace = json.loads(out.read_text())
+        from repro.obs.critical_path import CRITICAL_PATH_TID
+        critical = [e for e in trace["traceEvents"]
+                    if e.get("tid") == CRITICAL_PATH_TID]
+        assert critical, "critical-path track was merged into the trace"
+        # One metadata record total, even with several jobs annotated.
+        assert sum(1 for e in critical if e["ph"] == "M") == 1
+
+    def test_critical_path_job_filter(self, capsys):
+        assert main(["critical-path", "smoke", "--job", "1"]) == 0
+        assert "job 1" in capsys.readouterr().out
+        assert main(["critical-path", "smoke", "--job", "99"]) == 2
+        assert "no job 99" in capsys.readouterr().err
+
+    def test_profile_service_workload(self, capsys):
+        assert main(["profile", "service"]) == 0
+        printed = capsys.readouterr().out
+        assert "SimKernel self-profile" in printed
+        assert "Dispatch hotspots" in printed
+
+    def test_profile_smoke_workload_has_no_kernel_events(self, capsys):
+        # Plain RDD jobs never touch the event heap; the command should
+        # say so rather than print an empty hotspot table.
+        assert main(["profile", "smoke"]) == 0
+        assert "no kernel events dispatched" in capsys.readouterr().out
+
+    def test_trace_service_reconciles(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "service", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "tenant jobs submitted" in printed
+        assert "datasets registered" in printed
+        assert "problem" not in printed
+        assert out.exists()
