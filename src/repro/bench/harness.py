@@ -27,6 +27,7 @@ from ..cluster.cluster import Cluster
 from ..cluster.cost_model import CostModel, HeterogeneityModel, SimStr
 from ..cluster.events import SimKernel
 from ..cluster.queueing import JobDriver, LoadResult, nearest_rank
+from ..columnar.datagen import lineitem_rows, orders_rows, register_tpch_tables
 from ..core.checkpoint_optimizer import CheckpointOptimizer
 from ..core.edge_checkpoint import EdgeCheckpointer
 from ..elastic import (
@@ -38,6 +39,9 @@ from ..elastic import (
 from ..engine.context import StarkConfig, StarkContext
 from ..engine.partitioner import HashPartitioner, Partitioner, RangePartitioner
 from ..obs.profiler import SimProfiler
+from ..sql import SQLSession
+from ..sql.compiler import compile_plan
+from ..sql.optimizer import optimize
 from ..workloads.distributions import seeded_rng
 from ..workloads.twitter import MergedTaxiTwitterTrace
 from ..workloads.taxi import TaxiTrace, TaxiTraceConfig
@@ -1787,5 +1791,184 @@ def run_kernel_throughput(
             "normalized_tasks_per_sec": result.normalized_tasks_per_sec,
             "profiler_overhead_fraction": overhead,
             "heap_peak": float(profiler.heap.peak_len),
+        })
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Columnar TPC-H: vectorized DataFrame/SQL engine vs a row-at-a-time pipeline
+# ---------------------------------------------------------------------------
+
+COLUMNAR_TPCH_QUERY = (
+    "SELECT l_returnflag, SUM(l_extendedprice) AS revenue FROM lineitem "
+    "JOIN orders ON l_orderkey = o_orderkey WHERE o_status = 'O' "
+    "GROUP BY l_returnflag ORDER BY revenue DESC"
+)
+
+
+@dataclass(frozen=True)
+class ColumnarTpchArm:
+    arm: str
+    result: Tuple[tuple, ...]
+    compute_seconds: float
+    makespan: float
+    input_bytes: int
+    tasks: int
+    #: Host wall-clock of the query run; excluded from equality so two
+    #: back-to-back runs still compare structurally identical.
+    wall_seconds: float = field(compare=False, default=0.0)
+
+
+@dataclass(frozen=True)
+class ColumnarTpchResult:
+    row: ColumnarTpchArm
+    columnar: ColumnarTpchArm
+    rows_scanned: int
+    cpu_speedup: float
+    full_scan_bytes: int
+    pushed_bytes: int
+    digest: str
+    wall_speedup: float = field(compare=False, default=0.0)
+
+
+def run_columnar_tpch(
+    num_partitions: int = 6,
+    orders_per_partition: int = 3000,
+    lineitems_per_partition: int = 12000,
+    seed: int = 17,
+    num_workers: int = 4,
+    cores_per_worker: int = 2,
+    write_json: bool = True,
+) -> ColumnarTpchResult:
+    """Identical seeded TPC-H-style rows through two execution engines.
+
+    The *row* arm answers the revenue-by-returnflag query with a
+    hand-written row RDD pipeline (filter, join, reduce_by_key) — one
+    Python record at a time.  The *columnar* arm runs the same query as
+    SQL text through the DataFrame stack: parse, optimize (filter
+    pushdown + projection pruning), compile to ColumnarRDDs, execute
+    vectorized kernels over record batches.  Both arms scan the exact
+    same generated partitions, so the simulated CPU accounting and the
+    host wall-clock compare like for like.  A third context compiles
+    the *unoptimized* logical plan to measure how many simulated bytes
+    the optimizer's pushdown avoids reading.
+    """
+    total_orders = num_partitions * orders_per_partition
+    rows_scanned = total_orders + num_partitions * lineitems_per_partition
+
+    def arm_metrics(arm, sc, rows, wall):
+        job = sc.metrics.last_job()
+        return ColumnarTpchArm(
+            arm=arm,
+            result=tuple(tuple(r) for r in rows),
+            compute_seconds=sum(t.compute_time for t in job.tasks),
+            makespan=job.makespan,
+            input_bytes=int(sum(t.input_bytes for t in job.tasks)),
+            tasks=len(job.tasks),
+            wall_seconds=wall,
+        )
+
+    # -- row arm --------------------------------------------------------------
+    sc_row = StarkContext(num_workers=num_workers,
+                          cores_per_worker=cores_per_worker)
+    orders = sc_row.generated(
+        lambda pid: orders_rows(pid, orders_per_partition, seed=seed),
+        num_partitions, name="orders_rows")
+    lineitem = sc_row.generated(
+        lambda pid: lineitem_rows(pid, lineitems_per_partition,
+                                  total_orders, seed=seed),
+        num_partitions, name="lineitem_rows")
+    open_orders = (orders
+                   .filter(lambda r: r[2] == "O", name="open_orders")
+                   .map(lambda r: (r[0], 1), name="order_keys"))
+    priced = lineitem.map(lambda r: (r[0], (r[4], r[3])), name="li_kv")
+    pipeline = (priced.join(open_orders, name="li_join_orders")
+                .map(lambda kv: (kv[1][0][0], kv[1][0][1]), name="flag_rev")
+                .reduce_by_key(lambda a, b: a + b, name="revenue"))
+    started = perf_counter()
+    revenue_rows = pipeline.collect()
+    row_wall = perf_counter() - started
+    row_arm = arm_metrics(
+        "row", sc_row,
+        sorted(revenue_rows, key=lambda r: (-r[1], r[0])), row_wall)
+
+    # -- columnar arm ---------------------------------------------------------
+    sc_col = StarkContext(num_workers=num_workers,
+                          cores_per_worker=cores_per_worker)
+    session = SQLSession(sc_col)
+    register_tpch_tables(session, num_partitions=num_partitions,
+                         orders_per_partition=orders_per_partition,
+                         lineitems_per_partition=lineitems_per_partition,
+                         seed=seed)
+    df = session.sql(COLUMNAR_TPCH_QUERY)
+    started = perf_counter()
+    col_rows = df.collect()
+    col_wall = perf_counter() - started
+    col_arm = arm_metrics("columnar", sc_col, col_rows, col_wall)
+
+    # -- pushdown accounting --------------------------------------------------
+    sc_push = StarkContext(num_workers=num_workers,
+                           cores_per_worker=cores_per_worker)
+    push_session = SQLSession(sc_push)
+    register_tpch_tables(push_session, num_partitions=num_partitions,
+                         orders_per_partition=orders_per_partition,
+                         lineitems_per_partition=lineitems_per_partition,
+                         seed=seed)
+    plan = push_session.sql(COLUMNAR_TPCH_QUERY).plan
+
+    def plan_bytes(logical):
+        rdd, _ = compile_plan(logical, sc_push)
+        sc_push.run_job(rdd, len)
+        return int(sum(t.input_bytes
+                       for t in sc_push.metrics.last_job().tasks))
+
+    full_scan_bytes = plan_bytes(plan)
+    pushed_bytes = plan_bytes(optimize(plan)[0])
+
+    canonical = [[flag, round(rev, 6)] for flag, rev in col_arm.result]
+    digest = hashlib.sha256(
+        json.dumps(canonical, sort_keys=True).encode()).hexdigest()[:16]
+
+    result = ColumnarTpchResult(
+        row=row_arm,
+        columnar=col_arm,
+        rows_scanned=rows_scanned,
+        cpu_speedup=row_arm.compute_seconds / col_arm.compute_seconds,
+        full_scan_bytes=full_scan_bytes,
+        pushed_bytes=pushed_bytes,
+        digest=digest,
+        wall_speedup=row_wall / col_wall,
+    )
+    if write_json:
+        write_bench_json("columnar_tpch", {
+            "config": {
+                "num_partitions": num_partitions,
+                "orders_per_partition": orders_per_partition,
+                "lineitems_per_partition": lineitems_per_partition,
+                "seed": seed,
+                "num_workers": num_workers,
+                "cores_per_worker": cores_per_worker,
+            },
+            "digest": digest,
+            "rows_scanned": float(rows_scanned),
+            "row": {
+                "makespan": row_arm.makespan,
+                "compute_seconds": row_arm.compute_seconds,
+                "input_mb": row_arm.input_bytes / 1e6,
+                "tasks": float(row_arm.tasks),
+            },
+            "columnar": {
+                "makespan": col_arm.makespan,
+                "compute_seconds": col_arm.compute_seconds,
+                "input_mb": col_arm.input_bytes / 1e6,
+                "tasks": float(col_arm.tasks),
+            },
+            "cpu_speedup": result.cpu_speedup,
+            "pushdown": {
+                "full_scan_mb": full_scan_bytes / 1e6,
+                "pushed_mb": pushed_bytes / 1e6,
+                "bytes_saved_fraction":
+                    1.0 - pushed_bytes / full_scan_bytes,
+            },
         })
     return result

@@ -419,11 +419,55 @@ def _workload_service() -> "StarkContext":
     return context
 
 
+#: The canned SQL workload's queries: a scan-filter-aggregate, a
+#: join + group-by (TPC-H Q3/Q5 in spirit), and a top-k — enough to
+#: exercise pushdown, exchanges, and ordering on every run.
+SQL_QUERIES: List[tuple] = [
+    ("status_totals",
+     "SELECT o_status, COUNT(*) AS orders, SUM(o_totalprice) AS total "
+     "FROM orders WHERE o_totalprice > 100 GROUP BY o_status "
+     "ORDER BY o_status"),
+    ("revenue_by_flag",
+     "SELECT l_returnflag, SUM(l_extendedprice) AS revenue, "
+     "AVG(l_quantity) AS avg_qty FROM lineitem "
+     "JOIN orders ON l_orderkey = o_orderkey "
+     "WHERE o_status = 'O' GROUP BY l_returnflag ORDER BY revenue DESC"),
+    ("top_orders",
+     "SELECT o_orderkey, o_totalprice FROM orders "
+     "WHERE o_status = 'F' ORDER BY o_totalprice DESC LIMIT 10"),
+]
+
+
+def _sql_session(num_workers: int = 4, seed: int = 17):
+    """A context + SQLSession with the canned orders/lineitem tables."""
+    from .bench.configs import ClusterSpec, make_context
+    from .columnar.datagen import register_tpch_tables
+    from .sql import SQLSession
+
+    context = make_context(
+        "Stark-H",
+        ClusterSpec(num_workers=num_workers, cores_per_worker=2, seed=seed))
+    session = SQLSession(context)
+    register_tpch_tables(session, seed=seed)
+    return context, session
+
+
+def _workload_sql() -> "StarkContext":
+    """The canned SQL workload under tracing: every query plans, runs,
+    and posts QueryPlanned/QueryCompleted events the reconciliation
+    table checks against the session's counters."""
+    context, session = _sql_session()
+    for _, text in SQL_QUERIES:
+        session.sql(text).collect()
+    return context
+
+
 WORKLOADS: Dict[str, Callable[[], "StarkContext"]] = {
     "smoke": _workload_smoke,
     "cache-pressure": _workload_cache_pressure,
     "streaming": _workload_streaming,
     "service": _workload_service,
+    "sql": _workload_sql,
 }
 
 
@@ -494,6 +538,25 @@ def _reconcile(contexts: Sequence["StarkContext"],
              sum(s.pool_updates for s in services)),
         ]
 
+    # SQL plan events reconcile against the SQLSession's unconditional
+    # counters, plus the internal identity planned = completed + failed.
+    sessions = [c.sql_session for c in contexts
+                if getattr(c, "sql_session", None) is not None]
+    if sessions:
+        planned = sum(s.queries_planned for s in sessions)
+        completed = sum(s.queries_completed for s in sessions)
+        failed = sum(s.queries_failed for s in sessions)
+        checks += [
+            ("queries planned", counts.get("QueryPlanned", 0), planned),
+            ("queries completed", counts.get("QueryCompleted", 0),
+             completed),
+            ("queries failed", counts.get("QueryFailed", 0), failed),
+            ("queries planned = completed + failed",
+             counts.get("QueryPlanned", 0),
+             counts.get("QueryCompleted", 0)
+             + counts.get("QueryFailed", 0)),
+        ]
+
     rows = []
     for label, from_events, from_metrics in checks:
         rows.append([label, from_events, from_metrics,
@@ -551,6 +614,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if cache:
         print("\nresident cache bytes:")
         print(utilization_chart(cache, unit="B"))
+    blocks = sampler.cache_blocks()
+    if blocks:
+        print("\nresident cache blocks:")
+        print(utilization_chart(blocks, unit=" blocks"))
     if failures:
         print(f"\n{failures} problem(s) found")
     return 1 if failures else 0
@@ -651,6 +718,36 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sql(args: argparse.Namespace) -> int:
+    """Run SQL against the canned orders/lineitem tables: either one
+    ad-hoc query (``--query``) or the canned workload's query set."""
+    context, session = _sql_session(num_workers=args.workers,
+                                    seed=args.seed)
+    queries = ([("adhoc", args.query)] if args.query else SQL_QUERIES)
+    for name, text in queries:
+        print(f"\n-- {name}\n{text}")
+        df = session.sql(text)
+        if args.explain:
+            print()
+            print(df.explain())
+        rows = df.collect()
+        shown = rows[:args.rows]
+        print_table(
+            f"{name} ({len(rows)} row(s)"
+            + (f", first {len(shown)} shown" if len(shown) < len(rows)
+               else "") + ")",
+            [col_name for col_name, _ in df.schema],
+            [list(row) for row in shown],
+            floatfmt="{:.2f}",
+        )
+    metrics = context.metrics
+    print(f"\n{session.queries_completed} quer"
+          f"{'y' if session.queries_completed == 1 else 'ies'} in "
+          f"{context.now * 1000:.3f} simulated ms "
+          f"({metrics.total_tasks()} tasks)")
+    return 0
+
+
 def _cmd_events(args: argparse.Namespace) -> int:
     collector = obs.EventCollector()
     _run_traced_workload(args.workload, [collector])
@@ -678,6 +775,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "elastic": _cmd_elastic,
     "service": _cmd_service,
     "speculation": _cmd_speculation,
+    "sql": _cmd_sql,
     "trace": _cmd_trace,
     "events": _cmd_events,
     "critical-path": _cmd_critical_path,
@@ -846,6 +944,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events-out", default=None, metavar="FILE",
                    help="JSONL event log path "
                         "(default: <out stem>.events.jsonl)")
+
+    p = sub.add_parser(
+        "sql", help="run SQL over the canned columnar orders/lineitem "
+                    "tables (DataFrame plans lowered onto the engine)")
+    p.add_argument("--query", default=None, metavar="SQL",
+                   help="one ad-hoc SELECT statement (default: run the "
+                        "canned query set)")
+    p.add_argument("--explain", action="store_true",
+                   help="print logical + optimized plans and rewrite "
+                        "stats per query")
+    p.add_argument("--rows", type=int, default=10, metavar="N",
+                   help="result rows shown per query")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--seed", type=int, default=17)
 
     p = sub.add_parser("events",
                        help="run a canned workload and print its event "

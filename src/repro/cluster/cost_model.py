@@ -36,6 +36,16 @@ class CostModel:
     #: Extra CPU cost per record on the reduce side of a shuffle
     #: (deserialize + aggregate).
     shuffle_cpu_per_record: float = 4.0e-7
+    #: CPU cost per record inside one vectorized columnar kernel
+    #: (``repro.columnar``).  Columnar execution amortizes interpreter
+    #: dispatch over whole arrays, so the per-record cost is ~25x below
+    #: ``cpu_per_record`` — the order-of-magnitude cut Shark reports for
+    #: columnar storage + vectorized operators.
+    columnar_cpu_per_record: float = 8.0e-9
+    #: Fixed cost of launching one columnar kernel over one batch
+    #: (dispatch, dtype checks, output allocation).  Keeps tiny batches
+    #: from looking free and drives the row-vs-columnar crossover.
+    columnar_kernel_overhead: float = 1.0e-4
     #: Sequential disk bandwidth (bytes/s) — reading text files, shuffle
     #: spills, checkpoint writes.  ~120 MB/s spinning disk.
     disk_bytes_per_sec: float = 120e6
@@ -78,6 +88,12 @@ class CostModel:
     def shuffle_reduce_cost(self, records: int) -> float:
         """CPU seconds for the reduce side of a shuffle over ``records``."""
         return records * self.shuffle_cpu_per_record
+
+    def columnar_compute_cost(self, records: int, kernels: int = 1) -> float:
+        """CPU seconds for ``kernels`` vectorized kernels over a batch of
+        ``records`` rows."""
+        return kernels * self.columnar_kernel_overhead \
+            + records * self.columnar_cpu_per_record
 
     def disk_read_cost(self, size_bytes: float) -> float:
         """Seconds to read ``size_bytes`` sequentially from local disk."""
@@ -254,5 +270,19 @@ class RecordSizer:
         return sum(self.size_of(r) for r in records)
 
     def in_memory_size(self, records) -> float:
-        """Deserialized (heap) footprint of a cached partition."""
-        return self.size_of_partition(records) * self.memory_overhead
+        """Deserialized (heap) footprint of a cached partition.
+
+        A record exposing ``sim_memory_size`` declares its own heap
+        footprint and skips the deserialized-objects blow-up — columnar
+        batches (``repro.columnar``) sit in contiguous typed arrays, so
+        their in-memory size *is* their byte size plus one object header.
+        Everything else pays ``memory_overhead`` on its serialized size.
+        """
+        total = 0.0
+        for r in records:
+            declared = getattr(r, "sim_memory_size", None)
+            if declared is not None:
+                total += self.base + declared
+            else:
+                total += self.size_of(r) * self.memory_overhead
+        return total

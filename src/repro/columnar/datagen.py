@@ -1,0 +1,113 @@
+"""Deterministic TPC-H-flavoured test data (orders + lineitem).
+
+Shared by the ``stark sql`` canned workload, the
+``bench_columnar_tpch`` benchmark, and the columnar test suites, so
+every consumer sees byte-identical rows for a given ``(seed, pid)``.
+Seeding is purely arithmetic (no string hashing — ``PYTHONHASHSEED``
+must not matter) and per-partition, so generators can be evaluated in
+any order and still agree.
+
+Both a row form (tuples, for the row-RDD reference arm) and a columnar
+form (:class:`~repro.columnar.batch.ColumnarBatch` per partition) are
+derived from the *same* row lists — the benchmark's value-equality
+assertion depends on the two arms reading identical data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Tuple
+
+from .batch import ColumnarBatch, normalize_schema
+
+ORDERS_SCHEMA: Tuple[Tuple[str, str], ...] = (
+    ("o_orderkey", "int"),
+    ("o_custkey", "int"),
+    ("o_status", "str"),
+    ("o_totalprice", "float"),
+)
+
+LINEITEM_SCHEMA: Tuple[Tuple[str, str], ...] = (
+    ("l_orderkey", "int"),
+    ("l_suppkey", "int"),
+    ("l_quantity", "float"),
+    ("l_extendedprice", "float"),
+    ("l_returnflag", "str"),
+)
+
+_STATUSES = ("F", "O", "P")
+_FLAGS = ("A", "N", "R")
+
+#: Arithmetic per-table seed offsets (kept apart so the two tables are
+#: uncorrelated even at equal partition ids).
+_ORDERS_SALT = 0
+_LINEITEM_SALT = 500_009
+
+
+def _rng(seed: int, salt: int, pid: int) -> random.Random:
+    return random.Random(seed * 1_000_003 + salt + pid)
+
+
+def orders_rows(pid: int, rows_per_partition: int,
+                seed: int = 17, num_customers: int = 100) -> List[tuple]:
+    """One partition of the orders table (globally unique order keys)."""
+    rng = _rng(seed, _ORDERS_SALT, pid)
+    rows = []
+    for i in range(rows_per_partition):
+        rows.append((
+            pid * rows_per_partition + i,
+            rng.randrange(num_customers),
+            _STATUSES[rng.randrange(len(_STATUSES))],
+            round(rng.uniform(1.0, 1000.0), 2),
+        ))
+    return rows
+
+
+def lineitem_rows(pid: int, rows_per_partition: int, total_orders: int,
+                  seed: int = 17, num_suppliers: int = 50) -> List[tuple]:
+    """One partition of the lineitem table; ``l_orderkey`` references
+    the orders table (``total_orders`` = orders partitions × rows)."""
+    rng = _rng(seed, _LINEITEM_SALT, pid)
+    rows = []
+    for _ in range(rows_per_partition):
+        rows.append((
+            rng.randrange(max(total_orders, 1)),
+            rng.randrange(num_suppliers),
+            float(rng.randrange(1, 51)),
+            round(rng.uniform(1.0, 100.0), 2),
+            _FLAGS[rng.randrange(len(_FLAGS))],
+        ))
+    return rows
+
+
+def batch_generator(schema, rows_fn: Callable[[int], List[tuple]],
+                    ) -> Callable[[int], ColumnarBatch]:
+    """Wrap a per-partition row generator as a ColumnarBatch generator."""
+    schema = normalize_schema(schema)
+
+    def generator(pid: int) -> ColumnarBatch:
+        return ColumnarBatch.from_rows(schema, rows_fn(pid))
+
+    return generator
+
+
+def register_tpch_tables(session, num_partitions: int = 8,
+                         orders_per_partition: int = 400,
+                         lineitems_per_partition: int = 1600,
+                         seed: int = 17) -> None:
+    """Register ``orders`` + ``lineitem`` on a
+    :class:`~repro.sql.dataframe.SQLSession`."""
+    total_orders = num_partitions * orders_per_partition
+    session.create_table(
+        "orders", ORDERS_SCHEMA,
+        batch_generator(
+            ORDERS_SCHEMA,
+            lambda pid: orders_rows(pid, orders_per_partition, seed)),
+        num_partitions)
+    session.create_table(
+        "lineitem", LINEITEM_SCHEMA,
+        batch_generator(
+            LINEITEM_SCHEMA,
+            lambda pid: lineitem_rows(pid, lineitems_per_partition,
+                                      total_orders, seed)),
+        num_partitions)

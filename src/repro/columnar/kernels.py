@@ -1,0 +1,301 @@
+"""Vectorized kernels over :class:`~repro.columnar.batch.ColumnarBatch`.
+
+Every kernel is a pure function ``batch -> batch`` (or a small family
+thereof) built from whole-array numpy primitives; no kernel ever loops
+over rows in Python except across the *unique* key values of a
+partitioning step, which is how the columnar engine reproduces the row
+engine's exact :func:`~repro.engine.partitioner.stable_hash`
+distribution at vector speed (factorize, hash the dictionary, gather).
+
+Kernel contract (documented in ``docs/DATAFRAME.md``):
+
+* input batches are never mutated;
+* output row order is a deterministic function of input row order —
+  byte-identical runs are an engine-wide invariant;
+* group/join kernels use stable sorts so ties preserve input order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..engine.partitioner import stable_hash
+from .batch import ColumnarBatch, Schema, normalize_schema
+
+#: Aggregate ops understood by :func:`group_aggregate` /
+#: :func:`merge_aggregate`.
+AGG_OPS = ("sum", "count", "min", "max", "avg")
+
+
+# ---- factorization ---------------------------------------------------------
+
+def factorize(batch: ColumnarBatch,
+              key_columns: Sequence[str]) -> Tuple[np.ndarray, List]:
+    """Map each row's key to a dense code; return ``(codes, keys)``.
+
+    ``keys[code]`` is the Python-scalar key (tuple for compound keys)
+    for code ``code``.  Codes follow numpy's sorted-unique order, which
+    is deterministic for a given input.
+    """
+    arrays = [batch.columns[name] for name in key_columns]
+    if not arrays:
+        raise ValueError("factorize needs at least one key column")
+    if len(arrays) == 1:
+        uniq, codes = np.unique(arrays[0], return_inverse=True)
+        return codes, uniq.tolist()
+    rec = np.empty(len(arrays[0]), dtype=[
+        (f"f{i}", a.dtype) for i, a in enumerate(arrays)])
+    for i, a in enumerate(arrays):
+        rec[f"f{i}"] = a
+    uniq, codes = np.unique(rec, return_inverse=True)
+    keys = [tuple(u.item()) for u in uniq]
+    return codes, keys
+
+
+def hash_partition_codes(batch: ColumnarBatch, key_columns: Sequence[str],
+                         num_partitions: int) -> np.ndarray:
+    """Per-row partition ids matching the row engine's HashPartitioner.
+
+    ``stable_hash`` (crc32 over a canonical encoding) is inherently
+    scalar, so we evaluate it only over the batch's *unique* keys and
+    gather back through the factorization codes — identical distribution
+    to row-mode ``partition_by``, ~unique/len(batch) of the hashing work.
+    """
+    codes, keys = factorize(batch, key_columns)
+    lut = np.fromiter(
+        (stable_hash(k) % num_partitions for k in keys),
+        dtype=np.int64, count=len(keys))
+    return lut[codes] if len(keys) else np.zeros(batch.num_rows, np.int64)
+
+
+def split_by_partition(batch: ColumnarBatch, part_codes: np.ndarray,
+                       num_partitions: int) -> Dict[int, ColumnarBatch]:
+    """Split a batch into per-partition sub-batches (empty ones omitted);
+    rows keep their relative order within each sub-batch."""
+    out: Dict[int, ColumnarBatch] = {}
+    for pid in range(num_partitions):
+        mask = part_codes == pid
+        if mask.any():
+            out[pid] = batch.take(mask)
+    return out
+
+
+# ---- grouped aggregation ---------------------------------------------------
+
+def partial_agg_schema(key_schema: Schema,
+                       aggs: Sequence[Tuple[str, str, str]],
+                       value_kinds: Dict[str, str]) -> Schema:
+    """Physical schema of a partial-aggregate batch: keys + one column
+    per accumulator (``avg`` expands to a sum and a count; ``min``/
+    ``max`` keep the input column's kind from ``value_kinds``)."""
+    cols = list(normalize_schema(key_schema))
+    for op, column, alias in aggs:
+        if op == "avg":
+            cols.append((f"{alias}__sum", "float"))
+            cols.append((f"{alias}__count", "int"))
+        elif op == "count":
+            cols.append((alias, "int"))
+        elif op == "sum":
+            cols.append((alias, "float"))
+        else:
+            cols.append((alias, value_kinds[column]))
+    return tuple(cols)
+
+
+def group_aggregate(batch: ColumnarBatch, key_columns: Sequence[str],
+                    aggs: Sequence[Tuple[str, str, str]]) -> ColumnarBatch:
+    """Partial aggregation of one batch: ``aggs`` is ``(op, column,
+    alias)`` triples with ``op`` in :data:`AGG_OPS`.
+
+    Output carries the group keys plus accumulator columns; ``avg``
+    materializes ``alias__sum``/``alias__count`` so partials merge
+    exactly.  Mergeable with :func:`merge_aggregate` after an exchange.
+    """
+    for op, _, _ in aggs:
+        if op not in AGG_OPS:
+            raise ValueError(f"unknown aggregate op {op!r}")
+    codes, keys = factorize(batch, key_columns)
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    n_groups = len(keys)
+    # Start offset of each group's run in the sorted permutation.
+    starts = np.searchsorted(sorted_codes, np.arange(n_groups), side="left")
+    counts = np.diff(np.append(starts, len(sorted_codes)))
+
+    out_schema: List[Tuple[str, str]] = [
+        (name, batch.kind_of(name)) for name in key_columns]
+    out_cols: Dict[str, np.ndarray] = {}
+    for name in key_columns:
+        kind = batch.kind_of(name)
+        if n_groups:
+            out_cols[name] = batch.columns[name][order][starts]
+        else:
+            out_cols[name] = np.empty(
+                0, dtype="<U1" if kind == "str" else np.int64
+                if kind == "int" else np.float64)
+
+    def reduceat(ufunc, values: np.ndarray) -> np.ndarray:
+        if not n_groups:
+            return values[:0]
+        return ufunc.reduceat(values[order], starts)
+
+    for op, column, alias in aggs:
+        if op == "count":
+            out_schema.append((alias, "int"))
+            out_cols[alias] = counts.astype(np.int64)
+            continue
+        values = batch.columns[column]
+        if op == "sum":
+            out_schema.append((alias, "float"))
+            out_cols[alias] = reduceat(np.add, values.astype(np.float64))
+        elif op == "min":
+            out_schema.append((alias, batch.kind_of(column)))
+            out_cols[alias] = reduceat(np.minimum, values)
+        elif op == "max":
+            out_schema.append((alias, batch.kind_of(column)))
+            out_cols[alias] = reduceat(np.maximum, values)
+        else:  # avg
+            out_schema.append((f"{alias}__sum", "float"))
+            out_schema.append((f"{alias}__count", "int"))
+            out_cols[f"{alias}__sum"] = reduceat(
+                np.add, values.astype(np.float64))
+            out_cols[f"{alias}__count"] = counts.astype(np.int64)
+    return ColumnarBatch(out_schema, out_cols)
+
+
+def merge_aggregate(batch: ColumnarBatch, key_columns: Sequence[str],
+                    aggs: Sequence[Tuple[str, str, str]]) -> ColumnarBatch:
+    """Merge partial-aggregate batches (post-exchange) into finals.
+
+    The input is a concatenation of :func:`group_aggregate` outputs for
+    the same spec; re-aggregating the accumulator columns with the
+    merge op (sum for sum/count, min/max for min/max) and finishing
+    ``avg`` as ``sum / count`` yields the exact global result.
+    """
+    merge_spec: List[Tuple[str, str, str]] = []
+    for op, _, alias in aggs:
+        if op in ("sum", "count"):
+            merge_spec.append(("sum", alias, alias))
+        elif op in ("min", "max"):
+            merge_spec.append((op, alias, alias))
+        else:
+            merge_spec.append(("sum", f"{alias}__sum", f"{alias}__sum"))
+            merge_spec.append(("sum", f"{alias}__count", f"{alias}__count"))
+    merged = group_aggregate(batch, key_columns, merge_spec)
+
+    out_schema: List[Tuple[str, str]] = [
+        (name, merged.kind_of(name)) for name in key_columns]
+    out_cols: Dict[str, np.ndarray] = {
+        name: merged.columns[name] for name in key_columns}
+    for op, _, alias in aggs:
+        if op == "avg":
+            out_schema.append((alias, "float"))
+            counts = merged.columns[f"{alias}__count"]
+            sums = merged.columns[f"{alias}__sum"]
+            with np.errstate(invalid="ignore", divide="ignore"):
+                out_cols[alias] = np.where(
+                    counts > 0, sums / np.maximum(counts, 1), np.nan)
+        elif op == "count":
+            out_schema.append((alias, "int"))
+            out_cols[alias] = merged.columns[alias].astype(np.int64)
+        else:
+            out_schema.append((alias, merged.kind_of(alias)))
+            out_cols[alias] = merged.columns[alias]
+    return ColumnarBatch(out_schema, out_cols)
+
+
+# ---- join ------------------------------------------------------------------
+
+def hash_join(left: ColumnarBatch, right: ColumnarBatch,
+              left_on: str, right_on: str,
+              suffix: str = "_r") -> ColumnarBatch:
+    """Inner equi-join of two batches on one key column each.
+
+    Sort-probe at vector speed: stable-sort the right keys once, then
+    ``searchsorted`` every left key against them and expand match runs
+    with repeat/cumsum arithmetic.  Output rows follow left-row order
+    (ties in right-row order), so the result is deterministic.
+
+    The join key keeps the left column's name; non-key right columns
+    clashing with a left name get ``suffix`` appended.
+    """
+    lk = left.columns[left_on]
+    rk = right.columns[right_on]
+    if lk.dtype.kind != rk.dtype.kind:
+        rk = rk.astype(lk.dtype)
+    r_order = np.argsort(rk, kind="stable")
+    r_sorted = rk[r_order]
+    lo = np.searchsorted(r_sorted, lk, side="left")
+    hi = np.searchsorted(r_sorted, lk, side="right")
+    counts = hi - lo
+    l_idx = np.repeat(np.arange(len(lk)), counts)
+    ends = np.cumsum(counts)
+    within = np.arange(int(ends[-1]) if len(ends) else 0) \
+        - np.repeat(ends - counts, counts)
+    r_idx = r_order[np.repeat(lo, counts) + within]
+
+    out_schema: List[Tuple[str, str]] = []
+    out_cols: Dict[str, np.ndarray] = {}
+    left_names = set(left.column_names)
+    for name, kind in left.schema:
+        out_schema.append((name, kind))
+        out_cols[name] = left.columns[name][l_idx]
+    for name, kind in right.schema:
+        if name == right_on:
+            continue  # key equal to the left's; drop the duplicate
+        out_name = name + suffix if name in left_names else name
+        out_schema.append((out_name, kind))
+        out_cols[out_name] = right.columns[name][r_idx]
+    return ColumnarBatch(out_schema, out_cols)
+
+
+def join_schema(left: Schema, right: Schema, right_on: str,
+                suffix: str = "_r") -> Schema:
+    """Output schema of :func:`hash_join` without running it."""
+    left = normalize_schema(left)
+    right = normalize_schema(right)
+    left_names = {name for name, _ in left}
+    out = list(left)
+    for name, kind in right:
+        if name == right_on:
+            continue
+        out.append((name + suffix if name in left_names else name, kind))
+    return tuple(out)
+
+
+# ---- sort ------------------------------------------------------------------
+
+def sort_batch(batch: ColumnarBatch,
+               by: Sequence[Tuple[str, bool]]) -> ColumnarBatch:
+    """Sort rows by ``(column, ascending)`` specs, first spec primary.
+
+    Stable throughout, so equal keys preserve input order.  Descending
+    string sorts need a rank indirection (numpy cannot negate strings):
+    rank via sorted-unique positions, then negate the ranks.
+    """
+    if not by:
+        return batch
+    keys: List[np.ndarray] = []
+    for name, ascending in by:
+        arr = batch.columns[name]
+        if not ascending:
+            if arr.dtype.kind == "U":
+                uniq, inv = np.unique(arr, return_inverse=True)
+                arr = -inv
+            else:
+                arr = -arr
+        keys.append(arr)
+    # lexsort: last key is primary.
+    order = np.lexsort(tuple(reversed(keys)))
+    return batch.take(order)
+
+
+def limit_batch(batch: ColumnarBatch, n: int) -> ColumnarBatch:
+    return batch.take(np.arange(min(n, batch.num_rows)))
+
+
+def concat_batches(schema: Schema,
+                   batches: Sequence[Optional[ColumnarBatch]]) -> ColumnarBatch:
+    return ColumnarBatch.concat(schema, [b for b in batches if b is not None])

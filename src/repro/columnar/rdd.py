@@ -1,0 +1,315 @@
+"""Columnar RDDs: batch-at-a-time datasets on the row engine's substrate.
+
+A columnar RDD's partition is the single-element list ``[batch]`` where
+``batch`` is a :class:`~repro.columnar.batch.ColumnarBatch`; every engine
+interface — block store, checkpoint store, shuffle map outputs, task
+memoization, the sizer — therefore works unchanged, with byte accounting
+falling out of the batch's declared ``sim_size``/``sim_memory_size``.
+
+Four physical operators:
+
+* :class:`ColumnarScanRDD` — a deterministic generated source with
+  **projection pushdown**: the simulated read is charged only for the
+  projected columns' bytes (a column store reads only the columns a
+  query touches), and an optional pushed filter runs right after.
+* :class:`ColumnarKernelRDD` — narrow batch→batch kernel (project,
+  filter, partial/final aggregate, sort, limit), charged at the cost
+  model's vectorized rate.
+* :class:`ColumnarExchangeRDD` — a hash repartition by key columns over
+  the *existing* shuffle machinery: a prep node splits each batch into
+  per-reduce sub-batches keyed ``(reduce_pid, sub_batch)``, the shuffle
+  buckets them with an identity partitioner, and the exchange
+  concatenates fetched sub-batches.  Hash codes come from
+  :func:`~repro.columnar.kernels.hash_partition_codes`, which reproduces
+  the row engine's ``stable_hash`` distribution exactly.
+* :class:`ColumnarZipRDD` — narrow N-ary combine of co-partitioned
+  parents (the compiled form of a co-partitioned join).
+
+Exchanges expose a :class:`ColumnarHashPartitioner` describing their
+semantic layout; the SQL compiler compares these to elide exchanges on
+already-co-partitioned inputs (partition-pruning joins).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..engine.dependency import OneToOneDependency, ShuffleDependency
+from ..engine.partitioner import Partitioner, stable_hash
+from ..engine.rdd import RDD
+from .batch import ColumnarBatch, Schema, normalize_schema
+from .kernels import hash_partition_codes, split_by_partition
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.compute import EvalContext
+    from ..engine.context import StarkContext
+
+
+class ColumnarHashPartitioner(Partitioner):
+    """Semantic layout of an exchange: rows live in the partition
+    ``stable_hash(key) % n`` of their key-column values.
+
+    Value-equality over ``(num_partitions, key_columns)`` is what lets
+    two independently-built exchanges count as co-partitioned — and lets
+    a columnar dataset count as co-partitioned with a row RDD hashed on
+    the same keys, since the distribution is bit-identical to
+    :class:`~repro.engine.partitioner.HashPartitioner`.
+    """
+
+    def __init__(self, num_partitions: int,
+                 key_columns: Sequence[str]) -> None:
+        super().__init__(num_partitions)
+        self.key_columns = tuple(key_columns)
+
+    def get_partition(self, key: object) -> int:
+        return stable_hash(key) % self.num_partitions
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ColumnarHashPartitioner)
+            and other.num_partitions == self.num_partitions
+            and other.key_columns == self.key_columns
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ColumnarHashPartitioner", self.num_partitions,
+                     self.key_columns))
+
+    def __repr__(self) -> str:
+        return f"ColumnarHashPartitioner({self.num_partitions}, " \
+               f"keys={list(self.key_columns)})"
+
+
+class _BucketPartitioner(Partitioner):
+    """Identity partitioner over precomputed reduce-partition ids.
+
+    The exchange prep node already decided each sub-batch's destination
+    (vectorized); the shuffle write just routes ``(rpid, batch)`` pairs
+    by their first element.
+    """
+
+    def get_partition(self, key: object) -> int:
+        return int(key)  # type: ignore[arg-type]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, _BucketPartitioner)
+            and other.num_partitions == self.num_partitions
+        )
+
+    def __hash__(self) -> int:
+        return hash(("_BucketPartitioner", self.num_partitions))
+
+    def __repr__(self) -> str:
+        return f"_BucketPartitioner({self.num_partitions})"
+
+
+def batch_of(records: list, schema: Schema) -> ColumnarBatch:
+    """The partition's batch (empty partitions materialize as an empty
+    batch of the declared schema)."""
+    if records:
+        return records[0]
+    return ColumnarBatch.empty(schema)
+
+
+class ColumnarScanRDD(RDD):
+    """Columnar source: ``generator(pid) -> ColumnarBatch`` of
+    ``table_schema``, with optional projection/filter pushdown.
+
+    ``columns`` restricts the scan to a column subset **before** the
+    simulated read is charged — the core column-store win: bytes read
+    scale with the columns touched, not the table width.  ``pushed_filter``
+    (a batch→batch kernel with a structural description) runs
+    immediately after the read.
+    """
+
+    def __init__(
+        self,
+        context: "StarkContext",
+        generator: Callable[[int], ColumnarBatch],
+        table_schema: Schema,
+        num_partitions: int,
+        columns: Optional[Sequence[str]] = None,
+        pushed_filter: Optional[Callable[[ColumnarBatch], ColumnarBatch]] = None,
+        filter_desc: str = "",
+        read_cost: str = "disk",
+        name: str = "",
+    ) -> None:
+        if read_cost not in ("disk", "network", "none"):
+            raise ValueError(f"unknown read_cost {read_cost!r}")
+        table_schema = normalize_schema(table_schema)
+        if columns is not None:
+            kinds = dict(table_schema)
+            schema = tuple((c, kinds[c]) for c in columns)
+        else:
+            schema = table_schema
+        super().__init__(context, [], num_partitions,
+                         name=name or "columnar_scan")
+        self.generator = generator
+        self.table_schema = table_schema
+        self.schema = schema
+        self.columns = tuple(columns) if columns is not None else None
+        self.pushed_filter = pushed_filter
+        self.read_cost = read_cost
+        self.lineage_extra = (
+            f"scan:cols={list(self.columns) if self.columns else '*'}"
+            f":filter={filter_desc or None}")
+
+    def compute(self, pid: int, ctx: "EvalContext") -> list:
+        batch = self.generator(pid)
+        if self.columns is not None:
+            batch = batch.select(self.columns)
+        ctx.charge_source_read(self, [batch], self.read_cost)
+        if self.pushed_filter is not None:
+            ctx.charge_columnar_compute(self, batch.num_rows)
+            batch = self.pushed_filter(batch)
+        return [batch]
+
+
+class ColumnarKernelRDD(RDD):
+    """Narrow batch→batch transformation at the vectorized CPU rate.
+
+    ``kernels`` is the number of array passes the kernel makes (each
+    pays the cost model's per-kernel overhead).  ``lineage_extra`` is a
+    structural description of the compiled expressions, folded into the
+    lineage fingerprint so registry dedup distinguishes plans the way it
+    distinguishes row closures.
+    """
+
+    def __init__(
+        self,
+        parent: RDD,
+        kernel: Callable[[ColumnarBatch], ColumnarBatch],
+        schema: Schema,
+        desc: str,
+        kernels: int = 1,
+        preserves_partitioning: bool = True,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            parent.context,
+            [OneToOneDependency(parent)],
+            parent.num_partitions,
+            partitioner=parent.partitioner if preserves_partitioning else None,
+            name=name or "columnar_kernel",
+        )
+        self.parent = parent
+        self.kernel = kernel
+        self.schema = normalize_schema(schema)
+        self.kernels = int(kernels)
+        self.lineage_extra = desc
+
+    def compute(self, pid: int, ctx: "EvalContext") -> list:
+        parent_schema = getattr(self.parent, "schema", self.schema)
+        batch = batch_of(ctx.evaluate(self.parent, pid), parent_schema)
+        ctx.charge_columnar_compute(self, batch.num_rows, self.kernels)
+        return [self.kernel(batch)]
+
+
+class _ExchangePrepRDD(RDD):
+    """Map side of a columnar exchange: split each batch into per-reduce
+    sub-batches, emitted as ``(reduce_pid, sub_batch)`` pairs.
+
+    With ``key_columns=None`` every row routes to partition 0 — the
+    gather exchange a global sort/limit uses.
+    """
+
+    def __init__(self, parent: RDD, key_columns: Optional[Sequence[str]],
+                 num_out: int, schema: Schema) -> None:
+        super().__init__(parent.context, [OneToOneDependency(parent)],
+                         parent.num_partitions, name="columnar_exchange_prep")
+        self.parent = parent
+        self.key_columns = tuple(key_columns) if key_columns else None
+        self.num_out = int(num_out)
+        self.schema = normalize_schema(schema)
+        self.lineage_extra = f"prep:keys={list(self.key_columns or [])}" \
+                             f":n={self.num_out}"
+
+    def compute(self, pid: int, ctx: "EvalContext") -> list:
+        batch = batch_of(ctx.evaluate(self.parent, pid), self.schema)
+        # Two array passes: hash codes + the split gather.
+        ctx.charge_columnar_compute(self, batch.num_rows, kernels=2)
+        if self.key_columns is None:
+            return [(0, batch)] if batch.num_rows else []
+        codes = hash_partition_codes(batch, self.key_columns, self.num_out)
+        parts = split_by_partition(batch, codes, self.num_out)
+        return [(rpid, sub) for rpid, sub in sorted(parts.items())]
+
+
+class ColumnarExchangeRDD(RDD):
+    """Reduce side of a columnar exchange: concatenate the fetched
+    sub-batches of one reduce partition.
+
+    The wire protocol rides the row engine's shuffle end to end — map
+    output registration, disk/network byte charges (from each
+    sub-batch's ``sim_size``), fetch-failure handling, stage
+    resubmission — because the shuffled records *are* ordinary
+    ``(key, value)`` pairs, just two of them per surviving bucket
+    instead of two per row.
+    """
+
+    def __init__(self, parent: RDD, key_columns: Optional[Sequence[str]],
+                 num_partitions: int, schema: Schema,
+                 name: str = "") -> None:
+        schema = normalize_schema(schema)
+        prep = _ExchangePrepRDD(parent, key_columns, num_partitions, schema)
+        dep = ShuffleDependency(prep, _BucketPartitioner(num_partitions))
+        partitioner = (
+            ColumnarHashPartitioner(num_partitions, key_columns)
+            if key_columns else None
+        )
+        super().__init__(parent.context, [dep], num_partitions,
+                         partitioner=partitioner,
+                         name=name or "columnar_exchange")
+        self.shuffle_dep = dep
+        self.schema = schema
+        self.lineage_extra = f"exchange:keys={list(key_columns or [])}"
+
+    def compute(self, pid: int, ctx: "EvalContext") -> list:
+        records = ctx.fetch_shuffle(self, self.shuffle_dep, pid)
+        batches = [batch for _, batch in records]
+        merged = ColumnarBatch.concat(self.schema, batches)
+        ctx.charge_columnar_compute(self, merged.num_rows)
+        return [merged]
+
+
+class ColumnarZipRDD(RDD):
+    """Narrow N-ary combine of co-partitioned columnar parents.
+
+    Partition ``p`` of the result is ``combine([p-th batch of each
+    parent])`` — the compiled form of a join whose two sides share a
+    :class:`ColumnarHashPartitioner` (no exchange needed), and of the
+    final merge of a pre-partitioned aggregation.
+    """
+
+    def __init__(self, parents: Sequence[RDD],
+                 combine: Callable[[List[ColumnarBatch]], ColumnarBatch],
+                 schema: Schema, desc: str, kernels: int = 1,
+                 name: str = "") -> None:
+        parents = list(parents)
+        if not parents:
+            raise ValueError("zip needs at least one parent")
+        n = parents[0].num_partitions
+        for p in parents[1:]:
+            if p.num_partitions != n:
+                raise ValueError(
+                    "zip parents must share a partition count: "
+                    f"{[q.num_partitions for q in parents]}")
+        super().__init__(parents[0].context,
+                         [OneToOneDependency(p) for p in parents],
+                         n, partitioner=parents[0].partitioner,
+                         name=name or "columnar_zip")
+        self.parents_list = parents
+        self.combine = combine
+        self.schema = normalize_schema(schema)
+        self.kernels = int(kernels)
+        self.lineage_extra = desc
+
+    def compute(self, pid: int, ctx: "EvalContext") -> list:
+        batches = [
+            batch_of(ctx.evaluate(p, pid), getattr(p, "schema", self.schema))
+            for p in self.parents_list
+        ]
+        ctx.charge_columnar_compute(
+            self, sum(b.num_rows for b in batches), self.kernels)
+        return [self.combine(batches)]

@@ -86,6 +86,21 @@ class EvalContext:
         self.context.rdd_stats(rdd.rdd_id).record_delay(cost)
         return cost
 
+    def charge_columnar_compute(self, rdd: "RDD", input_rows: int,
+                                kernels: int = 1) -> float:
+        """Charge CPU for vectorized columnar kernels over ``input_rows``.
+
+        Columnar batches amortize dispatch over whole arrays, so the
+        per-row rate is the cost model's ``columnar_cpu_per_record``
+        plus a fixed per-kernel launch overhead (``repro.columnar``).
+        """
+        cost = self.context.cost_model.columnar_compute_cost(
+            input_rows, kernels)
+        self.metrics.compute_time += cost
+        self.metrics.input_records += input_rows
+        self.context.rdd_stats(rdd.rdd_id).record_delay(cost)
+        return cost
+
     def charge_driver_ship(self, rdd: "RDD", records: list) -> float:
         size = self.context.sizer.size_of_partition(records)
         cost = self.context.cost_model.serde_cost(size) + \

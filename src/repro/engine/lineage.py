@@ -187,6 +187,12 @@ def lineage_fingerprint(rdd: "RDD") -> str:
             value = getattr(node, attr, None)
             if value is not None:
                 desc.append(f"{attr}={_describe_callable(value)}")
+        # Columnar/SQL nodes carry a structural description of their
+        # compiled expressions (kernels are closures over expression
+        # trees, which bytecode alone cannot distinguish).
+        extra = getattr(node, "lineage_extra", None)
+        if extra is not None:
+            desc.append(f"extra={extra}")
         slices = getattr(node, "_slices", None)
         if slices is not None:  # ParallelCollectionRDD: driver-held data
             desc.append(f"data={repr(slices)}")

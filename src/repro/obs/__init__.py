@@ -56,6 +56,9 @@ from .events import (
     JobStart,
     LineageRecovered,
     PoolWeightsUpdated,
+    QueryCompleted,
+    QueryFailed,
+    QueryPlanned,
     ScalingDecision,
     ShuffleFetch,
     StageCompleted,
@@ -195,6 +198,9 @@ __all__ = [
     "LineageRecovered",
     "MetricsRegistry",
     "PoolWeightsUpdated",
+    "QueryCompleted",
+    "QueryFailed",
+    "QueryPlanned",
     "ScalingDecision",
     "ShuffleFetch",
     "SimProfiler",

@@ -437,6 +437,43 @@ class TenantSloAlert(Event):
     cleared: bool = False
 
 
+# ---- SQL / DataFrame queries ----------------------------------------------
+
+@dataclass(frozen=True)
+class QueryPlanned(Event):
+    """A DataFrame/SQL query finished planning: the logical plan was
+    optimized (``pushed_filters`` predicates sank into scans,
+    ``pruned_columns`` table columns will not be read) and lowered to
+    RDDs (``exchanges`` shuffles planned, ``elided_exchanges`` skipped
+    because inputs were already co-partitioned)."""
+
+    query_id: int
+    description: str
+    num_operators: int
+    pushed_filters: int
+    pruned_columns: int
+    exchanges: int
+    elided_exchanges: int
+
+
+@dataclass(frozen=True)
+class QueryCompleted(Event):
+    """The query's job(s) finished; ``rows`` is the result cardinality
+    and ``duration`` the simulated seconds from submission."""
+
+    query_id: int
+    rows: int
+    duration: float
+
+
+@dataclass(frozen=True)
+class QueryFailed(Event):
+    """Planning or execution raised; ``error`` is the exception text."""
+
+    query_id: int
+    error: str
+
+
 # ---- streaming -------------------------------------------------------------
 
 @dataclass(frozen=True)

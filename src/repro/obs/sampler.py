@@ -7,7 +7,10 @@ fetches it reconstructs three timelines:
 * **slot occupancy** — how many executor slots are busy at any instant,
   per worker or cluster-wide (the utilization the paper's makespan
   arguments hinge on);
-* **cache memory** — bytes resident per worker's block store over time;
+* **cache memory** — bytes resident per worker's block store over time,
+  plus the complementary *block count* timeline (bytes alone cannot
+  separate "few large columnar batches" from "many small row blocks" —
+  the row-vs-columnar footprint comparison needs both);
 * **network bytes in flight** — remote shuffle-fetch transfers modelled
   as intervals of ``remote_seconds`` carrying ``remote_bytes``.
 
@@ -57,6 +60,8 @@ class UtilizationSampler:
         self._slot_deltas: Dict[int, List[Tuple[float, float]]] = {}
         #: worker -> (time, +/-bytes) cache residency deltas.
         self._cache_deltas: Dict[int, List[Tuple[float, float]]] = {}
+        #: worker -> (time, +/-1) resident-block-count deltas.
+        self._count_deltas: Dict[int, List[Tuple[float, float]]] = {}
         #: block -> size last cached (evictions carry no size).
         self._block_sizes: Dict[Tuple[int, int, int], float] = {}
         #: (time, +/-bytes) network in-flight deltas, cluster-wide.
@@ -81,17 +86,26 @@ class UtilizationSampler:
             deltas.append((event.time, -1.0))
         elif isinstance(event, BlockCached):
             key = (event.worker_id, event.rdd_id, event.partition)
+            is_new = key not in self._block_sizes
             previous = self._block_sizes.get(key, 0.0)
             self._block_sizes[key] = event.size_bytes
             self._cache_deltas.setdefault(event.worker_id, []).append(
                 (event.time, event.size_bytes - previous)
             )
+            if is_new:
+                self._count_deltas.setdefault(event.worker_id, []).append(
+                    (event.time, +1.0)
+                )
         elif isinstance(event, BlockEvicted):
             key = (event.worker_id, event.rdd_id, event.partition)
-            size = self._block_sizes.pop(key, 0.0)
-            if size:
-                self._cache_deltas.setdefault(event.worker_id, []).append(
-                    (event.time, -size)
+            if key in self._block_sizes:
+                size = self._block_sizes.pop(key)
+                if size:
+                    self._cache_deltas.setdefault(event.worker_id, []).append(
+                        (event.time, -size)
+                    )
+                self._count_deltas.setdefault(event.worker_id, []).append(
+                    (event.time, -1.0)
                 )
         elif isinstance(event, ShuffleFetch):
             if event.remote_bytes > 0:
@@ -140,6 +154,18 @@ class UtilizationSampler:
             return self._close(
                 _deltas_to_timeline(self._cache_deltas.get(worker_id, [])))
         merged = [d for ds in self._cache_deltas.values() for d in ds]
+        return self._close(_deltas_to_timeline(merged))
+
+    def cache_blocks(self, worker_id: Optional[int] = None) -> Timeline:
+        """Resident cached-block *count* over time — the complement of
+        :meth:`cache_bytes`.  Together they expose mean block size, which
+        is what distinguishes a columnar working set (few, large record
+        batches) from a row working set (many small blocks) at equal
+        byte footprints."""
+        if worker_id is not None:
+            return self._close(
+                _deltas_to_timeline(self._count_deltas.get(worker_id, [])))
+        merged = [d for ds in self._count_deltas.values() for d in ds]
         return self._close(_deltas_to_timeline(merged))
 
     def network_in_flight(self) -> Timeline:

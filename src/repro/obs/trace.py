@@ -48,6 +48,9 @@ from .events import (
     JobStart,
     LineageRecovered,
     PoolWeightsUpdated,
+    QueryCompleted,
+    QueryFailed,
+    QueryPlanned,
     ScalingDecision,
     ShuffleFetch,
     StageCompleted,
@@ -75,6 +78,9 @@ DRIVER_PID = 0
 #: scaling; tid 4 is the critical-path annotation track
 #: (:data:`~repro.obs.critical_path.CRITICAL_PATH_TID`).
 SERVICE_TID = 5
+
+#: Driver thread track for SQL query spans (planned -> completed/failed).
+SQL_TID = 6
 
 #: Trace-phase colour names (Chrome's reserved palette, understood by
 #: Perfetto's legacy colour mapping).
@@ -147,8 +153,15 @@ class ChromeTraceExporter:
         #: (time, alive worker count) samples for the dynamic cluster-size
         #: counter track (fed by provision/decommission events).
         self._cluster_size: List[Tuple[float, int]] = []
+        #: (time, resident bytes) samples for the cache-footprint counter
+        #: track (fed by BlockCached/BlockEvicted, cluster-wide).
+        self._cache_counter: List[Tuple[float, float]] = []
+        self._cache_bytes = 0.0
+        self._cached_block_sizes: Dict[Tuple[int, int, int], float] = {}
+        self._open_queries: Dict[int, QueryPlanned] = {}
         self._saw_scaling = False
         self._saw_service = False
+        self._saw_sql = False
 
     # ---- listener ----------------------------------------------------------
 
@@ -183,6 +196,11 @@ class ChromeTraceExporter:
                       "skipped": event.skipped},
             ))
         elif isinstance(event, BlockEvicted):
+            key = (event.worker_id, event.rdd_id, event.partition)
+            size = self._cached_block_sizes.pop(key, 0.0)
+            if size:
+                self._cache_bytes -= size
+                self._cache_counter.append((event.time, self._cache_bytes))
             self._instant(event.time, event.worker_id,
                           f"evict rdd_{event.rdd_id}[{event.partition}]",
                           "eviction", {"reason": event.reason})
@@ -320,8 +338,42 @@ class ChromeTraceExporter:
                         "target": event.target,
                         "burn_rate": event.burn_rate},
                 scope="g")
+        elif isinstance(event, QueryPlanned):
+            self._saw_sql = True
+            self._open_queries[event.query_id] = event
+        elif isinstance(event, QueryCompleted):
+            self._saw_sql = True
+            planned = self._open_queries.pop(event.query_id, None)
+            begin = event.time - event.duration
+            self._driver_spans.append(self._span(
+                name=f"query {event.query_id}", cat="sql",
+                begin=begin, end=event.time, tid=SQL_TID,
+                args={"query_id": event.query_id, "rows": event.rows,
+                      "plan": planned.description if planned else "",
+                      "pushed_filters":
+                          planned.pushed_filters if planned else 0,
+                      "pruned_columns":
+                          planned.pruned_columns if planned else 0,
+                      "elided_exchanges":
+                          planned.elided_exchanges if planned else 0},
+            ))
+        elif isinstance(event, QueryFailed):
+            self._saw_sql = True
+            planned = self._open_queries.pop(event.query_id, None)
+            begin = planned.time if planned is not None else event.time
+            self._driver_spans.append(self._span(
+                name=f"query {event.query_id} [failed]", cat="sql",
+                begin=begin, end=event.time, tid=SQL_TID,
+                args={"query_id": event.query_id, "error": event.error},
+            ))
+        elif isinstance(event, BlockCached):
+            key = (event.worker_id, event.rdd_id, event.partition)
+            previous = self._cached_block_sizes.get(key, 0.0)
+            self._cached_block_sizes[key] = event.size_bytes
+            self._cache_bytes += event.size_bytes - previous
+            self._cache_counter.append((event.time, self._cache_bytes))
         elif isinstance(event, (BatchSubmitted, BatchCompleted,
-                                BlockCached, CacheHit, ShuffleFetch,
+                                CacheHit, ShuffleFetch,
                                 TenantJobSubmitted, TenantJobAdmitted,
                                 TenantJobCompleted)):
             pass  # timeline-neutral here; the sampler consumes these
@@ -354,6 +406,14 @@ class ChromeTraceExporter:
             trace_events.append({
                 "name": "cluster size", "ph": "C", "ts": time * _US,
                 "pid": DRIVER_PID, "args": {"alive workers": alive},
+            })
+        # Cache-footprint counter track: resident bytes after every cache
+        # or eviction event, cluster-wide (the Perfetto view of the
+        # sampler's cache_bytes timeline).
+        for time, resident in self._cache_counter:
+            trace_events.append({
+                "name": "cache bytes", "ph": "C", "ts": time * _US,
+                "pid": DRIVER_PID, "args": {"resident bytes": resident},
             })
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
@@ -397,6 +457,10 @@ class ChromeTraceExporter:
             events.append({"name": "thread_name", "ph": "M",
                            "pid": DRIVER_PID, "tid": SERVICE_TID,
                            "args": {"name": "service"}})
+        if self._saw_sql:
+            events.append({"name": "thread_name", "ph": "M",
+                           "pid": DRIVER_PID, "tid": SQL_TID,
+                           "args": {"name": "sql"}})
         workers: Dict[int, int] = {}
         for task in self._tasks:
             spans = workers.get(task.worker_id)

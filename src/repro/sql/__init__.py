@@ -1,0 +1,83 @@
+"""repro.sql — DataFrame/SQL front-end over the columnar engine.
+
+The Shark-style layer cake: expressions → logical plans → optimizer
+(filter pushdown, projection pruning) → compiler → columnar RDDs.  A
+:class:`SQLSession` registers tables, parses SQL text, executes
+DataFrames as ordinary engine jobs, and emits
+``QueryPlanned``/``QueryCompleted``/``QueryFailed`` events for the
+``stark trace`` reconciliation table.
+
+Quick tour::
+
+    session = SQLSession(context)
+    session.from_rows("t", [("k", "str"), ("v", "int")], rows)
+    out = (session.table("t")
+           .filter(col("v") > 10)
+           .group_by("k")
+           .agg(total=("sum", "v"))
+           .collect())
+    same = session.sql(
+        "SELECT k, SUM(v) AS total FROM t WHERE v > 10 GROUP BY k"
+    ).collect()
+"""
+
+from .compiler import CompileStats, compile_plan
+from .dataframe import DataFrame, GroupedData, SQLSession
+from .expressions import (
+    AggSpec,
+    Alias,
+    BinOp,
+    Col,
+    Expr,
+    Lit,
+    Not,
+    col,
+    conjoin,
+    lit,
+)
+from .optimizer import OptimizerStats, optimize
+from .parser import SQLParseError, parse_select
+from .plan import (
+    Aggregate,
+    Filter,
+    JOIN_SUFFIX,
+    Join,
+    Limit,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    Table,
+)
+
+__all__ = [
+    "AggSpec",
+    "Aggregate",
+    "Alias",
+    "BinOp",
+    "Col",
+    "CompileStats",
+    "DataFrame",
+    "Expr",
+    "Filter",
+    "GroupedData",
+    "JOIN_SUFFIX",
+    "Join",
+    "Limit",
+    "Lit",
+    "Not",
+    "OptimizerStats",
+    "PlanNode",
+    "Project",
+    "SQLParseError",
+    "SQLSession",
+    "Scan",
+    "Sort",
+    "Table",
+    "col",
+    "compile_plan",
+    "conjoin",
+    "lit",
+    "optimize",
+    "parse_select",
+]

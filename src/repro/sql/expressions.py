@@ -1,0 +1,317 @@
+"""Scalar and aggregate expressions for the DataFrame/SQL layer.
+
+An :class:`Expr` is a small immutable tree (columns, literals, binary
+arithmetic/comparison/boolean operators) that evaluates two ways:
+
+* :meth:`Expr.eval` — vectorized, over a
+  :class:`~repro.columnar.batch.ColumnarBatch`, returning a numpy array
+  (the compiled execution path);
+* :meth:`Expr.eval_row` — scalar, over a ``{column: value}`` dict (the
+  reference semantics the property tests compare the kernels against).
+
+Expressions overload Python operators, so ``(col("a") + 1) * col("b") >
+lit(3)`` builds the expected tree.  **Note** ``==`` is overloaded too:
+never compare expressions with ``==``; use :meth:`Expr.describe` for
+structural identity (it is also what lineage fingerprinting hashes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from ..columnar.batch import ColumnarBatch
+
+_ARITH = {"+", "-", "*", "/"}
+_COMPARE = {"==", "!=", "<", "<=", ">", ">="}
+_BOOL = {"and", "or"}
+
+_NUMPY_OP = {
+    "+": np.add, "-": np.subtract, "*": np.multiply, "/": np.divide,
+    "==": np.equal, "!=": np.not_equal,
+    "<": np.less, "<=": np.less_equal,
+    ">": np.greater, ">=": np.greater_equal,
+    "and": np.logical_and, "or": np.logical_or,
+}
+
+_PY_OP = {
+    "+": lambda a, b: a + b, "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b, "/": lambda a, b: a / b,
+    "==": lambda a, b: a == b, "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+}
+
+
+class Expr:
+    """Base expression node."""
+
+    def columns(self) -> Set[str]:
+        """Every column name the expression reads."""
+        raise NotImplementedError
+
+    def eval(self, batch: ColumnarBatch):
+        """Vectorized evaluation to a numpy array (or scalar literal)."""
+        raise NotImplementedError
+
+    def eval_row(self, row: Dict[str, object]):
+        """Scalar reference evaluation over one row dict."""
+        raise NotImplementedError
+
+    def kind(self, kinds: Dict[str, str]) -> str:
+        """Result kind (``int``/``float``/``str``/``bool``) given input
+        column kinds."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Deterministic structural description (fingerprint input)."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Dict[str, "Expr"]) -> "Expr":
+        """Replace column references per ``mapping`` (filter pushdown
+        through projections)."""
+        raise NotImplementedError
+
+    # ---- operator sugar ----------------------------------------------------
+
+    def _bin(self, op: str, other: object, reflected: bool = False) -> "BinOp":
+        rhs = other if isinstance(other, Expr) else Lit(other)
+        return BinOp(op, rhs, self) if reflected else BinOp(op, self, rhs)
+
+    def __add__(self, other): return self._bin("+", other)
+    def __radd__(self, other): return self._bin("+", other, True)
+    def __sub__(self, other): return self._bin("-", other)
+    def __rsub__(self, other): return self._bin("-", other, True)
+    def __mul__(self, other): return self._bin("*", other)
+    def __rmul__(self, other): return self._bin("*", other, True)
+    def __truediv__(self, other): return self._bin("/", other)
+    def __rtruediv__(self, other): return self._bin("/", other, True)
+    def __eq__(self, other): return self._bin("==", other)  # type: ignore[override]
+    def __ne__(self, other): return self._bin("!=", other)  # type: ignore[override]
+    def __lt__(self, other): return self._bin("<", other)
+    def __le__(self, other): return self._bin("<=", other)
+    def __gt__(self, other): return self._bin(">", other)
+    def __ge__(self, other): return self._bin(">=", other)
+    def __and__(self, other): return self._bin("and", other)
+    def __or__(self, other): return self._bin("or", other)
+    def __invert__(self): return Not(self)
+
+    __hash__ = object.__hash__  # __eq__ builds trees; identity hash is fine
+
+    def alias(self, name: str) -> "Alias":
+        return Alias(self, name)
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+class Col(Expr):
+    """A column reference."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = str(name)
+
+    def columns(self) -> Set[str]:
+        return {self.name}
+
+    def eval(self, batch: ColumnarBatch):
+        return batch.columns[self.name]
+
+    def eval_row(self, row: Dict[str, object]):
+        return row[self.name]
+
+    def kind(self, kinds: Dict[str, str]) -> str:
+        return kinds[self.name]
+
+    def describe(self) -> str:
+        return f"col({self.name})"
+
+    def substitute(self, mapping: Dict[str, "Expr"]) -> Expr:
+        return mapping.get(self.name, self)
+
+
+class Lit(Expr):
+    """A literal constant (int, float, str, or bool)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        if not isinstance(value, (bool, int, float, str)):
+            raise TypeError(f"unsupported literal type {type(value).__name__}")
+        self.value = value
+
+    def columns(self) -> Set[str]:
+        return set()
+
+    def eval(self, batch: ColumnarBatch):
+        return self.value
+
+    def eval_row(self, row: Dict[str, object]):
+        return self.value
+
+    def kind(self, kinds: Dict[str, str]) -> str:
+        if isinstance(self.value, bool):
+            return "bool"
+        if isinstance(self.value, int):
+            return "int"
+        if isinstance(self.value, float):
+            return "float"
+        return "str"
+
+    def describe(self) -> str:
+        return f"lit({self.value!r})"
+
+    def substitute(self, mapping: Dict[str, "Expr"]) -> Expr:
+        return self
+
+
+class BinOp(Expr):
+    """Binary operator over two sub-expressions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _NUMPY_OP:
+            raise ValueError(f"unknown operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def columns(self) -> Set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def eval(self, batch: ColumnarBatch):
+        return _NUMPY_OP[self.op](self.left.eval(batch),
+                                  self.right.eval(batch))
+
+    def eval_row(self, row: Dict[str, object]):
+        return _PY_OP[self.op](self.left.eval_row(row),
+                               self.right.eval_row(row))
+
+    def kind(self, kinds: Dict[str, str]) -> str:
+        if self.op in _COMPARE or self.op in _BOOL:
+            return "bool"
+        lk, rk = self.left.kind(kinds), self.right.kind(kinds)
+        if self.op == "/":
+            return "float"
+        if lk == "str" or rk == "str":
+            if self.op != "+" or lk != rk:
+                raise TypeError(f"cannot apply {self.op!r} to {lk}/{rk}")
+            return "str"
+        return "float" if "float" in (lk, rk) else "int"
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} {self.op} {self.right.describe()})"
+
+    def substitute(self, mapping: Dict[str, "Expr"]) -> Expr:
+        return BinOp(self.op, self.left.substitute(mapping),
+                     self.right.substitute(mapping))
+
+
+class Not(Expr):
+    """Logical negation."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Expr) -> None:
+        self.child = child
+
+    def columns(self) -> Set[str]:
+        return self.child.columns()
+
+    def eval(self, batch: ColumnarBatch):
+        return np.logical_not(self.child.eval(batch))
+
+    def eval_row(self, row: Dict[str, object]):
+        return not self.child.eval_row(row)
+
+    def kind(self, kinds: Dict[str, str]) -> str:
+        return "bool"
+
+    def describe(self) -> str:
+        return f"(not {self.child.describe()})"
+
+    def substitute(self, mapping: Dict[str, "Expr"]) -> Expr:
+        return Not(self.child.substitute(mapping))
+
+
+class Alias:
+    """An output-name binding for a projected expression."""
+
+    __slots__ = ("expr", "name")
+
+    def __init__(self, expr: Expr, name: str) -> None:
+        self.expr = expr
+        self.name = str(name)
+
+    def describe(self) -> str:
+        return f"{self.expr.describe()} as {self.name}"
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+class AggSpec:
+    """One aggregate output: ``op`` over ``column`` named ``alias``.
+
+    ``op`` is one of :data:`~repro.columnar.kernels.AGG_OPS`; ``column``
+    is ``None`` only for ``count``.  ``min``/``max`` work on any kind;
+    ``sum``/``avg`` require numeric columns (checked at planning).
+    """
+
+    __slots__ = ("op", "column", "alias")
+
+    def __init__(self, op: str, column: Optional[str], alias: str) -> None:
+        from ..columnar.kernels import AGG_OPS
+
+        if op not in AGG_OPS:
+            raise ValueError(f"unknown aggregate {op!r}; pick from {AGG_OPS}")
+        if column is None and op != "count":
+            raise ValueError(f"aggregate {op!r} needs a column")
+        self.op = op
+        self.column = column
+        self.alias = str(alias)
+
+    def result_kind(self, kinds: Dict[str, str]) -> str:
+        if self.op == "count":
+            return "int"
+        kind = kinds[self.column]
+        if self.op in ("sum", "avg"):
+            if kind == "str":
+                raise TypeError(f"{self.op} over string column "
+                                f"{self.column!r}")
+            return "float"
+        return kind  # min/max preserve
+
+    def describe(self) -> str:
+        return f"{self.op}({self.column or '*'}) as {self.alias}"
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+    def as_triple(self) -> Tuple[str, str, str]:
+        """The kernel-facing ``(op, column, alias)`` form; ``count``
+        reads no column, any name keeps the kernels uniform."""
+        return (self.op, self.column or "", self.alias)
+
+
+def col(name: str) -> Col:
+    return Col(name)
+
+
+def lit(value: object) -> Lit:
+    return Lit(value)
+
+
+def conjoin(a: Optional[Expr], b: Optional[Expr]) -> Optional[Expr]:
+    """AND-combine two optional predicates."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return BinOp("and", a, b)

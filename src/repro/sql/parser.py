@@ -1,0 +1,295 @@
+"""A small SQL parser for the canned-workload subset.
+
+Grammar (one ``SELECT`` statement, no subqueries):
+
+.. code-block:: text
+
+    SELECT item ("," item)*
+    FROM name (JOIN name ON col "=" col)*
+    (WHERE expr)?
+    (GROUP BY col ("," col)*)?
+    (ORDER BY col (ASC|DESC)? ("," ...)*)?
+    (LIMIT int)?
+
+    item := "*" | expr (AS name)?
+          | (SUM|MIN|MAX|AVG|COUNT) "(" (col | "*") ")" (AS name)?
+    expr := or-chain of AND chains of comparisons over
+            col/int/float/'str' literals and + - * / arithmetic
+
+Aggregate items require a ``GROUP BY``; the parsed statement becomes a
+:class:`~repro.sql.dataframe.DataFrame` (the same plan/optimizer/compiler
+path as the fluent API), so ``stark sql`` costs nothing extra to support.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from .expressions import AggSpec, BinOp, Col, Expr, Lit
+from .plan import Aggregate, Filter, Join, Limit, Project, Scan, Sort
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .dataframe import DataFrame, SQLSession
+
+_TOKEN = re.compile(
+    r"\s*(?:"
+    r"(?P<str>'(?:[^'\\]|\\.)*')"
+    r"|(?P<num>\d+\.\d+|\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><=|>=|!=|<>|=|<|>|\+|-|\*|/|\(|\)|,)"
+    r")")
+
+_KEYWORDS = {
+    "select", "from", "join", "on", "where", "group", "by", "order",
+    "limit", "as", "and", "or", "not", "asc", "desc",
+    "sum", "count", "min", "max", "avg",
+}
+
+_AGG_FNS = {"sum", "count", "min", "max", "avg"}
+
+
+class SQLParseError(ValueError):
+    pass
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "" or text[pos:].strip() == ";":
+                break
+            raise SQLParseError(f"cannot tokenize at: {text[pos:pos + 20]!r}")
+        pos = match.end()
+        if match.lastgroup == "name":
+            word = match.group("name")
+            lowered = word.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(("kw", lowered))
+            else:
+                tokens.append(("name", word))
+        elif match.lastgroup == "num":
+            tokens.append(("num", match.group("num")))
+        elif match.lastgroup == "str":
+            raw = match.group("str")[1:-1]
+            tokens.append(("str", raw.replace("\\'", "'")))
+        else:
+            tokens.append(("op", match.group("op")))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise SQLParseError("unexpected end of statement")
+        self.pos += 1
+        return token
+
+    def accept(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        if token and token[0] == kind and (value is None or token[1] == value):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        token = self.peek()
+        if token is None or token[0] != kind or \
+                (value is not None and token[1] != value):
+            raise SQLParseError(
+                f"expected {value or kind}, got {token!r}")
+        self.pos += 1
+        return token[1]
+
+    # ---- expressions (precedence: or < and < not < cmp < add < mul) -----
+
+    def expr(self) -> Expr:
+        left = self.expr_and()
+        while self.accept("kw", "or"):
+            left = BinOp("or", left, self.expr_and())
+        return left
+
+    def expr_and(self) -> Expr:
+        left = self.expr_not()
+        while self.accept("kw", "and"):
+            left = BinOp("and", left, self.expr_not())
+        return left
+
+    def expr_not(self) -> Expr:
+        if self.accept("kw", "not"):
+            return ~self.expr_not()
+        return self.expr_cmp()
+
+    def expr_cmp(self) -> Expr:
+        left = self.expr_add()
+        token = self.peek()
+        if token and token[0] == "op" and token[1] in (
+                "=", "!=", "<>", "<", "<=", ">", ">="):
+            self.next()
+            op = {"=": "==", "<>": "!="}.get(token[1], token[1])
+            return BinOp(op, left, self.expr_add())
+        return left
+
+    def expr_add(self) -> Expr:
+        left = self.expr_mul()
+        while True:
+            token = self.peek()
+            if token and token[0] == "op" and token[1] in ("+", "-"):
+                self.next()
+                left = BinOp(token[1], left, self.expr_mul())
+            else:
+                return left
+
+    def expr_mul(self) -> Expr:
+        left = self.expr_atom()
+        while True:
+            token = self.peek()
+            if token and token[0] == "op" and token[1] in ("*", "/"):
+                self.next()
+                left = BinOp(token[1], left, self.expr_atom())
+            else:
+                return left
+
+    def expr_atom(self) -> Expr:
+        token = self.next()
+        kind, value = token
+        if kind == "name":
+            return Col(value)
+        if kind == "num":
+            return Lit(float(value) if "." in value else int(value))
+        if kind == "str":
+            return Lit(value)
+        if kind == "op" and value == "(":
+            inner = self.expr()
+            self.expect("op", ")")
+            return inner
+        if kind == "op" and value == "-":
+            atom = self.expr_atom()
+            return Lit(0) - atom
+        raise SQLParseError(f"unexpected token {value!r} in expression")
+
+    # ---- select items ---------------------------------------------------
+
+    def select_item(self, index: int):
+        """Returns ``("agg", AggSpec)`` or ``("expr", name, Expr)``."""
+        token = self.peek()
+        if token and token[0] == "kw" and token[1] in _AGG_FNS:
+            fn = self.next()[1]
+            self.expect("op", "(")
+            if self.accept("op", "*"):
+                if fn != "count":
+                    raise SQLParseError(f"{fn}(*) is not supported")
+                column = None
+            else:
+                column = self.expect("name")
+            self.expect("op", ")")
+            alias = (self.expect("name") if self.accept("kw", "as")
+                     else f"{fn}_{column or 'all'}")
+            return ("agg", AggSpec(fn, column, alias))
+        expr = self.expr()
+        if self.accept("kw", "as"):
+            name = self.expect("name")
+        elif isinstance(expr, Col):
+            name = expr.name
+        else:
+            name = f"col{index}"
+        return ("expr", name, expr)
+
+
+def parse_select(session: "SQLSession", text: str) -> "DataFrame":
+    """Parse one ``SELECT`` statement into a DataFrame over ``session``'s
+    tables."""
+    from .dataframe import DataFrame
+
+    parser = _Parser(_tokenize(text))
+    parser.expect("kw", "select")
+
+    star = parser.accept("op", "*")
+    items = []
+    if not star:
+        items.append(parser.select_item(0))
+        while parser.accept("op", ","):
+            items.append(parser.select_item(len(items)))
+
+    parser.expect("kw", "from")
+    table_name = parser.expect("name")
+    if table_name not in session.tables:
+        raise SQLParseError(f"unknown table {table_name!r}")
+    plan = Scan(session.tables[table_name])
+
+    while parser.accept("kw", "join"):
+        right_name = parser.expect("name")
+        if right_name not in session.tables:
+            raise SQLParseError(f"unknown table {right_name!r}")
+        parser.expect("kw", "on")
+        left_col = parser.expect("name")
+        parser.expect("op", "=")
+        right_col = parser.expect("name")
+        right_scan = Scan(session.tables[right_name])
+        right_cols = {name for name, _ in right_scan.schema()}
+        # Accept the ON columns in either order.
+        if left_col in right_cols and right_col not in right_cols:
+            left_col, right_col = right_col, left_col
+        plan = Join(plan, right_scan, left_col, right_col)
+
+    if parser.accept("kw", "where"):
+        plan = Filter(plan, parser.expr())
+
+    group_keys: List[str] = []
+    if parser.accept("kw", "group"):
+        parser.expect("kw", "by")
+        group_keys.append(parser.expect("name"))
+        while parser.accept("op", ","):
+            group_keys.append(parser.expect("name"))
+
+    aggs = [item[1] for item in items if item[0] == "agg"]
+    plain = [(item[1], item[2]) for item in items if item[0] == "expr"]
+    if aggs:
+        if not group_keys:
+            raise SQLParseError("aggregates require GROUP BY")
+        for name, expr in plain:
+            if not (isinstance(expr, Col) and expr.name in group_keys):
+                raise SQLParseError(
+                    f"non-aggregate select item {name!r} must be a "
+                    f"GROUP BY key")
+        plan = Aggregate(plan, group_keys, aggs)
+        selected = [name for name, _ in plain] + [a.alias for a in aggs]
+        # Reorder output to the SELECT list when it differs.
+        if not star and selected != [name for name, _ in plan.schema()]:
+            plan = Project(plan, [(n, Col(n)) for n in selected])
+    elif group_keys:
+        raise SQLParseError("GROUP BY without aggregate select items")
+    elif not star:
+        plan = Project(plan, plain)
+
+    if parser.accept("kw", "order"):
+        parser.expect("kw", "by")
+        by: List[Tuple[str, bool]] = []
+        while True:
+            column = parser.expect("name")
+            ascending = True
+            if parser.accept("kw", "desc"):
+                ascending = False
+            else:
+                parser.accept("kw", "asc")
+            by.append((column, ascending))
+            if not parser.accept("op", ","):
+                break
+        plan = Sort(plan, by)
+
+    if parser.accept("kw", "limit"):
+        plan = Limit(plan, int(parser.expect("num")))
+
+    if parser.peek() is not None:
+        raise SQLParseError(f"trailing tokens: {parser.peek()!r}")
+    return DataFrame(session, plan)

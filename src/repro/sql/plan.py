@@ -1,0 +1,263 @@
+"""Logical query plans: the tree the DataFrame API builds.
+
+Nodes are immutable descriptions — no RDDs, no data.  Each node derives
+its output :data:`~repro.columnar.batch.Schema` from its children
+(catching unknown columns and kind errors at *plan* time) and renders a
+deterministic :meth:`~PlanNode.describe` string used by ``explain()``,
+the lineage fingerprint, and the optimizer's rewrite bookkeeping.
+
+The optimizer (:mod:`repro.sql.optimizer`) rewrites these trees; the
+compiler (:mod:`repro.sql.compiler`) lowers them onto the columnar RDD
+operators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..columnar.batch import Schema, normalize_schema
+from ..columnar.kernels import join_schema
+from .expressions import AggSpec, Expr
+
+#: Join-output suffix for right columns clashing with left names.
+JOIN_SUFFIX = "_r"
+
+
+class Table:
+    """A registered source: deterministic columnar generator + schema."""
+
+    def __init__(self, name: str, schema: Sequence[Tuple[str, str]],
+                 generator: Callable[[int], "object"], num_partitions: int,
+                 read_cost: str = "disk") -> None:
+        self.name = str(name)
+        self.schema = normalize_schema(schema)
+        self.generator = generator
+        self.num_partitions = int(num_partitions)
+        self.read_cost = read_cost
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {self.num_partitions} partitions)"
+
+
+class PlanNode:
+    """Base logical operator.  ``eq=False`` semantics throughout: never
+    compare plans (or expressions) with ``==`` — use ``describe()``."""
+
+    def schema(self) -> Schema:
+        raise NotImplementedError
+
+    def children(self) -> List["PlanNode"]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def kinds(self) -> dict:
+        return dict(self.schema())
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [pad + self.describe()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def num_operators(self) -> int:
+        return 1 + sum(c.num_operators() for c in self.children())
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+class Scan(PlanNode):
+    """Read a table; ``columns``/``predicate`` are the pushed-down
+    projection and filter (both set only by the optimizer)."""
+
+    def __init__(self, table: Table,
+                 columns: Optional[Sequence[str]] = None,
+                 predicate: Optional[Expr] = None) -> None:
+        self.table = table
+        self.columns = tuple(columns) if columns is not None else None
+        self.predicate = predicate
+        if self.columns is not None:
+            known = {name for name, _ in table.schema}
+            missing = [c for c in self.columns if c not in known]
+            if missing:
+                raise ValueError(
+                    f"table {table.name!r} has no columns {missing}")
+
+    def schema(self) -> Schema:
+        if self.columns is None:
+            return self.table.schema
+        kinds = dict(self.table.schema)
+        return tuple((c, kinds[c]) for c in self.columns)
+
+    def children(self) -> List[PlanNode]:
+        return []
+
+    def describe(self) -> str:
+        cols = list(self.columns) if self.columns is not None else "*"
+        pred = self.predicate.describe() if self.predicate is not None else None
+        return f"Scan({self.table.name}, columns={cols}, filter={pred})"
+
+
+class Project(PlanNode):
+    """Compute named output columns from expressions over the child."""
+
+    def __init__(self, child: PlanNode,
+                 exprs: Sequence[Tuple[str, Expr]]) -> None:
+        self.child = child
+        self.exprs = tuple((str(name), expr) for name, expr in exprs)
+        if not self.exprs:
+            raise ValueError("projection needs at least one column")
+        kinds = child.kinds()
+        for name, expr in self.exprs:
+            unknown = expr.columns() - set(kinds)
+            if unknown:
+                raise ValueError(f"projection {name!r} references unknown "
+                                 f"columns {sorted(unknown)}")
+            if expr.kind(kinds) == "bool":
+                raise TypeError(f"projection {name!r} is boolean; project "
+                                f"comparisons through a filter instead")
+
+    def schema(self) -> Schema:
+        kinds = self.child.kinds()
+        return tuple((name, expr.kind(kinds)) for name, expr in self.exprs)
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{e.describe()} as {n}" for n, e in self.exprs)
+        return f"Project({parts})"
+
+
+class Filter(PlanNode):
+    """Keep rows where ``predicate`` evaluates true."""
+
+    def __init__(self, child: PlanNode, predicate: Expr) -> None:
+        self.child = child
+        self.predicate = predicate
+        kinds = child.kinds()
+        unknown = predicate.columns() - set(kinds)
+        if unknown:
+            raise ValueError(
+                f"filter references unknown columns {sorted(unknown)}")
+        if predicate.kind(kinds) != "bool":
+            raise TypeError("filter predicate must be boolean")
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate.describe()})"
+
+
+class Aggregate(PlanNode):
+    """Group by ``keys`` and compute ``aggs`` (pre-partitioned inputs
+    compile without an exchange)."""
+
+    def __init__(self, child: PlanNode, keys: Sequence[str],
+                 aggs: Sequence[AggSpec]) -> None:
+        self.child = child
+        self.keys = tuple(str(k) for k in keys)
+        self.aggs = tuple(aggs)
+        if not self.keys:
+            raise ValueError("group_by needs at least one key column")
+        if not self.aggs:
+            raise ValueError("agg needs at least one aggregate")
+        kinds = child.kinds()
+        for key in self.keys:
+            if key not in kinds:
+                raise ValueError(f"unknown group key {key!r}")
+        for spec in self.aggs:
+            if spec.column is not None and spec.column not in kinds:
+                raise ValueError(f"aggregate over unknown column "
+                                 f"{spec.column!r}")
+            spec.result_kind(kinds)  # raises on kind errors
+
+    def schema(self) -> Schema:
+        kinds = self.child.kinds()
+        out = [(k, kinds[k]) for k in self.keys]
+        out += [(s.alias, s.result_kind(kinds)) for s in self.aggs]
+        return tuple(out)
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        aggs = ", ".join(s.describe() for s in self.aggs)
+        return f"Aggregate(keys={list(self.keys)}, [{aggs}])"
+
+
+class Join(PlanNode):
+    """Inner equi-join; right columns clashing with left names get
+    :data:`JOIN_SUFFIX`."""
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 left_on: str, right_on: str) -> None:
+        self.left = left
+        self.right = right
+        self.left_on = str(left_on)
+        self.right_on = str(right_on)
+        if self.left_on not in dict(left.schema()):
+            raise ValueError(f"unknown left join key {self.left_on!r}")
+        if self.right_on not in dict(right.schema()):
+            raise ValueError(f"unknown right join key {self.right_on!r}")
+
+    def schema(self) -> Schema:
+        return join_schema(self.left.schema(), self.right.schema(),
+                           self.right_on, JOIN_SUFFIX)
+
+    def children(self) -> List[PlanNode]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        return f"Join({self.left_on} == {self.right_on})"
+
+
+class Sort(PlanNode):
+    """Global sort by ``(column, ascending)`` specs."""
+
+    def __init__(self, child: PlanNode,
+                 by: Sequence[Tuple[str, bool]]) -> None:
+        self.child = child
+        self.by = tuple((str(c), bool(asc)) for c, asc in by)
+        if not self.by:
+            raise ValueError("order_by needs at least one column")
+        kinds = child.kinds()
+        for column, _ in self.by:
+            if column not in kinds:
+                raise ValueError(f"unknown sort column {column!r}")
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        spec = ", ".join(f"{c} {'asc' if a else 'desc'}" for c, a in self.by)
+        return f"Sort({spec})"
+
+
+class Limit(PlanNode):
+    """Keep the first ``n`` rows of the (gathered) child."""
+
+    def __init__(self, child: PlanNode, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"limit must be >= 0: {n}")
+        self.child = child
+        self.n = int(n)
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Limit({self.n})"

@@ -1,0 +1,115 @@
+"""ColumnarRDD family through the real engine: parity with row RDDs,
+cost accounting, and cache integration."""
+
+from collections import defaultdict
+
+from repro.columnar import kernels as K
+from repro.columnar.batch import ColumnarBatch
+from repro.columnar.rdd import (
+    ColumnarExchangeRDD,
+    ColumnarHashPartitioner,
+    ColumnarKernelRDD,
+    ColumnarScanRDD,
+)
+from repro.engine.context import StarkContext
+
+SCHEMA = (("k", "str"), ("v", "int"))
+
+
+def make_rows(pid, per=100):
+    return [(f"k{(pid * per + i) % 13}", (i * 7 + pid) % 101)
+            for i in range(per)]
+
+
+def scan(context, parts=4, **kwargs):
+    return ColumnarScanRDD(
+        context,
+        lambda pid: ColumnarBatch.from_rows(SCHEMA, make_rows(pid)),
+        SCHEMA, parts, **kwargs)
+
+
+def collect_batches(context, rdd):
+    parts = context.run_job(rdd, lambda records: records)
+    return [b for part in parts for b in part]
+
+
+class TestPipelineParity:
+    def test_scan_filter_aggregate_matches_row_reference(self):
+        sc = StarkContext(num_workers=2)
+        aggs = [("sum", "v", "total"), ("count", None, "n")]
+        src = scan(sc)
+        partial = ColumnarKernelRDD(
+            src, lambda b: K.group_aggregate(b, ["k"], aggs),
+            K.partial_agg_schema((("k", "str"),), aggs, dict(SCHEMA)),
+            desc="partial", kernels=2)
+        exchanged = ColumnarExchangeRDD(
+            partial, ["k"], 4, partial.schema)
+        merged = ColumnarKernelRDD(
+            exchanged, lambda b: K.merge_aggregate(b, ["k"], aggs),
+            (("k", "str"), ("total", "float"), ("n", "int")),
+            desc="merge", kernels=2)
+        rows = sorted(r for b in collect_batches(sc, merged)
+                      for r in b.to_rows())
+
+        ref = defaultdict(lambda: [0, 0])
+        for pid in range(4):
+            for k, v in make_rows(pid):
+                ref[k][0] += v
+                ref[k][1] += 1
+        assert rows == sorted((k, float(t), n) for k, (t, n) in ref.items())
+
+    def test_exchange_partitioner_co_locates_keys(self):
+        sc = StarkContext(num_workers=2)
+        exchanged = ColumnarExchangeRDD(scan(sc), ["k"], 4, SCHEMA)
+        assert exchanged.partitioner == ColumnarHashPartitioner(4, ["k"])
+        parts = sc.run_job(exchanged, lambda records: records)
+        seen = {}
+        for pid, batches in enumerate(parts):
+            for batch in batches:
+                for k in set(batch.column("k").tolist()):
+                    assert seen.setdefault(k, pid) == pid
+
+
+class TestCostAccounting:
+    def test_columnar_compute_cost_is_cheaper_per_record(self):
+        sc = StarkContext(num_workers=2)
+        model = sc.cost_model
+        # At realistic batch sizes the per-record rate dominates the
+        # fixed kernel overhead and the vectorized arm wins by >5x.
+        rows_total = 100_000
+        row_cost = model.compute_cost(rows_total)
+        col_cost = model.columnar_compute_cost(rows_total, kernels=1)
+        assert col_cost < row_cost / 5
+
+    def test_scan_charges_input_bytes(self):
+        def job_bytes(sc, rdd):
+            sc.run_job(rdd, len)
+            return sum(t.input_bytes for t in sc.metrics.last_job().tasks)
+
+        sc = StarkContext(num_workers=2)
+        full_bytes = job_bytes(sc, scan(sc))
+        sc2 = StarkContext(num_workers=2)
+        projected_bytes = job_bytes(sc2, scan(sc2, columns=["v"]))
+        assert 0 < projected_bytes < full_bytes
+
+
+class TestCacheIntegration:
+    def test_cached_batches_hit_on_reuse(self):
+        sc = StarkContext(num_workers=2)
+        rdd = scan(sc).cache()
+        sc.run_job(rdd, len)
+        misses_after_first = sc.metrics.cache_stats()["misses"]
+        sc.run_job(rdd, len)
+        stats = sc.metrics.cache_stats()
+        assert misses_after_first == 4
+        assert stats["hits"] == 4
+
+    def test_batch_memory_size_is_declared_bytes(self):
+        batch = ColumnarBatch.from_rows(SCHEMA, [("ab", 1), ("c", 2)])
+        from repro.cluster.cost_model import RecordSizer
+
+        sizer = RecordSizer()
+        # declared size, not size_of * overhead: one element list holding
+        # the batch occupies base + raw column bytes.
+        expected = sizer.base + batch.sim_memory_size
+        assert sizer.in_memory_size([batch]) == expected

@@ -37,7 +37,7 @@ class TestTraceExport(object):
         trace, _ = self._trace(sc, tmp_path)
         assert set(trace) == {"traceEvents", "displayTimeUnit"}
         for entry in trace["traceEvents"]:
-            assert entry["ph"] in ("X", "i", "M")
+            assert entry["ph"] in ("X", "i", "M", "C")
             if entry["ph"] == "X":
                 assert entry["dur"] >= 0
                 assert entry["ts"] >= 0

@@ -1,0 +1,129 @@
+"""DataFrame plans vs row-at-a-time references (hypothesis).
+
+Randomized rows run through the full optimize → compile → engine path
+and are compared with plain-Python evaluation built on ``Expr.eval_row``
+— the scalar reference semantics the vectorized kernels must match.
+"""
+
+import math
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.context import StarkContext
+from repro.obs import EventCollector, QueryCompleted, QueryFailed, QueryPlanned
+from repro.sql import SQLSession, col, lit
+
+SCHEMA = [("k", "str"), ("g", "int"), ("v", "int"), ("w", "float")]
+
+rows_st = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "cc", "dd"]),
+              st.integers(0, 4),
+              st.integers(-500, 500),
+              st.floats(-50, 50, allow_nan=False)),
+    max_size=40)
+
+
+def session_for(rows, num_partitions=3):
+    sc = StarkContext(num_workers=2)
+    session = SQLSession(sc)
+    session.from_rows("t", SCHEMA, rows, num_partitions=num_partitions)
+    return session
+
+
+class TestPlanParity:
+    @given(rows_st, st.integers(-500, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_filter_project(self, rows, threshold):
+        session = session_for(rows)
+        predicate = (col("v") > lit(threshold)) & (col("k") != lit("cc"))
+        df = (session.table("t").filter(predicate)
+              .select("k", (col("v") * lit(2) + col("g")).alias("x")))
+        got = df.collect()
+        batch_cols = {name: None for name, _ in SCHEMA}
+        expected = [
+            (r[0], r[2] * 2 + r[1]) for r in rows
+            if predicate.eval_row(dict(zip(batch_cols, r)))]
+        assert got == expected
+
+    @given(rows_st)
+    @settings(max_examples=30, deadline=None)
+    def test_group_aggregate(self, rows):
+        session = session_for(rows)
+        df = (session.table("t").group_by("k")
+              .agg(total=("sum", "v"), n=("count",), m=("avg", "w"))
+              .order_by("k"))
+        got = df.collect()
+        ref = defaultdict(lambda: [0, 0, 0.0])
+        for k, g, v, w in rows:
+            ref[k][0] += v
+            ref[k][1] += 1
+            ref[k][2] += w
+        expected = sorted((k, r[0], r[1], r[2] / r[1])
+                          for k, r in ref.items())
+        assert len(got) == len(expected)
+        for (gk, gt, gn, gm), (ek, et, en, em) in zip(got, expected):
+            assert gk == ek and gt == et and gn == en
+            assert math.isclose(gm, em, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(rows_st, rows_st)
+    @settings(max_examples=20, deadline=None)
+    def test_join(self, left_rows, right_rows):
+        session = session_for(left_rows)
+        dim = [(g, f"label{g}") for g in
+               sorted({r[1] for r in right_rows})]
+        session.from_rows("dim", [("g", "int"), ("name", "str")], dim,
+                          num_partitions=2)
+        df = session.table("t").join(session.table("dim"), on="g") \
+            .select("k", "g", "name")
+        got = sorted(df.collect())
+        labels = dict(dim)
+        expected = sorted((k, g, labels[g]) for k, g, _, _ in left_rows
+                          if g in labels)
+        assert got == expected
+
+
+class TestSessionAccounting:
+    def test_counters_and_events(self):
+        session = session_for([("a", 1, 2, 3.0), ("b", 2, 3, 4.0)])
+        collector = EventCollector()
+        session.context.event_bus.subscribe(collector)
+        df = session.table("t").filter(col("v") > lit(0))
+        assert df.count() == 2
+        assert df.collect()  # second query, fresh DataFrame state reused
+        assert session.queries_planned == 2
+        assert session.queries_completed == 2
+        assert session.queries_failed == 0
+        assert len(collector.of_type(QueryPlanned)) == 2
+        assert len(collector.of_type(QueryCompleted)) == 2
+        planned = collector.of_type(QueryPlanned)[0]
+        # the filter collapsed into the scan: one operator, one pushdown
+        assert planned.num_operators == 1
+        assert planned.pushed_filters == 1
+
+    def test_failed_query_counts_and_raises(self):
+        sc = StarkContext(num_workers=2)
+        session = SQLSession(sc)
+        collector = EventCollector()
+        sc.event_bus.subscribe(collector)
+
+        def exploding(pid):
+            raise RuntimeError("bad generator")
+
+        session.create_table("boom", [("x", "int")], exploding, 2,
+                             read_cost="none")
+        with pytest.raises(RuntimeError):
+            session.table("boom").collect()
+        assert session.queries_planned == 1
+        assert session.queries_failed == 1
+        assert session.queries_completed == 0
+        assert len(collector.of_type(QueryFailed)) == 1
+        # identity the stark trace reconciliation row checks
+        assert (len(collector.of_type(QueryPlanned))
+                == len(collector.of_type(QueryCompleted))
+                + len(collector.of_type(QueryFailed)))
+
+    def test_session_attaches_to_context(self):
+        session = session_for([])
+        assert session.context.sql_session is session

@@ -1,0 +1,87 @@
+"""SQL parser: grammar coverage and parity with the fluent API."""
+
+import pytest
+
+from repro.engine.context import StarkContext
+from repro.sql import SQLParseError, SQLSession, col, lit
+
+
+def make_session():
+    sc = StarkContext(num_workers=2)
+    session = SQLSession(sc)
+    rows = [(f"k{i % 5}", i % 3, i, i * 0.25) for i in range(40)]
+    session.from_rows(
+        "t", [("k", "str"), ("g", "int"), ("v", "int"), ("w", "float")],
+        rows, num_partitions=2)
+    session.from_rows(
+        "d", [("g", "int"), ("name", "str")],
+        [(i, f"n{i}") for i in range(3)], num_partitions=2)
+    return session
+
+
+class TestGrammar:
+    def test_select_star(self):
+        session = make_session()
+        assert len(session.sql("SELECT * FROM t").collect()) == 40
+
+    def test_projection_arithmetic_aliases(self):
+        session = make_session()
+        out = session.sql(
+            "SELECT v, v * 2 + g AS x FROM t WHERE v < 3").collect()
+        assert out == [(0, 0), (1, 3), (2, 6)]
+
+    def test_where_and_or_not_precedence(self):
+        session = make_session()
+        sql_rows = session.sql(
+            "SELECT v FROM t WHERE v < 5 AND NOT k = 'k0' OR v = 10"
+        ).collect()
+        fluent = (session.table("t")
+                  .filter(((col("v") < lit(5)) & ~(col("k") == lit("k0")))
+                          | (col("v") == lit(10)))
+                  .select("v")).collect()
+        assert sql_rows == fluent
+
+    def test_group_by_aggregates(self):
+        session = make_session()
+        out = session.sql(
+            "SELECT g, COUNT(*) AS n, SUM(v) AS total, MIN(v) AS lo "
+            "FROM t GROUP BY g ORDER BY g").collect()
+        assert [r[0] for r in out] == [0, 1, 2]
+        assert sum(r[1] for r in out) == 40
+
+    def test_join_order_limit(self):
+        session = make_session()
+        out = session.sql(
+            "SELECT k, name, v FROM t JOIN d ON g = g "
+            "ORDER BY v DESC LIMIT 3").collect()
+        assert [r[2] for r in out] == [39, 38, 37]
+        assert all(r[1].startswith("n") for r in out)
+
+    def test_string_literals_and_quotes(self):
+        session = make_session()
+        out = session.sql(
+            "SELECT v FROM t WHERE k = 'k1' LIMIT 2").collect()
+        assert out == [(1,), (6,)]
+
+
+class TestErrors:
+    def test_aggregate_without_group_by(self):
+        with pytest.raises(SQLParseError):
+            make_session().sql("SELECT SUM(v) AS s FROM t")
+
+    def test_non_key_select_with_group_by(self):
+        with pytest.raises(SQLParseError):
+            make_session().sql(
+                "SELECT v, SUM(w) AS s FROM t GROUP BY g")
+
+    def test_unknown_table(self):
+        with pytest.raises(SQLParseError):
+            make_session().sql("SELECT * FROM nope")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLParseError):
+            make_session().sql("SELECT * FROM t WHAT")
+
+    def test_tokenizer_rejects_junk(self):
+        with pytest.raises(SQLParseError):
+            make_session().sql("SELECT * FROM t WHERE v > §")

@@ -1,0 +1,53 @@
+"""Import health: the columnar engine's numpy dependency is real.
+
+The columnar subsystem leans on numpy APIs that predate 1.21 only in
+spirit (``ufunc.reduceat``, ``np.unique(return_inverse=...)``,
+structured-array factorization) — the floor in ``pyproject.toml``
+records the oldest line we actually exercise.  These tests fail fast,
+with a clear message, if the environment drifts below it or if the
+declaration is dropped.
+"""
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+NUMPY_FLOOR = (1, 21)
+
+
+def _version_tuple(text):
+    return tuple(int(part) for part in re.findall(r"\d+", text)[:2])
+
+
+def test_numpy_meets_declared_floor():
+    assert _version_tuple(np.__version__) >= NUMPY_FLOOR, (
+        f"numpy {np.__version__} is older than the declared floor "
+        f"{'.'.join(map(str, NUMPY_FLOOR))}")
+
+
+def test_pyproject_declares_numpy_floor():
+    pyproject = (Path(__file__).resolve().parent.parent
+                 / "pyproject.toml").read_text(encoding="utf-8")
+    match = re.search(r'"numpy>=([\d.]+)"', pyproject)
+    assert match, "pyproject.toml must declare a numpy floor version"
+    assert _version_tuple(match.group(1)) == NUMPY_FLOOR
+
+
+def test_columnar_and_sql_packages_import():
+    import repro.columnar
+    import repro.sql
+
+    assert repro.columnar.ColumnarBatch is not None
+    assert repro.sql.SQLSession is not None
+
+
+def test_columnar_numpy_primitives_work():
+    # The exact numpy primitives the kernels are built on.
+    values = np.asarray([3, 1, 2, 1, 3], dtype=np.int64)
+    uniq, inv = np.unique(values, return_inverse=True)
+    assert uniq.tolist() == [1, 2, 3]
+    order = np.argsort(inv, kind="stable")
+    starts = np.searchsorted(inv[order], np.arange(len(uniq)))
+    sums = np.add.reduceat(values[order], starts)
+    assert sums.tolist() == [2, 2, 6]
