@@ -150,12 +150,21 @@ def group_aggregate(batch: ColumnarBatch, key_columns: Sequence[str],
         if op == "sum":
             out_schema.append((alias, "float"))
             out_cols[alias] = reduceat(np.add, values.astype(np.float64))
-        elif op == "min":
+        elif op in ("min", "max"):
             out_schema.append((alias, batch.kind_of(column)))
-            out_cols[alias] = reduceat(np.minimum, values)
-        elif op == "max":
-            out_schema.append((alias, batch.kind_of(column)))
-            out_cols[alias] = reduceat(np.maximum, values)
+            if values.dtype.kind == "U":
+                # reduceat has no ufunc loop for unicode dtypes: lexsort
+                # values within each group run instead and take the
+                # run's first (min) / last (max) element.
+                if n_groups:
+                    sv = values[np.lexsort((values, codes))]
+                    idx = starts if op == "min" else starts + counts - 1
+                    out_cols[alias] = sv[idx]
+                else:
+                    out_cols[alias] = values[:0]
+            else:
+                out_cols[alias] = reduceat(
+                    np.minimum if op == "min" else np.maximum, values)
         else:  # avg
             out_schema.append((f"{alias}__sum", "float"))
             out_schema.append((f"{alias}__count", "int"))
@@ -220,11 +229,21 @@ def hash_join(left: ColumnarBatch, right: ColumnarBatch,
 
     The join key keeps the left column's name; non-key right columns
     clashing with a left name get ``suffix`` appended.
+
+    Key kinds must match exactly: casting one side would make values
+    compare equal that the exchange layer hashed to *different*
+    partitions (``stable_hash(2) != stable_hash(2.0)``), silently
+    dropping matches — so mismatches are an error here and at plan
+    time (:class:`repro.sql.plan.Join`).
     """
+    lkind = left.kind_of(left_on)
+    rkind = right.kind_of(right_on)
+    if lkind != rkind:
+        raise TypeError(
+            f"join key kind mismatch: {left_on!r} is {lkind}, "
+            f"{right_on!r} is {rkind}; cast one side explicitly")
     lk = left.columns[left_on]
     rk = right.columns[right_on]
-    if lk.dtype.kind != rk.dtype.kind:
-        rk = rk.astype(lk.dtype)
     r_order = np.argsort(rk, kind="stable")
     r_sorted = rk[r_order]
     lo = np.searchsorted(r_sorted, lk, side="left")

@@ -179,8 +179,16 @@ def _prune(node: PlanNode, required: Optional[Set[str]],
             right_names = _right_output_names(node)
             left_need = {c for c in required if c in left_names}
             left_need.add(node.left_on)
-            right_need = {orig for out, orig in right_names.items()
-                          if out in required}
+            right_need: Set[str] = set()
+            for out, orig in right_names.items():
+                if out in required:
+                    right_need.add(orig)
+                    if out != orig:
+                        # The _r rename exists only because the left side
+                        # also outputs `orig`; keep that left column so
+                        # downstream references to the suffixed name
+                        # survive the rebuild.
+                        left_need.add(orig)
             right_need.add(node.right_on)
         return Join(_prune(node.left, left_need, stats),
                     _prune(node.right, right_need, stats),

@@ -203,10 +203,20 @@ class Join(PlanNode):
         self.right = right
         self.left_on = str(left_on)
         self.right_on = str(right_on)
-        if self.left_on not in dict(left.schema()):
+        left_kinds = dict(left.schema())
+        right_kinds = dict(right.schema())
+        if self.left_on not in left_kinds:
             raise ValueError(f"unknown left join key {self.left_on!r}")
-        if self.right_on not in dict(right.schema()):
+        if self.right_on not in right_kinds:
             raise ValueError(f"unknown right join key {self.right_on!r}")
+        if left_kinds[self.left_on] != right_kinds[self.right_on]:
+            # Mixed-kind keys would hash to different partitions in the
+            # exchange (stable_hash(2) != stable_hash(2.0)) and silently
+            # drop matches; require an explicit cast projection instead.
+            raise TypeError(
+                f"join key kind mismatch: {self.left_on!r} is "
+                f"{left_kinds[self.left_on]}, {self.right_on!r} is "
+                f"{right_kinds[self.right_on]}; cast one side first")
 
     def schema(self) -> Schema:
         return join_schema(self.left.schema(), self.right.schema(),

@@ -9,6 +9,7 @@ import math
 from collections import defaultdict
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.columnar import kernels as K
@@ -82,6 +83,26 @@ class TestGroupAggregate:
             assert math.isclose(gm, wsum / n, rel_tol=1e-9, abs_tol=1e-9)
             assert glo == lo and ghi == hi
 
+    @given(rows_st)
+    @settings(max_examples=60)
+    def test_string_min_max_partial_plus_merge(self, rows):
+        # regression: reduceat has no unicode loop — string min/max go
+        # through the sorted-group layout instead
+        aggs = [("min", "k", "lo"), ("max", "k", "hi")]
+        half = len(rows) // 2
+        partials = [K.group_aggregate(batch_of(rows[:half]), ["g"], aggs),
+                    K.group_aggregate(batch_of(rows[half:]), ["g"], aggs)]
+        merged = K.merge_aggregate(
+            ColumnarBatch.concat(partials[0].schema, partials), ["g"], aggs)
+
+        ref = defaultdict(list)
+        for k, g, v, w in rows:
+            ref[g].append(k)
+        got = {row[0]: row[1:] for row in merged.to_rows()}
+        assert set(got) == set(ref)
+        for g, ks in ref.items():
+            assert got[g] == (min(ks), max(ks))
+
 
 class TestHashJoin:
     @given(rows_st, rows_st)
@@ -108,6 +129,16 @@ class TestHashJoin:
         out = K.hash_join(left, right, "id", "id")
         assert out.column_names == ["id", "x", "x_r"]
         assert out.to_rows() == [(1, 10, 99)]
+
+    def test_mismatched_key_kinds_raise(self):
+        # regression: casting float 2.5 to the left's int dtype made it
+        # match int 2 — mixed-kind keys must error, not silently join
+        left = ColumnarBatch.from_rows(
+            (("id", "int"), ("x", "int")), [(2, 10)])
+        right = ColumnarBatch.from_rows(
+            (("id", "float"), ("y", "int")), [(2.5, 99)])
+        with pytest.raises(TypeError, match="kind mismatch"):
+            K.hash_join(left, right, "id", "id")
 
 
 class TestSortLimit:

@@ -83,6 +83,30 @@ class TestPlanParity:
                           if g in labels)
         assert got == expected
 
+    def test_join_on_mismatched_key_kinds_raises_at_plan_time(self):
+        # regression: int-vs-float keys hashed to different partitions
+        # in the exchange, silently dropping matches
+        session = session_for([("a", 1, 2, 3.0)])
+        session.from_rows("fdim", [("g", "float"), ("name", "str")],
+                          [(1.0, "one")], num_partitions=2)
+        with pytest.raises(TypeError, match="kind mismatch"):
+            session.table("t").join(session.table("fdim"), on="g")
+
+    @given(rows_st)
+    @settings(max_examples=20, deadline=None)
+    def test_string_min_max(self, rows):
+        # regression: min/max over str columns crashed in reduceat
+        session = session_for(rows)
+        df = (session.table("t").group_by("g")
+              .agg(lo=("min", "k"), hi=("max", "k"))
+              .order_by("g"))
+        got = df.collect()
+        ref = defaultdict(list)
+        for k, g, v, w in rows:
+            ref[g].append(k)
+        expected = sorted((g, min(ks), max(ks)) for g, ks in ref.items())
+        assert got == expected
+
 
 class TestSessionAccounting:
     def test_counters_and_events(self):

@@ -14,6 +14,7 @@ from repro.sql import (
     lit,
     optimize,
 )
+from repro.columnar.rdd import batch_of
 from repro.sql.compiler import compile_plan
 from repro.sql.dataframe import DataFrame
 
@@ -93,6 +94,32 @@ class TestProjectionPruning:
         scan = optimized.child
         assert [name for name, _ in scan.schema()] == ["v"]
         assert stats.pruned_columns == 3
+
+    def test_pruning_preserves_join_rename(self):
+        # regression: pruning the left side to required-only columns
+        # dropped the left "x" whose clash drives the right column's
+        # x_r rename, so the rebuilt Join output the bare name and the
+        # parent Project crashed on the now-unknown suffixed column
+        sc = StarkContext(num_workers=2)
+        session = SQLSession(sc)
+        session.from_rows(
+            "a", [("k", "int"), ("x", "int")],
+            [(i, i * 10) for i in range(6)], num_partitions=2)
+        session.from_rows(
+            "b", [("k", "int"), ("x", "int")],
+            [(i, i * 100) for i in range(6)], num_partitions=2)
+        plan = Project(
+            Join(Scan(session.tables["a"]), Scan(session.tables["b"]),
+                 "k", "k"),
+            [("x_r", col("x_r"))])
+        optimized, _ = optimize(plan)
+        assert [name for name, _ in optimized.schema()] == ["x_r"]
+        schema = optimized.schema()
+        rdd, _ = compile_plan(optimized, sc)
+        parts = sc.run_job(
+            rdd, lambda records: batch_of(records, schema).to_rows())
+        got = sorted(r for part in parts for r in part)
+        assert got == [(i * 100,) for i in range(6)]
 
     def test_pushdown_reduces_simulated_bytes_read(self):
         session, _ = make_session()
