@@ -36,12 +36,46 @@ def pytest_addoption(parser):
         help="write machine-readable BENCH_<name>.json result files "
              "under DIR",
     )
+    parser.addoption(
+        "--shard", default=None, metavar="I/N",
+        help="run only shard I of N (0-based): collected benchmarks are "
+             "sorted by node id and item k runs in shard k %% N.  Drive "
+             "all shards concurrently with `python -m repro.bench.shard`.",
+    )
 
 
 def pytest_configure(config):
     bench_dir = config.getoption("--bench-json-dir")
     if bench_dir is not None:
         os.environ[BENCH_DIR_ENV] = str(Path(bench_dir).resolve())
+
+
+def _parse_shard(spec):
+    match = re.fullmatch(r"(\d+)/(\d+)", spec)
+    if not match:
+        raise pytest.UsageError(
+            f"--shard expects I/N (e.g. 0/4), got {spec!r}")
+    index, total = int(match.group(1)), int(match.group(2))
+    if total < 1 or index >= total:
+        raise pytest.UsageError(
+            f"--shard index must satisfy 0 <= I < N, got {spec!r}")
+    return index, total
+
+
+def pytest_collection_modifyitems(config, items):
+    spec = config.getoption("--shard")
+    if spec is None:
+        return
+    index, total = _parse_shard(spec)
+    # Deterministic assignment: the same collection sorted the same way
+    # on every shard, so the N processes partition the suite exactly.
+    ranked = sorted(items, key=lambda item: item.nodeid)
+    keep = {id(item) for k, item in enumerate(ranked) if k % total == index}
+    selected = [item for item in items if id(item) in keep]
+    deselected = [item for item in items if id(item) not in keep]
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = selected
 
 
 @pytest.fixture

@@ -51,6 +51,7 @@ TRACKED_LOWER_IS_BETTER = frozenset({
 TRACKED_HIGHER_IS_BETTER = frozenset({
     "hit_rate", "p99_improvement", "worker_hours_saved",
     "normalized_events_per_sec", "normalized_tasks_per_sec",
+    "makespan_speedup", "colocated_transfer_speedup",
 })
 
 _TINY = 1e-12

@@ -1,0 +1,132 @@
+"""Process-parallel benchmark sharding driver.
+
+The benchmark suite is dominated by single-threaded simulation, so CI
+wall time scales with the number of benchmarks, not with cores.  This
+driver fans the suite across ``N`` concurrent pytest processes using the
+``--shard I/N`` option from ``benchmarks/conftest.py`` (a deterministic
+partition of the collected node ids — no pytest-xdist dependency), gives
+each shard a private ``--bench-json-dir``, and merges the resulting
+``BENCH_*.json`` files into one output directory for
+``repro.bench.compare``::
+
+    PYTHONPATH=src python -m repro.bench.shard --shards 4 \\
+        --out bench-results -- benchmarks -q
+
+Everything after ``--`` is passed through to each pytest invocation
+(paths, ``-q``, ``--trace-dir``, ...); with no passthrough args the
+whole ``benchmarks/`` directory runs.  Per-shard stdout/stderr land in
+``<out>/shard-<i>.log`` and are replayed for any failing shard, so CI
+failures stay readable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+#: pytest's "no tests ran" exit code — expected when N exceeds the
+#: number of collected benchmarks, not a failure.
+_EXIT_NO_TESTS = 5
+
+
+def run_shards(shards: int, out_dir: Path,
+               pytest_args: List[str],
+               python: Optional[str] = None) -> int:
+    """Run all shards concurrently, merge their JSON, return exit code."""
+    python = python or sys.executable
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if not pytest_args:
+        pytest_args = ["benchmarks"]
+
+    procs = []
+    started = time.monotonic()
+    for index in range(shards):
+        shard_json = out_dir / f".shard-{index}"
+        shard_json.mkdir(parents=True, exist_ok=True)
+        log_path = out_dir / f"shard-{index}.log"
+        cmd = [python, "-m", "pytest", *pytest_args,
+               "--shard", f"{index}/{shards}",
+               "--bench-json-dir", str(shard_json)]
+        log = open(log_path, "w")
+        proc = subprocess.Popen(cmd, stdout=log, stderr=subprocess.STDOUT,
+                                env=os.environ.copy())
+        procs.append((index, proc, log, log_path, shard_json))
+        print(f"shard {index}/{shards}: pid {proc.pid} -> {log_path}")
+
+    failed = []
+    for index, proc, log, log_path, _ in procs:
+        code = proc.wait()
+        log.close()
+        status = "ok" if code in (0, _EXIT_NO_TESTS) else f"FAILED ({code})"
+        print(f"shard {index}/{shards}: exit {code} [{status}]")
+        if code not in (0, _EXIT_NO_TESTS):
+            failed.append((index, log_path))
+    elapsed = time.monotonic() - started
+
+    for index, log_path in failed:
+        print(f"\n----- shard {index} output ({log_path}) -----",
+              file=sys.stderr)
+        sys.stderr.write(log_path.read_text())
+
+    merged, clashes = merge_bench_json(
+        [shard_json for _, _, _, _, shard_json in procs], out_dir)
+    for name in merged:
+        print(f"merged {out_dir / name}")
+    for name in clashes:
+        print(f"ERROR: {name} written by more than one shard — "
+              f"sharding is not a partition?", file=sys.stderr)
+
+    print(f"\n{shards} shard(s) in {elapsed:.1f}s wall, "
+          f"{len(merged)} BENCH_*.json merged, {len(failed)} failed")
+    return 1 if (failed or clashes) else 0
+
+
+def merge_bench_json(shard_dirs: List[Path], out_dir: Path):
+    """Copy each shard's BENCH_*.json into ``out_dir``.
+
+    Returns ``(merged_names, clashing_names)``: a benchmark name showing
+    up in two shards means the shard assignment double-ran it, which the
+    caller must treat as a failure (the later copy would silently win).
+    """
+    merged: List[str] = []
+    clashes: List[str] = []
+    seen = {}
+    for shard_dir in shard_dirs:
+        for path in sorted(shard_dir.glob("BENCH_*.json")):
+            if path.name in seen:
+                clashes.append(path.name)
+                continue
+            seen[path.name] = shard_dir
+            shutil.copyfile(path, out_dir / path.name)
+            merged.append(path.name)
+    return sorted(merged), sorted(set(clashes))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.shard",
+        description="Fan the benchmark suite across N concurrent pytest "
+                    "processes and merge their BENCH_*.json results.")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="number of concurrent pytest processes "
+                             "(default 4)")
+    parser.add_argument("--out", type=Path, required=True,
+                        help="directory for merged BENCH_*.json files "
+                             "and per-shard logs")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="arguments after -- are passed to every "
+                             "pytest shard (default: benchmarks)")
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    return run_shards(args.shards, args.out, args.pytest_args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

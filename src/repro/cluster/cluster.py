@@ -75,10 +75,16 @@ class Cluster:
 
     def earliest_free_worker(self, candidates: Optional[Sequence[int]] = None) -> int:
         """Worker (among ``candidates`` or all alive) whose next slot frees
-        soonest; ties broken by id for determinism.  O(workers): each
-        per-worker minimum is the kernel's cached earliest-free slot."""
-        ids = list(candidates) if candidates is not None else self.alive_worker_ids()
-        ids = [i for i in ids if self.workers[i].alive]
+        soonest; ties broken by id for determinism.  With no candidate
+        filter this is O(log workers) via the kernel's inter-worker free
+        heap; a candidate subset falls back to an O(candidates) scan of
+        the kernel's cached per-worker minima."""
+        if candidates is None:
+            found = self.kernel.earliest_free_worker()
+            if found is None:
+                raise RuntimeError("no alive workers available")
+            return found[0]
+        ids = [i for i in candidates if self.workers[i].alive]
         if not ids:
             raise RuntimeError("no alive workers available")
         kernel = self.kernel

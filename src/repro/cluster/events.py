@@ -54,7 +54,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
 from time import perf_counter as _perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
@@ -108,38 +107,46 @@ class SimClock:
         self._now = float(t)
 
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    fired: bool = field(default=False, compare=False)
-    #: Daemon events (periodic timers) fire when time passes them but do
-    #: not keep ``run_all`` alive on their own.
-    daemon: bool = field(default=False, compare=False)
+# Heap entries are plain lists, not dataclass instances: the dispatch
+# loop is the simulator's hottest path and attribute access on a
+# dataclass (descriptor lookup per field) measurably dominates it.  A
+# list compares elementwise — ``[time, seq, ...]`` orders by time with
+# the globally unique sequence number breaking ties, so comparison never
+# reaches the callback slot.  Index constants below are the "schema".
+_TIME = 0
+_SEQ = 1
+_CALLBACK = 2
+_DAEMON = 3
+_CANCELLED = 4
+_FIRED = 5
 
 
 class EventHandle:
     """Handle returned by :meth:`EventQueue.schedule`, allows cancellation."""
 
-    def __init__(self, event: _ScheduledEvent, queue: "EventQueue") -> None:
+    __slots__ = ("_event", "_queue")
+
+    def __init__(self, event: list, queue: "EventQueue") -> None:
         self._event = event
         self._queue = queue
 
     def cancel(self) -> None:
-        if not self._event.cancelled:
-            self._event.cancelled = True
-            if not self._event.daemon and not self._event.fired:
-                self._queue._live_regular -= 1
+        event = self._event
+        if not event[_CANCELLED]:
+            event[_CANCELLED] = True
+            if not event[_FIRED]:
+                # Still on the heap: it will be swept lazily.
+                self._queue._cancelled_in_heap += 1
+                if not event[_DAEMON]:
+                    self._queue._live_regular -= 1
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._event[_CANCELLED]
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._event[_TIME]
 
 
 class EventQueue:
@@ -151,22 +158,26 @@ class EventQueue:
 
     def __init__(self, clock: Optional[SimClock] = None) -> None:
         self.clock = clock if clock is not None else SimClock()
-        self._heap: List[_ScheduledEvent] = []
+        self._heap: List[list] = []
         self._seq = itertools.count()
         #: Non-cancelled, non-daemon events still on the heap.
         self._live_regular = 0
+        #: Cancelled events still sitting on the heap, swept lazily.
+        self._cancelled_in_heap = 0
         #: True while run_until/run_all is popping events; lets
         #: :meth:`SimKernel.pump` no-op instead of re-entering the loop.
         self._running = False
         #: Optional wall-clock self-profiler (duck-typed: on_dispatch /
-        #: on_schedule — see :class:`repro.obs.profiler.SimProfiler`).
-        #: It reads only ``perf_counter``, never simulated time, so a
-        #: profiled run replays byte-identically; detached, the cost is
-        #: one ``is None`` check per event.
+        #: on_schedule / on_sweep — see
+        #: :class:`repro.obs.profiler.SimProfiler`).  It reads only
+        #: ``perf_counter``, never simulated time, so a profiled run
+        #: replays byte-identically; detached, the cost is one ``is
+        #: None`` check per event.  Attaching takes effect at the next
+        #: entry into ``run_until``/``run_all``.
         self._profiler: Optional[Any] = None
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._cancelled_in_heap
 
     def attach_profiler(self, profiler: Any) -> Any:
         """Attach a wall-clock self-profiler (``on_dispatch(cb, s)`` /
@@ -188,14 +199,57 @@ class EventQueue:
             raise ValueError(
                 f"cannot schedule event in the past: {time} < now={self.clock.now}"
             )
-        event = _ScheduledEvent(time=time, seq=next(self._seq),
-                                callback=callback, daemon=daemon)
+        event = [time, next(self._seq), callback, daemon, False, False]
         heapq.heappush(self._heap, event)
         if not daemon:
             self._live_regular += 1
         if self._profiler is not None:
             self._profiler.on_schedule(len(self._heap))
         return EventHandle(event, self)
+
+    def schedule_many(
+        self,
+        arrivals: "List[Tuple[float, Callable[[], Any]]]",
+        daemon: bool = False,
+    ) -> List[EventHandle]:
+        """Bulk-schedule ``(time, callback)`` pairs; returns their handles.
+
+        Semantically identical to calling :meth:`schedule` once per pair
+        in order — sequence numbers are assigned in list order, so the
+        delivery order is exactly the same.  The difference is cost: a
+        large batch (job-arrival floods, timer grids) is appended and
+        re-heapified in one O(heap + batch) pass instead of paying
+        O(batch x log heap) pushes.
+        """
+        now = self.clock.now
+        floor = now - TIME_EPS
+        seq = self._seq
+        entries: List[list] = []
+        for time, callback in arrivals:
+            if time < floor:
+                raise ValueError(
+                    f"cannot schedule event in the past: {time} < now={now}"
+                )
+            entries.append([time, next(seq), callback, daemon, False, False])
+        heap = self._heap
+        if len(entries) > 4 and len(entries) * 2 >= len(heap):
+            # Batch dominates the heap: one heapify beats per-item pushes.
+            heap.extend(entries)
+            heapq.heapify(heap)
+        else:
+            for entry in entries:
+                heapq.heappush(heap, entry)
+        if not daemon:
+            self._live_regular += len(entries)
+        profiler = self._profiler
+        if profiler is not None and entries:
+            on_many = getattr(profiler, "on_schedule_many", None)
+            if on_many is not None:
+                on_many(len(entries), len(heap))
+            else:
+                for _ in entries:
+                    profiler.on_schedule(len(heap))
+        return [EventHandle(entry, self) for entry in entries]
 
     def schedule_in(self, delay: float, callback: Callable[[], Any],
                     daemon: bool = False) -> EventHandle:
@@ -206,29 +260,34 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        if self._cancelled_in_heap:
+            self._drop_cancelled()
+        return self._heap[0][_TIME] if self._heap else None
 
     def step(self) -> bool:
         """Run the next pending event; return ``False`` if none remain."""
-        self._drop_cancelled()
+        if self._cancelled_in_heap:
+            self._drop_cancelled()
         if not self._heap:
             return False
         event = heapq.heappop(self._heap)
-        event.fired = True
-        if not event.daemon:
+        event[_FIRED] = True
+        if not event[_DAEMON]:
             self._live_regular -= 1
         # An event may fire late when the clock was advanced past its
         # timestamp by other components (the virtual-time task scheduler
         # does this); never move the clock backwards.
-        self.clock.advance_to(max(event.time, self.clock.now))
+        clock = self.clock
+        if event[_TIME] > clock._now:
+            clock._now = event[_TIME]
+        callback = event[_CALLBACK]
         profiler = self._profiler
         if profiler is None:
-            event.callback()
+            callback()
         else:
             t0 = _perf_counter()
-            event.callback()
-            profiler.on_dispatch(event.callback, _perf_counter() - t0)
+            callback()
+            profiler.on_dispatch(callback, _perf_counter() - t0)
         return True
 
     def run_until(self, end_time: float) -> int:
@@ -237,19 +296,65 @@ class EventQueue:
         The clock is left at ``end_time`` (or further, if a callback
         advanced it) even when the queue drains early.  Daemon events due
         by ``end_time`` fire too — time passing is exactly their trigger.
+
+        This is the simulator's hottest loop: the detached variant pops
+        and dispatches with local bindings only (no profiler check, no
+        method-call indirection per event); both variants perform the
+        same simulated-state mutations, so a profiled run replays
+        byte-identically.
         """
         count = 0
         prev, self._running = self._running, True
+        clock = self.clock
+        heappop = heapq.heappop
+        profiler = self._profiler
         try:
-            while True:
-                next_time = self.peek_time()
-                if next_time is None or next_time > end_time:
-                    break
-                self.step()
-                count += 1
+            if profiler is None:
+                heap = self._heap
+                while heap:
+                    if self._cancelled_in_heap:
+                        self._drop_cancelled()
+                        heap = self._heap  # a sweep may rebuild the list
+                        if not heap:
+                            break
+                    event = heap[0]
+                    t = event[_TIME]
+                    if t > end_time:
+                        break
+                    heappop(heap)
+                    event[_FIRED] = True
+                    if not event[_DAEMON]:
+                        self._live_regular -= 1
+                    if t > clock._now:
+                        clock._now = t
+                    event[_CALLBACK]()
+                    count += 1
+            else:
+                while True:
+                    if self._cancelled_in_heap:
+                        self._drop_cancelled()
+                    heap = self._heap
+                    if not heap:
+                        break
+                    event = heap[0]
+                    t = event[_TIME]
+                    if t > end_time:
+                        break
+                    heappop(heap)
+                    event[_FIRED] = True
+                    if not event[_DAEMON]:
+                        self._live_regular -= 1
+                    if t > clock._now:
+                        clock._now = t
+                    callback = event[_CALLBACK]
+                    t0 = _perf_counter()
+                    callback()
+                    profiler.on_dispatch(callback, _perf_counter() - t0)
+                    count += 1
         finally:
             self._running = prev
-        self.clock.advance_to(max(end_time, self.clock.now))
+        if end_time > clock._now:
+            clock._now = end_time
         return count
 
     def run_all(self, max_events: int = 10_000_000) -> int:
@@ -261,10 +366,30 @@ class EventQueue:
         """
         count = 0
         prev, self._running = self._running, True
+        clock = self.clock
+        heappop = heapq.heappop
+        profiler = self._profiler
         try:
             while self._live_regular > 0:
-                if not self.step():
+                if self._cancelled_in_heap:
+                    self._drop_cancelled()
+                heap = self._heap
+                if not heap:
                     break
+                event = heappop(heap)
+                event[_FIRED] = True
+                if not event[_DAEMON]:
+                    self._live_regular -= 1
+                t = event[_TIME]
+                if t > clock._now:
+                    clock._now = t
+                callback = event[_CALLBACK]
+                if profiler is None:
+                    callback()
+                else:
+                    t0 = _perf_counter()
+                    callback()
+                    profiler.on_dispatch(callback, _perf_counter() - t0)
                 count += 1
                 if count >= max_events:
                     raise RuntimeError(
@@ -274,8 +399,29 @@ class EventQueue:
         return count
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        """Sweep cancelled events: pop from the top, and — once cancelled
+        entries dominate the heap — rebuild it in one O(n) pass so the
+        cost amortizes over the steps between sweeps instead of growing
+        with stale-entry depth.  With a profiler attached the sweep wall
+        time is attributed to the dedicated ``sweep`` kind, never to the
+        next event's dispatch."""
+        profiler = self._profiler
+        t0 = _perf_counter() if profiler is not None else 0.0
+        heap = self._heap
+        dropped = 0
+        while heap and heap[0][_CANCELLED]:
+            heapq.heappop(heap)
+            dropped += 1
+        remaining = self._cancelled_in_heap - dropped
+        if remaining > 64 and remaining * 2 >= len(heap):
+            live = [e for e in heap if not e[_CANCELLED]]
+            dropped += len(heap) - len(live)
+            heapq.heapify(live)
+            self._heap = live
+            remaining = 0
+        self._cancelled_in_heap = remaining
+        if profiler is not None and dropped:
+            profiler.on_sweep(dropped, _perf_counter() - t0)
 
 
 class TimerHandle:
@@ -327,6 +473,16 @@ class SimKernel(EventQueue):
         #: worker_id -> (free_time, slot) of its earliest-free slot, or
         #: ``None`` when dirty (recomputed lazily on next query).
         self._earliest: Dict[int, Optional[Tuple[float, int]]] = {}
+        #: Inter-worker heap of ``(free_time, worker_id)`` lower bounds:
+        #: every alive registered worker always has at least one entry
+        #: whose time is <= its true earliest free time.  Occupancy only
+        #: *raises* free times, so the hot path (``occupy_slot``) never
+        #: touches the heap; mutations that can lower a worker's minimum
+        #: (register, explicit set, restart, reset) push eagerly, and
+        #: the query pops/refreshes stale entries lazily.  This turns
+        #: the scheduler's "globally earliest-free slot" pick from
+        #: O(workers) per launch into O(log workers) amortized.
+        self._free_heap: List[Tuple[float, int]] = []
 
     # ---- time authority -----------------------------------------------------
 
@@ -362,6 +518,7 @@ class SimKernel(EventQueue):
         self.clock.reset(t)
         self._heap.clear()
         self._live_regular = 0
+        self._cancelled_in_heap = 0
         self._running = False
 
     # ---- periodic timers ----------------------------------------------------
@@ -421,6 +578,8 @@ class SimKernel(EventQueue):
         self._workers[worker.worker_id] = worker
         worker._kernel = self
         self._earliest[worker.worker_id] = None
+        heapq.heappush(self._free_heap,
+                       (min(worker.slot_free_times), worker.worker_id))
 
     def deregister_worker(self, worker: "Worker") -> None:
         """Detach a worker (decommission); its slot state is frozen."""
@@ -461,6 +620,9 @@ class SimKernel(EventQueue):
         worker.slot_free_times[slot] = t
         if worker.worker_id in self._earliest:
             self._earliest[worker.worker_id] = None
+            # The write may have lowered the worker's minimum: keep the
+            # inter-worker heap's lower-bound invariant.
+            heapq.heappush(self._free_heap, (t, worker.worker_id))
 
     def earliest_free_slot(self, worker: "Worker") -> Tuple[int, float]:
         """``(slot, free_time)`` of the worker's earliest-free slot —
@@ -496,6 +658,7 @@ class SimKernel(EventQueue):
         worker.slot_free_times = [at] * worker.cores
         if worker.worker_id in self._earliest:
             self._earliest[worker.worker_id] = (at, 0)
+            heapq.heappush(self._free_heap, (at, worker.worker_id))
 
     def reset_worker(self, worker: "Worker", at: float = 0.0) -> None:
         """Return a worker's slot state to pristine (between experiments)."""
@@ -503,6 +666,7 @@ class SimKernel(EventQueue):
         worker.slot_free_times = [at] * worker.cores
         if worker.worker_id in self._earliest:
             self._earliest[worker.worker_id] = (at, 0)
+            heapq.heappush(self._free_heap, (at, worker.worker_id))
 
     def invalidate(self, worker: "Worker") -> None:
         """Mark a worker's cached minimum dirty.  Only needed after an
@@ -510,3 +674,29 @@ class SimKernel(EventQueue):
         code must never do (the authority test greps for it)."""
         if worker.worker_id in self._earliest:
             self._earliest[worker.worker_id] = None
+            heapq.heappush(self._free_heap,
+                           (min(worker.slot_free_times), worker.worker_id))
+
+    def earliest_free_worker(self) -> Optional[Tuple[int, int, float]]:
+        """``(worker_id, slot, free_time)`` of the globally earliest-free
+        slot among alive registered workers, or ``None`` when none is.
+
+        Lazy heap query: dead/deregistered entries are discarded, stale
+        lower bounds are refreshed in place (``heapreplace``) until the
+        top entry matches its worker's true cached minimum.  Ties on
+        free time resolve to the smallest worker id — exactly the
+        ordering of the O(workers) scan this replaces."""
+        heap = self._free_heap
+        workers = self._workers
+        while heap:
+            t, wid = heap[0]
+            worker = workers.get(wid)
+            if worker is None or not worker.alive:
+                heapq.heappop(heap)
+                continue
+            slot, cur = self.earliest_free_slot(worker)
+            if cur != t:
+                heapq.heapreplace(heap, (cur, wid))
+                continue
+            return wid, slot, t
+        return None

@@ -132,3 +132,11 @@ class Worker:
     def idle_slots(self, now: float) -> int:
         """Number of slots free at simulated time ``now``."""
         return sum(1 for t in self.slot_free_times if t <= now + TIME_EPS)
+
+    def has_idle_slot(self, now: float) -> bool:
+        """Whether any slot is free at ``now`` — equivalent to
+        ``idle_slots(now) > 0`` but O(1) via the kernel's cached
+        earliest-free slot instead of an O(cores) scan.  The scheduler's
+        offer construction calls this once per worker per launch, which
+        made the scan version an O(workers x cores) hot path."""
+        return self.earliest_free_time() <= now + TIME_EPS

@@ -21,7 +21,7 @@ CheckpointOptimizer (§III-D1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple, TYPE_CHECKING
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
 from ..obs.events import BlockCached, CacheHit, CacheMiss, ShuffleFetch
 from .fault_tolerance import FetchFailedError
@@ -74,7 +74,20 @@ class EvalContext:
         #: shuffle files, no cache inserts.
         self.commit_effects = commit_effects
         self._memo: Dict[Tuple[int, int], list] = {}
+        #: Heap footprint of each memoized partition, filled at
+        #: memoization time in the same insertion order as ``_memo``.
+        #: ``Task.run`` sums these for the GC surcharge instead of
+        #: re-sizing every record of every partition per task — the
+        #: single hottest wall-clock path of the whole simulator before
+        #: PR 9.  Cache hits reuse ``block.size_bytes``, which *is* the
+        #: ``in_memory_size`` computed when the block was cached, so the
+        #: sum is bit-identical to re-sizing.
+        self._memo_sizes: Dict[Tuple[int, int], float] = {}
         self._recompute_depth = 0
+
+    def working_set_bytes(self) -> float:
+        """Heap footprint of everything this task materialized."""
+        return sum(self._memo_sizes.values())
 
     # ---- cost charging (called by RDD.compute implementations) ---------------
 
@@ -146,6 +159,7 @@ class EvalContext:
                     rdd_id=rdd.rdd_id, partition=pid,
                     size_bytes=block.size_bytes))
             self._memo[key] = block.records
+            self._memo_sizes[key] = block.size_bytes
             return block.records
 
         # 2. Checkpoint hit: read from reliable storage.
@@ -156,8 +170,10 @@ class EvalContext:
                 model.disk_read_cost(size) + model.serde_cost(size)
             )
             self._memo[key] = records
+            mem_size = ctx.sizer.in_memory_size(records)
+            self._memo_sizes[key] = mem_size
             if rdd.cached:
-                self._cache_block(rdd, pid, records)
+                self._cache_block(rdd, pid, records, mem_size)
             return records
 
         # 3/4. Recompute (shuffle fetches happen inside rdd.compute).
@@ -182,11 +198,13 @@ class EvalContext:
         else:
             records = rdd.compute(pid, self)
         self._memo[key] = records
+        mem_size = ctx.sizer.in_memory_size(records)
+        self._memo_sizes[key] = mem_size
 
         size = ctx.sizer.size_of_partition(records)
         ctx.rdd_stats(rdd.rdd_id).record_size(pid, size)
         if rdd.cached:
-            self._cache_block(rdd, pid, records)
+            self._cache_block(rdd, pid, records, mem_size)
         return records
 
     def fetch_shuffle(self, child: "RDD", dep: "ShuffleDependency", pid: int) -> list:
@@ -199,17 +217,29 @@ class EvalContext:
         model = ctx.cost_model
         config = ctx.config
         rng = ctx.cluster.rng
+        zero_copy = config.zero_copy_handoff
         outputs = ctx.map_output_tracker.outputs_for_reduce(dep.shuffle_id, pid)
-        records: list = []
-        local_bytes = remote_bytes = 0.0
-        local_seconds = remote_seconds = 0.0
+        parts: list = []
+        local_bytes = remote_bytes = handoff_bytes = 0.0
+        local_seconds = remote_seconds = handoff_seconds = 0.0
         for out in outputs:
-            disk = model.disk_read_cost(out.size_bytes)
             if out.worker_id == self.worker_id:
-                self.metrics.shuffle_fetch_local_time += disk
-                local_bytes += out.size_bytes
-                local_seconds += disk
+                if zero_copy:
+                    # Source and destination share the worker: hand the
+                    # bucket over by reference through shared memory
+                    # (Sparkle's shared-memory shuffle) — no disk pass,
+                    # no serde, at the intra-worker rate.
+                    cost = model.intra_worker_cost(out.size_bytes)
+                    self.metrics.shuffle_handoff_time += cost
+                    handoff_bytes += out.size_bytes
+                    handoff_seconds += cost
+                else:
+                    disk = model.disk_read_cost(out.size_bytes)
+                    self.metrics.shuffle_fetch_local_time += disk
+                    local_bytes += out.size_bytes
+                    local_seconds += disk
             else:
+                disk = model.disk_read_cost(out.size_bytes)
                 # Without an external shuffle service a dead (or removed)
                 # executor's local disk is unreachable: stale map outputs
                 # surface as fetch failures, not silent successes.
@@ -229,14 +259,25 @@ class EvalContext:
                 remote_bytes += out.size_bytes
                 remote_seconds += remote
             self.metrics.shuffle_bytes_fetched += out.size_bytes
-            records.extend(out.records)
+            parts.append(out.records)
+        if len(parts) == 1 and zero_copy and handoff_bytes > 0:
+            # The whole reduce input is one co-located bucket: the task
+            # consumes the map output's record list by reference — the
+            # zero-copy half of the handoff (no per-record append pass).
+            records = parts[0]
+        else:
+            records = []
+            for part in parts:
+                records.extend(part)
         bus = ctx.event_bus
         if bus.active and outputs:
             bus.post(ShuffleFetch(
                 time=ctx.cluster.clock.now, worker_id=self.worker_id,
                 shuffle_id=dep.shuffle_id, reduce_id=pid,
                 local_bytes=local_bytes, remote_bytes=remote_bytes,
-                local_seconds=local_seconds, remote_seconds=remote_seconds))
+                local_seconds=local_seconds, remote_seconds=remote_seconds,
+                handoff_bytes=handoff_bytes,
+                handoff_seconds=handoff_seconds))
         reduce_cost = model.shuffle_reduce_cost(len(records))
         self.metrics.compute_time += reduce_cost
         ctx.rdd_stats(child.rdd_id).record_delay(reduce_cost)
@@ -288,7 +329,8 @@ class EvalContext:
 
     # ---- caching ------------------------------------------------------------------
 
-    def _cache_block(self, rdd: "RDD", pid: int, records: list) -> None:
+    def _cache_block(self, rdd: "RDD", pid: int, records: list,
+                     size: Optional[float] = None) -> None:
         from .block_manager import Block
 
         if not self.commit_effects:
@@ -296,7 +338,10 @@ class EvalContext:
         ctx = self.context
         # Cached blocks live deserialized on the heap: bigger than their
         # serialized (disk/shuffle) form by the memory-overhead factor.
-        size = ctx.sizer.in_memory_size(records)
+        # ``evaluate`` passes the footprint it already computed for the
+        # working-set ledger so the records are only sized once.
+        if size is None:
+            size = ctx.sizer.in_memory_size(records)
         if not ctx.cache_manager.should_admit(rdd.rdd_id, size):
             # Cheaper to rebuild than the admission threshold: caching it
             # would only displace blocks whose loss actually costs time.

@@ -131,6 +131,15 @@ class StarkConfig:
     #: When False, fetching from a dead/removed executor raises a
     #: FetchFailed and the DAG scheduler regenerates the outputs.
     external_shuffle_service: bool = True
+    #: Zero-copy block handoff between co-located executors (Sparkle's
+    #: shared-memory shuffle): when a shuffle fetch's source bucket
+    #: lives on the destination worker, the block reference is handed
+    #: over at the cost model's intra-worker rate — no local disk read,
+    #: no payload copy — and the time lands in the dedicated
+    #: ``shuffle_handoff_time`` metric / ``handoff`` blame category.
+    #: Off by default: the paper's baseline fetches local buckets from
+    #: disk, and every committed benchmark baseline assumes that.
+    zero_copy_handoff: bool = False
     #: Per-attempt transient task failure probability.
     task_failure_prob: float = 0.0
     #: Per-remote-fetch transient failure probability.

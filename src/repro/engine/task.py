@@ -82,12 +82,13 @@ class Task:
         self._execute(context, ctx)
 
         # GC surcharge: heap pressure = cached bytes + this task's working
-        # set, relative to the executor's memory budget.
+        # set, relative to the executor's memory budget.  The working set
+        # is the sum of footprints the EvalContext recorded at
+        # memoization time — re-sizing every record of every memoized
+        # partition here was the simulator's single largest wall-clock
+        # cost (≈85% of the full-stack profile before PR 9).
         store = context.block_manager_master.stores[worker_id]
-        working_set = sum(
-            context.sizer.in_memory_size(records)
-            for records in ctx._memo.values()
-        )
+        working_set = ctx.working_set_bytes()
         heap_utilisation = min(
             1.0,
             (store.used_bytes + working_set)

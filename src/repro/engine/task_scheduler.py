@@ -108,7 +108,7 @@ class DefaultRemotePolicy:
         # information.  Picking by historical free time instead would replay
         # the same placement for every identically-shaped job, fabricating
         # co-locality across a dataset collection.
-        idle = [w for w in offers if cluster.get_worker(w).idle_slots(now) > 0]
+        idle = [w for w in offers if cluster.get_worker(w).has_idle_slot(now)]
         if idle:
             return cluster.rng.choice(idle)
         earliest = min(cluster.get_worker(w).earliest_free_time() for w in offers)
@@ -600,6 +600,15 @@ class TaskScheduler:
         self, alive: Sequence[int], idle_bumps: Dict[int, float]
     ) -> Tuple[int, int, float]:
         cluster = self.context.cluster
+        if not idle_bumps:
+            # Common case (no backoff idling in force): the kernel's
+            # inter-worker free heap answers in O(log workers) with the
+            # identical (free, wid, slot) ordering as the scan below —
+            # ``alive`` is always the full alive membership here.
+            found = cluster.kernel.earliest_free_worker()
+            if found is not None:
+                wid, slot, free = found
+                return wid, slot, free
         best: Optional[Tuple[float, int, int]] = None
         for wid in alive:
             worker = cluster.get_worker(wid)
@@ -648,5 +657,5 @@ class TaskScheduler:
         """Workers eligible for a remote launch right now: those with an
         idle slot at ``now``; if none (everyone busy), all alive workers."""
         cluster = self.context.cluster
-        idle = [w for w in alive if cluster.get_worker(w).idle_slots(now) > 0]
+        idle = [w for w in alive if cluster.get_worker(w).has_idle_slot(now)]
         return idle or list(alive)

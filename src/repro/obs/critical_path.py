@@ -34,8 +34,8 @@ from .spans import JobSpan, TaskSpan, build_spans
 
 #: Blame categories in display order (waits last).
 CATEGORIES: Tuple[str, ...] = (
-    "compute", "recompute", "read", "fetch", "shuffle_write", "launch",
-    "gc", "straggler", "sched_wait", "locality_wait", "retry",
+    "compute", "recompute", "read", "fetch", "handoff", "shuffle_write",
+    "launch", "gc", "straggler", "sched_wait", "locality_wait", "retry",
     "speculation", "other",
 )
 
@@ -47,6 +47,7 @@ PHASE_CATEGORY: Tuple[Tuple[str, str], ...] = (
     ("checkpoint_read_time", "read"),
     ("shuffle_fetch_local_time", "fetch"),
     ("shuffle_fetch_remote_time", "fetch"),
+    ("shuffle_handoff_time", "handoff"),
     ("compute_time", "compute"),
     ("shuffle_write_time", "shuffle_write"),
     ("gc_time", "gc"),
@@ -59,6 +60,7 @@ CATEGORY_COLORS: Dict[str, str] = {
     "recompute": "bad",
     "read": "good",
     "fetch": "thread_state_iowait",
+    "handoff": "thread_state_runnable",
     "shuffle_write": "rail_animation",
     "launch": "grey",
     "gc": "terrible",

@@ -114,6 +114,8 @@ class TaskEnd(Event):
     checkpoint_read_time: float
     source_read_time: float
     gc_time: float
+    #: Zero-copy co-located handoff seconds (its own blame category).
+    shuffle_handoff_time: float = 0.0
     #: Wall seconds lost to worker slowness / transient slowdown windows.
     straggler_time: float = 0.0
     attempt: int = 0
@@ -173,6 +175,10 @@ class ShuffleFetch(Event):
     remote_bytes: float
     local_seconds: float
     remote_seconds: float
+    #: Bytes handed over zero-copy between co-located executors
+    #: (``StarkConfig.zero_copy_handoff``); 0 with the knob off.
+    handoff_bytes: float = 0.0
+    handoff_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -574,6 +580,7 @@ def task_events_from_metrics(tm: Any) -> Tuple[TaskStart, TaskEnd]:
         checkpoint_read_time=tm.checkpoint_read_time,
         source_read_time=tm.source_read_time,
         gc_time=tm.gc_time,
+        shuffle_handoff_time=getattr(tm, "shuffle_handoff_time", 0.0),
         straggler_time=getattr(tm, "straggler_time", 0.0),
         attempt=getattr(tm, "attempt", 0),
         speculative=getattr(tm, "speculative", False),

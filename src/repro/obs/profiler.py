@@ -73,6 +73,10 @@ class SimProfiler:
         self.heap = HeapStats()
         self.events_dispatched = 0
         self.dispatch_seconds = 0.0
+        #: Wall cost of cancelled-event sweeps — its own kind, so
+        #: dispatch blame stays honest under cancellation churn.
+        self.sweep = DispatchStat()
+        self.sweeps_dropped = 0
         self._started_at: Optional[float] = None
         self.wall_seconds = 0.0
 
@@ -122,6 +126,23 @@ class SimProfiler:
         if heap_len > self.heap.peak_len:
             self.heap.peak_len = heap_len
 
+    def on_schedule_many(self, count: int, heap_len: int) -> None:
+        """Bulk-schedule hook (:meth:`EventQueue.schedule_many`): one
+        call covers ``count`` insertions observed at the post-batch heap
+        length."""
+        self.heap.scheduled += count
+        self.heap.total_len += count * heap_len
+        if heap_len > self.heap.peak_len:
+            self.heap.peak_len = heap_len
+
+    def on_sweep(self, dropped: int, seconds: float) -> None:
+        """Cancelled-event sweep hook.  Sweep wall time is a dedicated
+        kind — charging it to the next event's dispatch (the pre-PR-9
+        behaviour) made dispatch blame lie whenever cancellation churn
+        was high (speculation, timer cancel storms)."""
+        self.sweep.record(seconds)
+        self.sweeps_dropped += dropped
+
     # ---- reporting ----------------------------------------------------------
 
     def events_per_sec(self) -> float:
@@ -129,8 +150,12 @@ class SimProfiler:
         return self.events_dispatched / wall if wall > 0 else 0.0
 
     def hotspots(self, top: int = 10) -> List[Tuple[str, DispatchStat]]:
-        """Callback kinds by total wall cost, heaviest first."""
-        ranked = sorted(self.dispatch.items(),
+        """Callback kinds by total wall cost, heaviest first.  The sweep
+        kind appears as ``<sweep>`` when any sweep work was observed."""
+        entries = list(self.dispatch.items())
+        if self.sweep.count:
+            entries.append(("<sweep>", self.sweep))
+        ranked = sorted(entries,
                         key=lambda kv: (-kv[1].total_seconds, kv[0]))
         return ranked[:top] if top else ranked
 
@@ -143,4 +168,6 @@ class SimProfiler:
             "heap_scheduled": float(self.heap.scheduled),
             "heap_peak": float(self.heap.peak_len),
             "heap_mean": self.heap.mean_len,
+            "sweep_seconds": self.sweep.total_seconds,
+            "sweeps_dropped": float(self.sweeps_dropped),
         }

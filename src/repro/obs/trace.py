@@ -89,6 +89,7 @@ PHASE_COLORS = {
     "cache_read": "good",
     "compute": "thread_state_running",
     "shuffle_fetch": "thread_state_iowait",
+    "handoff": "thread_state_runnable",
     "shuffle_write": "rail_animation",
     "checkpoint_read": "rail_idle",
     "source_read": "rail_load",
@@ -104,6 +105,7 @@ TASK_PHASES: Tuple[Tuple[str, str], ...] = (
     ("checkpoint_read_time", "checkpoint_read"),
     ("shuffle_fetch_local_time", "shuffle_fetch"),
     ("shuffle_fetch_remote_time", "shuffle_fetch"),
+    ("shuffle_handoff_time", "handoff"),
     ("compute_time", "compute"),
     ("shuffle_write_time", "shuffle_write"),
     ("gc_time", "gc"),
