@@ -9,7 +9,11 @@ This package owns every caching policy decision the engine makes:
 * :mod:`~repro.cache.admission` — refuses blocks cheaper to recompute
   than a configurable threshold;
 * :mod:`~repro.cache.manager` — the per-context coordinator wiring the
-  above into the block manager and the schedulers.
+  above into the block manager and the schedulers;
+* :mod:`~repro.cache.broker` — the cluster-wide cache broker
+  (``StarkConfig.cache_broker``): global value-ranked eviction with
+  migration, cross-job lineage-prefix sharing, and the memory-market
+  scoring elastic scale-in consults.
 
 Select a policy via ``StarkConfig(cache_policy="lrc")``, the benchmark
 configs (``make_setup(..., cache_policy="cost")``), or globally via the
@@ -18,6 +22,7 @@ CLI (``python -m repro --cache-policy lrc <figure>``).  See
 """
 
 from .admission import AdmissionController
+from .broker import BrokerPolicy, CacheBroker
 from .manager import CacheManager
 from .policy import (
     DEFAULTS,
@@ -31,11 +36,14 @@ from .policy import (
     make_policy,
     set_default_admission_min_cost,
     set_default_policy,
+    value_score,
 )
 from .reference_tracker import ReferenceTracker
 
 __all__ = [
     "AdmissionController",
+    "BrokerPolicy",
+    "CacheBroker",
     "CacheDefaults",
     "CacheManager",
     "CachePolicy",
@@ -49,4 +57,5 @@ __all__ = [
     "make_policy",
     "set_default_admission_min_cost",
     "set_default_policy",
+    "value_score",
 ]

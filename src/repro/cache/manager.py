@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Iterable, TYPE_CHECKING
 
 from .admission import AdmissionController
+from .broker import BrokerPolicy, CacheBroker
 from .policy import CachePolicy, QuotaAwarePolicy, make_policy
 from .reference_tracker import ReferenceTracker
 
@@ -51,21 +52,50 @@ class CacheManager:
             auto_unpersist=config.cache_auto_unpersist,
             unpersist_fn=self._auto_unpersist,
         )
-        #: Per-tenant quota enforcer, attached by the service layer
-        #: (:class:`repro.service.quotas.TenantCacheQuotas`); ``None``
-        #: means single-tenant operation with no quota gating.
-        self.quotas: "TenantCacheQuotas | None" = None
+        #: Cluster-wide cache broker (``StarkConfig.cache_broker``);
+        #: ``None`` keeps classic per-executor eviction.  The broker
+        #: subsumes both the per-store policy (every store gets a
+        #: :class:`~repro.cache.broker.BrokerPolicy` stub) and the
+        #: quota wrapper (quotas become a broker constraint).
+        self.broker: "CacheBroker | None" = (
+            CacheBroker(self) if getattr(config, "cache_broker", False)
+            else None)
+        if self.broker is not None:
+            self.tracker.set_external_pin_fn(self.broker.pin_count)
+        self._quotas: "TenantCacheQuotas | None" = None
+
+    @property
+    def quotas(self) -> "TenantCacheQuotas | None":
+        """Per-tenant quota enforcer, attached by the service layer
+        (:class:`repro.service.quotas.TenantCacheQuotas`); ``None``
+        means single-tenant operation with no quota gating."""
+        return self._quotas
+
+    @quotas.setter
+    def quotas(self, quotas: "TenantCacheQuotas | None") -> None:
+        self._quotas = quotas
+        if quotas is not None and self.broker is not None:
+            # Broker mode: quota displacement drops the owning tenant's
+            # *lowest-value block cluster-wide*, not its oldest.
+            quotas.value_fn = self.broker.block_value
 
     # ---- policy construction ----------------------------------------------
 
     def policy_for_worker(self, worker_id: int) -> CachePolicy:
         """Build this context's configured policy for one block store.
 
-        The policy is wrapped in a :class:`QuotaAwarePolicy` whose quota
-        lookup is late-bound to :attr:`quotas`, so attaching a service
-        layer retrofits quota-aware victim selection onto stores that
-        already exist.
+        With the cluster-wide broker on, every store gets a
+        :class:`~repro.cache.broker.BrokerPolicy` stub instead — victim
+        choice (including the tenant-quota constraint) moves to the
+        broker, so no :class:`QuotaAwarePolicy` wrapper is needed.
+
+        Otherwise the policy is wrapped in a :class:`QuotaAwarePolicy`
+        whose quota lookup is late-bound to :attr:`quotas`, so attaching
+        a service layer retrofits quota-aware victim selection onto
+        stores that already exist.
         """
+        if self.broker is not None:
+            return BrokerPolicy(self.broker, worker_id)
         inner = make_policy(
             self.policy_name,
             ref_fn=self.tracker.block_ref_count,
@@ -131,12 +161,19 @@ class CacheManager:
     def on_job_submit(self, job_id: int, final_rdd: "RDD",
                       stages: Iterable["Stage"]) -> None:
         self.tracker.on_job_submit(job_id, final_rdd, stages)
+        if self.broker is not None:
+            self.broker.on_job_submit(job_id, final_rdd, stages)
 
     def on_stage_complete(self, job_id: int, stage_id: int) -> None:
         self.tracker.on_stage_complete(job_id, stage_id)
 
     def on_job_complete(self, job_id: int) -> None:
+        # Tracker first (it may defer an auto-unpersist on a broker
+        # pin), then the broker releases this job's pins and flushes
+        # any deferrals that just became safe.
         self.tracker.on_job_complete(job_id)
+        if self.broker is not None:
+            self.broker.on_job_complete(job_id)
 
     # ---- internals -----------------------------------------------------------
 

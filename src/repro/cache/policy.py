@@ -168,6 +168,20 @@ class _ScoredPolicy(CachePolicy):
         return len(self._entries)
 
 
+def value_score(recompute_cost: float, references: float,
+                size_bytes: float) -> float:
+    """The canonical cache-value density of a block.
+
+    ``recompute_cost * (1 + references) / size`` — the expected stage
+    re-execution seconds a cached byte is saving.  This is
+    :class:`CostAwarePolicy`'s per-executor score generalized so the
+    cluster-wide :class:`repro.cache.broker.CacheBroker` ranks every
+    live block with the *same* value function, with ``references``
+    counted across all jobs instead of within one executor's horizon.
+    """
+    return recompute_cost * (1.0 + references) / max(size_bytes, 1.0)
+
+
 class LRCPolicy(_ScoredPolicy):
     """Least-reference-count eviction.
 
@@ -205,7 +219,7 @@ class CostAwarePolicy(_ScoredPolicy):
     def score(self, block_id: BlockId, entry: _ScoredEntry) -> float:
         cost = self._cost_fn(block_id[0])
         refs = self._ref_fn(block_id)
-        return cost * (1.0 + refs) / max(entry.size_bytes, 1.0)
+        return value_score(cost, refs, entry.size_bytes)
 
 
 class QuotaAwarePolicy(CachePolicy):

@@ -54,7 +54,15 @@ class ReferenceTracker:
         self._releases: Dict[Tuple[int, int], List[int]] = {}
         #: job_id -> cached rdd_ids this job references (declared drain).
         self._touched: Dict[int, Set[int]] = {}
+        #: External pin lookup (the cache broker's lineage-prefix pins):
+        #: auto-unpersist is *deferred* while this reports a live pin,
+        #: so a job finishing cannot drop a block a concurrent job's
+        #: prefix match was counting on re-reading.
+        self._pin_fn: Optional[Callable[[int], int]] = None
+        #: rdd_ids whose auto-unpersist was deferred on a live pin.
+        self._deferred: Set[int] = set()
         self.auto_unpersisted: int = 0
+        self.deferred_unpersists: int = 0
 
     # ---- queries -----------------------------------------------------------
 
@@ -122,10 +130,40 @@ class ReferenceTracker:
                 self._declared.pop(rdd_id, None)
                 if (self.auto_unpersist and self._unpersist_fn is not None
                         and self._pending.get(rdd_id, 0) == 0):
-                    self.auto_unpersisted += 1
-                    self._unpersist_fn(rdd_id)
+                    self._unpersist_or_defer(rdd_id)
+
+    # ---- external pins (cross-job prefix sharing) --------------------------
+
+    def set_external_pin_fn(self, pin_fn: Callable[[int], int]) -> None:
+        """Install a pin lookup (``rdd_id -> live pin count``) that
+        vetoes auto-unpersist until :meth:`flush_deferred` runs with the
+        pin released."""
+        self._pin_fn = pin_fn
+
+    def flush_deferred(self) -> None:
+        """Run deferred auto-unpersists whose external pins are gone
+        (called whenever a pin holder releases, e.g. job completion)."""
+        if not self._deferred:
+            return
+        for rdd_id in sorted(self._deferred):
+            if self._pin_fn is not None and self._pin_fn(rdd_id) > 0:
+                continue
+            self._deferred.discard(rdd_id)
+            if self._pending.get(rdd_id, 0) == 0 \
+                    and self._unpersist_fn is not None:
+                self.auto_unpersisted += 1
+                self._unpersist_fn(rdd_id)
 
     # ---- internals ---------------------------------------------------------
+
+    def _unpersist_or_defer(self, rdd_id: int) -> None:
+        if self._pin_fn is not None and self._pin_fn(rdd_id) > 0:
+            self.deferred_unpersists += 1
+            self._deferred.add(rdd_id)
+            return
+        self.auto_unpersisted += 1
+        assert self._unpersist_fn is not None
+        self._unpersist_fn(rdd_id)
 
     def _release_pending(self, rdd_id: int) -> None:
         count = self._pending.get(rdd_id, 0) - 1

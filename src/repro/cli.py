@@ -14,6 +14,7 @@ reports; delays are simulated seconds (see README for calibration).
 from __future__ import annotations
 
 import argparse
+import math
 import statistics
 import sys
 from pathlib import Path
@@ -165,7 +166,53 @@ def _cmd_fig20(args: argparse.Namespace) -> None:
               f"(max {max(series) * 1000:.0f} ms)")
 
 
-def _cmd_cache(args: argparse.Namespace) -> None:
+def _cmd_cache_broker(args: argparse.Namespace) -> int:
+    """Run the canned broker workload and print the cluster-wide cache
+    broker's view: per-worker cached value density, the most valuable
+    resident blocks, and the cross-job sharing / memory-market
+    counters."""
+    context = WORKLOADS["broker"]()
+    broker = context.cache_broker
+    master = context.block_manager_master
+    print_table(
+        "Cache broker: per-worker cached value density",
+        ["worker", "blocks", "resident (KB)", "capacity (KB)",
+         "density (µs/B)"],
+        [[wid, broker.resident_count(wid),
+          master.used_bytes(wid) / 1e3,
+          master.stores[wid].capacity_bytes / 1e3,
+          broker.worker_value_density(wid) * 1e6]
+         for wid in sorted(master.stores)],
+        floatfmt="{:.6f}",
+    )
+    print_table(
+        f"Cache broker: top {args.top} blocks by value "
+        "(recompute_cost x (1 + refs) / size)",
+        ["value (µs/B)", "worker", "rdd", "partition", "size (KB)"],
+        [[value * 1e6, wid, bid[0], bid[1],
+          master.stores[wid].peek(bid).size_bytes / 1e3]
+         for value, wid, bid in broker.top_blocks(args.top)],
+        floatfmt="{:.6f}",
+    )
+    tracker = context.cache_manager.tracker
+    print_table(
+        "Cache broker: cross-job sharing and memory-market counters",
+        ["counter", "value"],
+        [["prefix hits (cross-job serves)", broker.prefix_hits],
+         ["prefix hits paying a remote read", broker.prefix_remote_hits],
+         ["prefix misses (no live provider)", broker.prefix_misses],
+         ["broker evictions (market)", broker.broker_evictions],
+         ["broker migrations (market)", broker.broker_migrations],
+         ["auto-unpersists deferred on pins", tracker.deferred_unpersists],
+         ["ledger bytes", broker.accounted_bytes()],
+         ["resident bytes", master.total_cached_bytes()]],
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.broker:
+        return _cmd_cache_broker(args)
     results = harness.run_cache_policies(
         policies=tuple(args.policies),
         iterations=args.iterations,
@@ -188,6 +235,7 @@ def _cmd_cache(args: argparse.Namespace) -> None:
                 print_comparison("mean job makespan", "lru",
                                  by["lru"].mean_makespan, name,
                                  by[name].mean_makespan)
+    return 0
 
 
 def _cmd_elastic(args: argparse.Namespace) -> int:
@@ -419,6 +467,42 @@ def _workload_service() -> "StarkContext":
     return context
 
 
+def _workload_broker() -> "StarkContext":
+    """Two tenants' structurally identical cached pipelines run as
+    separate jobs under the cluster-wide cache broker — the second scan
+    is served from the first's cached prefix — plus filler datasets that
+    overflow the stores so the broker's global eviction/migration market
+    fires."""
+    from .bench.configs import ClusterSpec, make_context
+    from .engine.context import StarkConfig
+
+    context = make_context(
+        "Stark-H",
+        ClusterSpec(num_workers=3, cores_per_worker=2,
+                    memory_per_worker=2.5e5, seed=19),
+        stark_config=StarkConfig(cache_broker=True))
+
+    def source(pid: int) -> list:
+        return [(pid * 200 + i, i % 13) for i in range(200)]
+
+    def tenant_scan():
+        return (context.generated(source, 6, read_cost="network",
+                                  name="broker-shared-scan")
+                .map(lambda kv: (kv[0], kv[1] * 2))
+                .cache())
+
+    first = tenant_scan()
+    first.count()
+    second = tenant_scan()   # same structure, different RDD ids
+    second.count()           # served from first's cached prefix
+    for r in range(4):
+        data = [(i, i * r) for i in range(2500)]
+        context.parallelize(data, num_partitions=3,
+                            name=f"broker-filler{r}").cache().count()
+    second.count()
+    return context
+
+
 #: The canned SQL workload's queries: a scan-filter-aggregate, a
 #: join + group-by (TPC-H Q3/Q5 in spirit), and a top-k — enough to
 #: exercise pushdown, exchanges, and ordering on every run.
@@ -468,6 +552,7 @@ WORKLOADS: Dict[str, Callable[[], "StarkContext"]] = {
     "streaming": _workload_streaming,
     "service": _workload_service,
     "sql": _workload_sql,
+    "broker": _workload_broker,
 }
 
 
@@ -555,6 +640,38 @@ def _reconcile(contexts: Sequence["StarkContext"],
              counts.get("QueryPlanned", 0),
              counts.get("QueryCompleted", 0)
              + counts.get("QueryFailed", 0)),
+        ]
+
+    # Broker rows: the global ledger must account for exactly the bytes
+    # resident in the block stores (both sides ``math.fsum``, so exact),
+    # and every broker action must have posted its event.  Cross-job
+    # hits combine lineage-prefix serves with registry fingerprint
+    # dedup — the two sharing mechanisms.
+    brokers = [c for c in contexts
+               if getattr(c, "cache_broker", None) is not None]
+    if brokers:
+        ledger = math.fsum(c.cache_broker.accounted_bytes()
+                           for c in brokers)
+        resident = math.fsum(
+            store.peek(bid).size_bytes
+            for c in brokers
+            for _, store in sorted(c.block_manager_master.stores.items())
+            for bid in store.block_ids())
+        broker_evicted = sum(1 for e in collector.of_type(obs.BlockEvicted)
+                             if e.reason == "broker")
+        dedup_events = sum(
+            1 for e in collector.of_type(obs.DatasetRegistered)
+            if e.deduped)
+        checks += [
+            ("broker ledger bytes = resident bytes", ledger, resident),
+            ("broker evictions", broker_evicted,
+             sum(c.cache_broker.broker_evictions for c in brokers)),
+            ("broker migrations", counts.get("BrokerMigrated", 0),
+             sum(c.cache_broker.broker_migrations for c in brokers)),
+            ("cross-job hits",
+             counts.get("BrokerPrefixHit", 0) + dedup_events,
+             sum(c.cache_broker.prefix_hits for c in brokers)
+             + sum(s.registry.dedup_hits for s in services)),
         ]
 
     rows = []
@@ -932,6 +1049,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--admission-min-cost", type=float, default=0.0)
     p.add_argument("--auto-unpersist", action="store_true",
                    help="drop cached RDDs whose declared uses drain to zero")
+    p.add_argument("--broker", action="store_true",
+                   help="run the canned broker workload and print the "
+                        "cluster-wide cache broker's state instead of the "
+                        "policy comparison")
+    p.add_argument("--top", type=int, default=8, metavar="N",
+                   help="blocks shown in the broker's top-value table "
+                        "(with --broker)")
 
     p = sub.add_parser(
         "trace", help="run a canned workload under full tracing; export a "

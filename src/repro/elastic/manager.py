@@ -308,7 +308,15 @@ class ResourceManager:
         bus = context.event_bus
         store = bmm.stores.get(victim)
         if store is not None and worker.alive:
-            for block_id in sorted(store.block_ids()):
+            broker = context.cache_broker
+            if broker is not None:
+                # Memory market: drain hottest-value-first so the
+                # migration budget is spent on the blocks whose loss
+                # would cost the most recompute.
+                drain_order = broker.migration_order(victim)
+            else:
+                drain_order = sorted(store.block_ids())
+            for block_id in drain_order:
                 block = store.peek(block_id)
                 if block is None:
                     continue
@@ -377,17 +385,46 @@ class ResourceManager:
 
     def _pick_victim(self) -> int:
         """Cheapest worker to lose: fewest cached bytes, then least
-        queued work, then the newest (highest id)."""
+        queued work, then the newest (highest id).
+
+        With the cluster-wide cache broker on, the primary key becomes
+        the broker's **cached value density** (recompute-value resident
+        per byte of store capacity) so scale-in takes the *coldest*
+        worker — and the hottest-density worker is excluded outright
+        unless every candidate's resident bytes exceed the migration
+        budget (in which case any choice drops cache and the density
+        ordering alone decides).
+        """
         cluster = self.context.cluster
         bmm = self.context.block_manager_master
+        broker = self.context.cache_broker
         now = cluster.clock.now
 
-        def cost(wid: int):
+        def cached_bytes(wid: int) -> float:
             store = bmm.stores.get(wid)
-            cached = store.used_bytes if store is not None else 0.0
-            return (cached, cluster.get_worker(wid).pending_work_until(now), -wid)
+            return store.used_bytes if store is not None else 0.0
 
-        return min(cluster.alive_worker_ids(), key=cost)
+        candidates = list(cluster.alive_worker_ids())
+        if broker is not None:
+            def density(wid: int) -> float:
+                if wid not in bmm.stores:
+                    return 0.0
+                return broker.worker_value_density(wid)
+
+            hottest = max(candidates, key=lambda w: (density(w), w))
+            if (len(candidates) > 1 and not all(
+                    cached_bytes(w) > self.migration_budget_bytes
+                    for w in candidates)):
+                candidates = [w for w in candidates if w != hottest]
+            return min(candidates, key=lambda w: (
+                density(w), cached_bytes(w),
+                cluster.get_worker(w).pending_work_until(now), -w))
+
+        def cost(wid: int):
+            return (cached_bytes(wid),
+                    cluster.get_worker(wid).pending_work_until(now), -wid)
+
+        return min(candidates, key=cost)
 
     def _pick_destination(self, block_id, victim: int,
                           size_bytes: float) -> Optional[int]:

@@ -59,6 +59,13 @@ class BlockStore:
         self._blocks: Dict[BlockId, Block] = {}
         self.used_bytes: float = 0.0
         self.eviction_count: int = 0
+        #: Optional cluster-level relief hook ``(store, incoming_block)``
+        #: consulted *before* the local eviction loop — the cache broker
+        #: (``repro.cache.broker``) may evict a cheaper block on another
+        #: worker and migrate this store's victim there instead of
+        #: dropping it.  Whatever pressure remains afterwards is relieved
+        #: by normal local eviction.
+        self.pressure_reliever: Optional[Callable[["BlockStore", Block], None]] = None
 
     def __contains__(self, block_id: BlockId) -> bool:
         return block_id in self._blocks
@@ -95,6 +102,9 @@ class BlockStore:
         if old is not None:
             self.used_bytes -= old.size_bytes
             self.policy.on_remove(block.block_id)
+        if (self.pressure_reliever is not None and self._blocks
+                and self.used_bytes + block.size_bytes > self.capacity_bytes):
+            self.pressure_reliever(self, block)
         while self.used_bytes + block.size_bytes > self.capacity_bytes and self._blocks:
             victim_id = self.policy.choose_victim()
             victim = self._blocks.pop(victim_id)
@@ -130,12 +140,14 @@ EvictionListener = Callable[[int, BlockId], None]
 
 #: ``listener(worker_id, block_id, reason)`` where reason is one of
 #: ``"capacity"`` | ``"explicit"`` | ``"worker_lost"`` | ``"migrated"``
-#: | ``"quota"`` — the channel the observability layer turns into
-#: ``BlockEvicted`` events.  ``"migrated"`` marks the source-side
-#: removal of a block that was copied to another store first (graceful
-#: decommission), i.e. *not* a loss of cached state; ``"quota"`` marks
-#: an intra-tenant eviction by the per-tenant cache quota enforcer
-#: (``repro.service.quotas``).
+#: | ``"quota"`` | ``"broker"`` — the channel the observability layer
+#: turns into ``BlockEvicted`` events.  ``"migrated"`` marks the
+#: source-side removal of a block that was copied to another store first
+#: (graceful decommission or broker migration), i.e. *not* a loss of
+#: cached state; ``"quota"`` marks an intra-tenant eviction by the
+#: per-tenant cache quota enforcer (``repro.service.quotas``);
+#: ``"broker"`` marks a cluster-wide eviction the cache broker ordered
+#: to host a more valuable migrated block (``repro.cache.broker``).
 BlockEventListener = Callable[[int, BlockId, str], None]
 
 #: ``listener(worker_id, block)`` fired for every block successfully

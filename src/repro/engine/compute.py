@@ -23,7 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
-from ..obs.events import BlockCached, CacheHit, CacheMiss, ShuffleFetch
+from ..obs.events import (BlockCached, BrokerPrefixHit, CacheHit, CacheMiss,
+                          ShuffleFetch)
 from .fault_tolerance import FetchFailedError
 from .metrics import TaskMetrics
 
@@ -161,6 +162,18 @@ class EvalContext:
             self._memo[key] = block.records
             self._memo_sizes[key] = block.size_bytes
             return block.records
+
+        # 1b. Cross-job lineage-prefix hit: an RDD with a structurally
+        # identical lineage prefix (same computation, different job /
+        # tenant) holds cached blocks — serve from those instead of
+        # recomputing.  Broker mode only; falls through on no match.
+        broker = getattr(ctx, "cache_broker", None)
+        if broker is not None:
+            equivalent = broker.equivalent_for(rdd.rdd_id)
+            if equivalent is not None:
+                records = self._serve_equivalent(rdd, equivalent, pid)
+                if records is not None:
+                    return records
 
         # 2. Checkpoint hit: read from reliable storage.
         cp = ctx.checkpoint_store.read(rdd.rdd_id, pid)
@@ -328,6 +341,55 @@ class EvalContext:
         )
 
     # ---- caching ------------------------------------------------------------------
+
+    def _serve_equivalent(self, rdd: "RDD", equivalent: int,
+                          pid: int) -> Optional[list]:
+        """Serve partition ``pid`` of ``rdd`` from the cached blocks of
+        the structurally identical RDD ``equivalent`` (cross-job
+        lineage-prefix sharing, ``StarkConfig.cache_broker``).
+
+        A local replica reads at RAM speed like any cache hit; a remote
+        replica pays serialization + network + memory read — the
+        explicit, priced exception to the engine's no-remote-cache-fetch
+        rule, existing *only* for broker prefix sharing.  Returns
+        ``None`` when no live replica exists (caller recomputes — always
+        safe, since prefix sharing never skips stage submission)."""
+        ctx = self.context
+        model = ctx.cost_model
+        eq_key = (equivalent, pid)
+        master = ctx.block_manager_master
+        remote = False
+        block = master.get_local(self.worker_id, eq_key)
+        if block is None:
+            live = sorted(master.locations(eq_key))
+            if not live:
+                return None
+            block = master.stores[live[0]].get(eq_key)
+            if block is None:
+                return None
+            remote = True
+            cost = (model.serde_cost(block.size_bytes)
+                    + model.network_cost(block.size_bytes)
+                    + model.memory_read_cost(block.size_bytes))
+        else:
+            cost = model.memory_read_cost(block.size_bytes)
+        self.metrics.cache_read_time += cost
+        self.metrics.cache_hits += 1
+        self.metrics.input_bytes += block.size_bytes
+        ctx.cache_broker.note_prefix_hit(remote=remote)
+        bus = ctx.event_bus
+        if bus.active:
+            now = ctx.cluster.clock.now
+            bus.post(CacheHit(
+                time=now, worker_id=self.worker_id, rdd_id=rdd.rdd_id,
+                partition=pid, size_bytes=block.size_bytes))
+            bus.post(BrokerPrefixHit(
+                time=now, worker_id=self.worker_id, rdd_id=rdd.rdd_id,
+                served_rdd_id=equivalent, partition=pid, remote=remote))
+        key = (rdd.rdd_id, pid)
+        self._memo[key] = block.records
+        self._memo_sizes[key] = block.size_bytes
+        return block.records
 
     def _cache_block(self, rdd: "RDD", pid: int, records: list,
                      size: Optional[float] = None) -> None:

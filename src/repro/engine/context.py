@@ -140,6 +140,16 @@ class StarkConfig:
     #: Off by default: the paper's baseline fetches local buckets from
     #: disk, and every committed benchmark baseline assumes that.
     zero_copy_handoff: bool = False
+    #: Cluster-wide cache broker (``repro.cache.broker``): eviction
+    #: victims are chosen by a driver-side value ranking over *every*
+    #: live block (``recompute_cost × cross_job_refcount / size``), a
+    #: pressured store may migrate its victim into space freed on
+    #: another worker, structurally identical lineage *prefixes* are
+    #: served across jobs from one tenant's cached blocks, and elastic
+    #: scale-in picks the worker with the least cached value density.
+    #: Off by default: classic per-executor eviction, which every
+    #: committed benchmark baseline assumes.
+    cache_broker: bool = False
     #: Per-attempt transient task failure probability.
     task_failure_prob: float = 0.0
     #: Per-remote-fetch transient failure probability.
@@ -273,6 +283,11 @@ class StarkContext:
         self.block_manager_master.add_block_event_listener(
             self._on_block_removed
         )
+        #: Cluster-wide cache broker (``StarkConfig.cache_broker``);
+        #: ``None`` with the knob off.
+        self.cache_broker = self.cache_manager.broker
+        if self.cache_broker is not None:
+            self.cache_broker.attach(self.block_manager_master)
 
         # Stark components (imported here to keep engine importable alone).
         from ..core.group_manager import GroupManager
@@ -321,6 +336,8 @@ class StarkContext:
             worker.memory_bytes * self.config.storage_memory_fraction,
             policy=self.cache_manager.policy_for_worker(worker_id),
         )
+        if self.cache_broker is not None:
+            self.cache_broker.on_worker_registered(worker_id)
 
     # ---- registries ------------------------------------------------------------
 

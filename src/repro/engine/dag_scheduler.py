@@ -393,6 +393,16 @@ class DAGScheduler:
         locs = bmm.locations((rdd.rdd_id, pid))
         if locs:
             return sorted(locs)
+        broker = self.context.cache_broker
+        if broker is not None:
+            # Steer towards an equivalent RDD's cached blocks so a
+            # cross-job lineage-prefix hit lands local (free) instead of
+            # paying the remote serde + network read.
+            equivalent = broker.equivalent_for(rdd.rdd_id)
+            if equivalent is not None:
+                locs = bmm.locations((equivalent, pid))
+                if locs:
+                    return sorted(locs)
         for dep in rdd.dependencies:
             if isinstance(dep, NarrowDependency):
                 for parent_pid in dep.get_parents(pid):

@@ -156,6 +156,43 @@ def _describe_callable(fn: object) -> str:
     return "|".join(parts)
 
 
+def _node_descriptor(node: "RDD", dep_labels: Dict[int, str]) -> str:
+    """The structural description of one lineage node.
+
+    ``dep_labels`` maps a parent's ``rdd_id`` to the label encoding its
+    identity in the descriptor: :func:`lineage_fingerprint` uses
+    lineage-local indices (whole-graph identity), while
+    :func:`prefix_fingerprints` uses the parent's own prefix hash
+    (Merkle-style, so equal descriptors mean equal *subgraphs*).
+    """
+    desc = [
+        type(node).__name__,
+        node.name,
+        str(node.num_partitions),
+        repr(node.partitioner),
+        node.namespace or "",
+    ]
+    for attr in ("fn", "predicate", "generator", "line_generator"):
+        value = getattr(node, attr, None)
+        if value is not None:
+            desc.append(f"{attr}={_describe_callable(value)}")
+    # Columnar/SQL nodes carry a structural description of their
+    # compiled expressions (kernels are closures over expression
+    # trees, which bytecode alone cannot distinguish).
+    extra = getattr(node, "lineage_extra", None)
+    if extra is not None:
+        desc.append(f"extra={extra}")
+    slices = getattr(node, "_slices", None)
+    if slices is not None:  # ParallelCollectionRDD: driver-held data
+        desc.append(f"data={repr(slices)}")
+    for dep in node.dependencies:
+        kind = type(dep).__name__
+        agg = getattr(dep, "aggregator", None)
+        extra = f":{_describe_callable(agg)}" if agg is not None else ""
+        desc.append(f"dep={kind}:{dep_labels[dep.rdd.rdd_id]}{extra}")
+    return "\x1e".join(desc) + "\x1f"
+
+
 def lineage_fingerprint(rdd: "RDD") -> str:
     """Structural hash of ``rdd``'s lineage (sha256 hex digest).
 
@@ -173,36 +210,39 @@ def lineage_fingerprint(rdd: "RDD") -> str:
     numbering so diamond sharing still distinguishes from duplication.
     """
     nodes = ancestors(rdd, include_self=True)
-    local = {node.rdd_id: i for i, node in enumerate(nodes)}
+    local = {node.rdd_id: str(i) for i, node in enumerate(nodes)}
     hasher = hashlib.sha256()
     for node in nodes:
-        desc = [
-            type(node).__name__,
-            node.name,
-            str(node.num_partitions),
-            repr(node.partitioner),
-            node.namespace or "",
-        ]
-        for attr in ("fn", "predicate", "generator", "line_generator"):
-            value = getattr(node, attr, None)
-            if value is not None:
-                desc.append(f"{attr}={_describe_callable(value)}")
-        # Columnar/SQL nodes carry a structural description of their
-        # compiled expressions (kernels are closures over expression
-        # trees, which bytecode alone cannot distinguish).
-        extra = getattr(node, "lineage_extra", None)
-        if extra is not None:
-            desc.append(f"extra={extra}")
-        slices = getattr(node, "_slices", None)
-        if slices is not None:  # ParallelCollectionRDD: driver-held data
-            desc.append(f"data={repr(slices)}")
-        for dep in node.dependencies:
-            kind = type(dep).__name__
-            agg = getattr(dep, "aggregator", None)
-            extra = f":{_describe_callable(agg)}" if agg is not None else ""
-            desc.append(f"dep={kind}:{local[dep.rdd.rdd_id]}{extra}")
-        hasher.update(("\x1e".join(desc) + "\x1f").encode())
+        hasher.update(_node_descriptor(node, local).encode())
     return hasher.hexdigest()
+
+
+def prefix_fingerprints(rdd: "RDD") -> Dict[int, str]:
+    """Per-node *prefix* hashes for every node in ``rdd``'s lineage.
+
+    Each node hashes its own descriptor with dependency labels replaced
+    by the parents' prefix hashes (Merkle-style), so a node's hash
+    covers exactly the lineage subgraph rooted at it.  Two nodes — in
+    the *same or different* jobs — get equal prefix hashes iff the
+    computations beneath them are structurally identical, which is what
+    lets the cache broker serve tenant B's scan from tenant A's cached
+    subgraph even when only a DAG prefix matches
+    (:mod:`repro.cache.broker`).
+
+    Unlike :func:`lineage_fingerprint`'s lineage-local numbering, the
+    Merkle labels cannot distinguish a diamond-shared parent from two
+    structurally equal duplicate parents — but for prefix *matching*
+    that conflation is exactly right: equal subgraphs compute equal
+    data either way.
+
+    Returns ``{rdd_id: hex digest}`` for every ancestor including
+    ``rdd`` itself.
+    """
+    hashes: Dict[int, str] = {}
+    for node in ancestors(rdd, include_self=True):  # parents-first
+        descriptor = _node_descriptor(node, hashes)
+        hashes[node.rdd_id] = hashlib.sha256(descriptor.encode()).hexdigest()
+    return hashes
 
 
 def recovery_cut(rdd: "RDD") -> List["RDD"]:

@@ -39,6 +39,9 @@ from .events import (
     BlockCached,
     BlockEvicted,
     BlocksMigrated,
+    BrokerEvicted,
+    BrokerMigrated,
+    BrokerPrefixHit,
     CacheHit,
     CacheMiss,
     CheckpointWritten,
@@ -168,6 +171,9 @@ __all__ = [
     "BlockCached",
     "BlockEvicted",
     "BlocksMigrated",
+    "BrokerEvicted",
+    "BrokerMigrated",
+    "BrokerPrefixHit",
     "CATEGORIES",
     "CacheHit",
     "CacheMiss",

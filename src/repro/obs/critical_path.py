@@ -29,14 +29,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cluster.events import TIME_EPS
 
-from .events import CacheMiss, Event, TaskRetried
+from .events import BlockEvicted, CacheMiss, Event, TaskRetried
 from .spans import JobSpan, TaskSpan, build_spans
 
 #: Blame categories in display order (waits last).
+#: ``broker_recompute`` splits out of ``recompute`` the rebuilds whose
+#: missing block was evicted by the cluster-wide cache broker (reason
+#: ``"broker"``) — the cost side of the broker's memory market.
 CATEGORIES: Tuple[str, ...] = (
-    "compute", "recompute", "read", "fetch", "handoff", "shuffle_write",
-    "launch", "gc", "straggler", "sched_wait", "locality_wait", "retry",
-    "speculation", "other",
+    "compute", "recompute", "broker_recompute", "read", "fetch", "handoff",
+    "shuffle_write", "launch", "gc", "straggler", "sched_wait",
+    "locality_wait", "retry", "speculation", "other",
 )
 
 #: TaskEnd phase field -> blame category (compute may become recompute).
@@ -58,6 +61,7 @@ PHASE_CATEGORY: Tuple[Tuple[str, str], ...] = (
 CATEGORY_COLORS: Dict[str, str] = {
     "compute": "thread_state_running",
     "recompute": "bad",
+    "broker_recompute": "terrible",
     "read": "good",
     "fetch": "thread_state_iowait",
     "handoff": "thread_state_runnable",
@@ -196,15 +200,20 @@ def compute_critical_path(job: JobSpan,
                                 start=job.start, finish=job.finish)
     walk = _Walk(report)
 
-    misses: Dict[int, List[float]] = {}
+    misses: Dict[int, List[Tuple[float, int, int]]] = {}
+    broker_evicted: Dict[Tuple[int, int], float] = {}
     backoffs: Dict[int, float] = {}
     for event in events:
         if isinstance(event, CacheMiss):
-            misses.setdefault(event.worker_id, []).append(event.time)
+            misses.setdefault(event.worker_id, []).append(
+                (event.time, event.rdd_id, event.partition))
+        elif isinstance(event, BlockEvicted) and event.reason == "broker":
+            broker_evicted.setdefault(
+                (event.rdd_id, event.partition), event.time)
         elif isinstance(event, TaskRetried) and event.job_id == job.job_id:
             backoffs[event.task_id] = event.backoff
-    for times in misses.values():
-        times.sort()
+    for entries in misses.values():
+        entries.sort()
 
     successes = sorted(job.successful_tasks(),
                        key=lambda t: (t.finish, t.start, t.task_id))
@@ -229,7 +238,7 @@ def compute_critical_path(job: JobSpan,
             walk.push(task.finish, "sched_wait",
                       f"gap after task {task.task_id} "
                       f"(s{task.stage_id} p{task.partition})")
-        _push_task_phases(walk, task, misses)
+        _push_task_phases(walk, task, misses, broker_evicted)
         _push_prestart_gap(walk, job, task, others, submits, backoffs,
                            locality_wait)
     walk.finalize()
@@ -258,11 +267,13 @@ def _latest_finishing(successes: List[TaskSpan], cursor: float,
 
 
 def _push_task_phases(walk: _Walk, task: TaskSpan,
-                      misses: Dict[int, List[float]]) -> None:
+                      misses: Dict[int, List[Tuple[float, int, int]]],
+                      broker_evicted: Dict[Tuple[int, int], float]) -> None:
     """Tile ``[task.start, task.finish]`` with its phase breakdown
     (phases occur in PHASE_CATEGORY order, so walk them in reverse)."""
-    recompute = _window_has_miss(misses, task.end.worker_id,
-                                 task.start, task.finish)
+    recompute = _window_miss_category(misses, broker_evicted,
+                                      task.end.worker_id,
+                                      task.start, task.finish)
     label = (f"task {task.task_id} "
              f"(s{task.stage_id} p{task.partition})")
     for field_name, category in reversed(PHASE_CATEGORY):
@@ -271,8 +282,8 @@ def _push_task_phases(walk: _Walk, task: TaskSpan,
         seconds = getattr(task.end, field_name)
         if seconds <= 0:
             continue
-        if category == "compute" and recompute:
-            category = "recompute"
+        if category == "compute" and recompute is not None:
+            category = recompute
         lo = max(task.start, walk.cursor - seconds)
         walk.push(lo, category, label, task_id=task.task_id)
     if walk.cursor > task.start:
@@ -353,15 +364,28 @@ def _push_prestart_gap(walk: _Walk, job: JobSpan, task: TaskSpan,
     walk.push(lo, "sched_wait", "")
 
 
-def _window_has_miss(misses: Dict[int, List[float]], worker_id: int,
-                     start: float, finish: float) -> bool:
+def _window_miss_category(
+        misses: Dict[int, List[Tuple[float, int, int]]],
+        broker_evicted: Dict[Tuple[int, int], float],
+        worker_id: int, start: float, finish: float) -> Optional[str]:
+    """``None`` when no cache miss fell in the task's window on its
+    worker; ``"broker_recompute"`` when one did and its block had been
+    broker-evicted earlier; ``"recompute"`` otherwise."""
     import bisect
 
-    times = misses.get(worker_id)
-    if not times:
-        return False
-    idx = bisect.bisect_left(times, start - TIME_EPS)
-    return idx < len(times) and times[idx] <= finish + TIME_EPS
+    entries = misses.get(worker_id)
+    if not entries:
+        return None
+    idx = bisect.bisect_left(entries, (start - TIME_EPS,))
+    category: Optional[str] = None
+    while idx < len(entries) and entries[idx][0] <= finish + TIME_EPS:
+        time, rdd_id, partition = entries[idx]
+        evicted_at = broker_evicted.get((rdd_id, partition))
+        if evicted_at is not None and evicted_at <= time + TIME_EPS:
+            return "broker_recompute"
+        category = "recompute"
+        idx += 1
+    return category
 
 
 # ---- rendering -------------------------------------------------------------

@@ -138,8 +138,11 @@ class BlockCached(Event):
 class BlockEvicted(Event):
     """A block left a store: ``reason`` is one of ``"capacity"`` (the
     eviction policy chose a victim), ``"explicit"`` (unpersist),
-    ``"worker_lost"``, or ``"migrated"`` (graceful decommission moved it
-    to another executor, where a matching ``BlockCached`` follows)."""
+    ``"worker_lost"``, ``"migrated"`` (graceful decommission or a broker
+    migration moved it to another executor, where a matching
+    ``BlockCached`` follows), ``"quota"`` (intra-tenant quota
+    displacement), or ``"broker"`` (the cluster-wide cache broker
+    evicted it to host a more valuable migrated block)."""
 
     worker_id: int
     rdd_id: int
@@ -160,6 +163,51 @@ class CacheMiss(Event):
     worker_id: int
     rdd_id: int
     partition: int
+
+
+# ---- cluster-wide cache broker (StarkConfig.cache_broker) ------------------
+
+@dataclass(frozen=True)
+class BrokerEvicted(Event):
+    """The broker evicted a remote block (it was the cluster-wide
+    cheapest) so a pressured worker's victim could migrate into the
+    freed space.  ``requested_by`` is the pressured worker; ``value`` is
+    the evicted block's broker score (a matching ``BlockEvicted`` with
+    reason ``"broker"`` accompanies it)."""
+
+    worker_id: int
+    rdd_id: int
+    partition: int
+    requested_by: int
+    value: float
+
+
+@dataclass(frozen=True)
+class BrokerMigrated(Event):
+    """The broker moved a pressured store's victim block to another
+    worker instead of evicting it (``BlockEvicted``/``"migrated"`` on
+    the source and a ``BlockCached`` on the destination accompany it)."""
+
+    rdd_id: int
+    partition: int
+    src_worker: int
+    dst_worker: int
+    size_bytes: float
+    value: float
+
+
+@dataclass(frozen=True)
+class BrokerPrefixHit(Event):
+    """A partition of ``rdd_id`` was served from the cached blocks of
+    ``served_rdd_id`` — a *different* RDD with a structurally identical
+    lineage prefix (cross-job sharing).  ``remote`` marks reads that
+    paid serde + network for a replica on another worker."""
+
+    worker_id: int
+    rdd_id: int
+    served_rdd_id: int
+    partition: int
+    remote: bool
 
 
 # ---- shuffle / checkpoint --------------------------------------------------

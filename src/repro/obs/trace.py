@@ -33,6 +33,9 @@ from .events import (
     BlockCached,
     BlockEvicted,
     BlocksMigrated,
+    BrokerEvicted,
+    BrokerMigrated,
+    BrokerPrefixHit,
     CacheHit,
     CacheMiss,
     CheckpointWritten,
@@ -159,6 +162,10 @@ class ChromeTraceExporter:
         #: track (fed by BlockCached/BlockEvicted, cluster-wide).
         self._cache_counter: List[Tuple[float, float]] = []
         self._cache_bytes = 0.0
+        #: (time, cumulative broker action count) samples for the broker
+        #: activity counter track (evictions + migrations + prefix hits).
+        self._broker_counter: List[Tuple[float, int]] = []
+        self._broker_actions = 0
         self._cached_block_sizes: Dict[Tuple[int, int, int], float] = {}
         self._open_queries: Dict[int, QueryPlanned] = {}
         self._saw_scaling = False
@@ -210,6 +217,30 @@ class ChromeTraceExporter:
             self._instant(event.time, event.worker_id,
                           f"miss rdd_{event.rdd_id}[{event.partition}]",
                           "cache", {})
+        elif isinstance(event, BrokerEvicted):
+            self._broker_actions += 1
+            self._broker_counter.append((event.time, self._broker_actions))
+            self._instant(event.time, event.worker_id,
+                          f"broker evict rdd_{event.rdd_id}"
+                          f"[{event.partition}]", "broker",
+                          {"requested_by": event.requested_by,
+                           "value": event.value})
+        elif isinstance(event, BrokerMigrated):
+            self._broker_actions += 1
+            self._broker_counter.append((event.time, self._broker_actions))
+            self._instant(event.time, event.dst_worker,
+                          f"broker migrate rdd_{event.rdd_id}"
+                          f"[{event.partition}]", "broker",
+                          {"src_worker": event.src_worker,
+                           "size_bytes": event.size_bytes,
+                           "value": event.value})
+        elif isinstance(event, BrokerPrefixHit):
+            self._broker_actions += 1
+            self._broker_counter.append((event.time, self._broker_actions))
+            self._instant(event.time, event.worker_id,
+                          f"prefix hit rdd_{event.rdd_id} <- "
+                          f"rdd_{event.served_rdd_id}[{event.partition}]",
+                          "broker", {"remote": event.remote})
         elif isinstance(event, FailureInjected):
             self._instant(event.time, event.worker_id, "worker failure",
                           "failure",
@@ -416,6 +447,13 @@ class ChromeTraceExporter:
             trace_events.append({
                 "name": "cache bytes", "ph": "C", "ts": time * _US,
                 "pid": DRIVER_PID, "args": {"resident bytes": resident},
+            })
+        # Broker activity counter track: cumulative broker decisions
+        # (global evictions, migrations, cross-job prefix hits).
+        for time, actions in self._broker_counter:
+            trace_events.append({
+                "name": "broker actions", "ph": "C", "ts": time * _US,
+                "pid": DRIVER_PID, "args": {"broker actions": actions},
             })
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 

@@ -57,6 +57,13 @@ class TenantCacheQuotas:
         self.quota_evictions: int = 0
         #: Inserts refused because they could never fit under the quota.
         self.quota_rejections: int = 0
+        #: Optional broker value ranking ``(worker_id, block_id,
+        #: size_bytes) -> value``: when set (``StarkConfig.cache_broker``
+        #: wires :meth:`repro.cache.broker.CacheBroker.block_value`),
+        #: :meth:`admit` displaces the owning tenant's *lowest-value*
+        #: block cluster-wide instead of its oldest.  Either way only
+        #: the owning tenant's own blocks are candidates.
+        self.value_fn = None
         master.add_insert_listener(self._on_insert)
         master.add_block_event_listener(self._on_removed)
 
@@ -131,7 +138,7 @@ class TenantCacheQuotas:
         blocks = self._blocks.get(tenant)
         while (self._usage.get(tenant, 0.0) + size_bytes > quota
                and blocks):
-            victim_worker, victim_id = next(iter(blocks))
+            victim_worker, victim_id = self._displacement_victim(blocks)
             self.master.remove_block(victim_id, victim_worker,
                                      reason="quota")
             self.quota_evictions += 1
@@ -139,6 +146,19 @@ class TenantCacheQuotas:
             self.quota_rejections += 1
             return False
         return True
+
+    def _displacement_victim(
+            self, blocks: "OrderedDict[_BlockKey, float]") -> _BlockKey:
+        """Which of the tenant's own resident blocks to displace:
+        oldest-inserted classically, lowest broker value cluster-wide
+        when a :attr:`value_fn` is attached (insertion order breaks
+        ties)."""
+        if self.value_fn is None:
+            return next(iter(blocks))
+        return min(
+            ((self.value_fn(wid, bid, size), index, (wid, bid))
+             for index, ((wid, bid), size) in enumerate(blocks.items())),
+        )[2]
 
     def preferred_victim(self, worker_id: int,
                          resident: Iterable[BlockId]) -> Optional[BlockId]:

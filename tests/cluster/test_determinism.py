@@ -81,6 +81,37 @@ def simple_run(seed: int) -> str:
     return sink.getvalue()
 
 
+def broker_run(seed: int) -> str:
+    """A cache-broker-enabled run: two structurally identical cached
+    pipelines in separate jobs (prefix sharing) plus enough cached
+    filler to trigger the broker's global eviction/migration market."""
+    sc = StarkContext(num_workers=3, cores_per_worker=2,
+                      memory_per_worker=2.5e5,
+                      config=StarkConfig(cache_broker=True))
+    sink = io.StringIO()
+    log = JsonlEventLog(sink)
+    sc.event_bus.subscribe(log)
+
+    def source(pid: int) -> list:
+        return [(pid * 100 + i, (i * seed) % 17) for i in range(200)]
+
+    def pipeline():
+        return (sc.generated(source, 6, read_cost="network", name="det-scan")
+                .map(lambda kv: (kv[0], kv[1] + 1))
+                .cache())
+
+    first = pipeline()
+    first.count()
+    second = pipeline()
+    second.count()
+    for r in range(4):
+        data = make_pairs(800)
+        sc.parallelize(data, 3, name=f"det-filler{r}").cache().count()
+    second.count()
+    log.flush()
+    return sink.getvalue()
+
+
 class TestByteIdenticalReplay:
     def test_full_stack_log_is_byte_identical(self):
         first = full_stack_run(seed=42)
@@ -102,3 +133,12 @@ class TestByteIdenticalReplay:
 
     def test_simple_run_is_byte_identical(self):
         assert simple_run(seed=11) == simple_run(seed=11)
+
+    def test_broker_run_is_byte_identical(self):
+        first = broker_run(seed=5)
+        second = broker_run(seed=5)
+        assert first == second
+        # The run must actually exercise the broker paths it is
+        # certifying: cross-job prefix serves and broker evictions.
+        assert '"BrokerPrefixHit"' in first
+        assert '"reason": "broker"' in first or '"BrokerEvicted"' in first
